@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Regenerates Fig. 9: merging reduces the columns condensing left.
+ *
+ * The Stable Diffusion anchor: condensing leaves 77.4% of the 1st FFN
+ * layer's columns; running the real ConMerge pipeline (per-tile
+ * condensing in the SortBuffer + up to two merges with CV conflict
+ * resolution) compacts the physical columns to single digits.
+ */
+
+#include "exion/accel/conmerge_estimator.h"
+#include "exion/common/table.h"
+#include "exion/model/config.h"
+
+using namespace exion;
+
+int
+main()
+{
+    TextTable table({"Model", "After condensing", "After merging",
+                     "Decrease", "Tile occupancy",
+                     "Merge accepts/group"});
+    table.setTitle("Fig. 9 — Merging: remaining column percentage "
+                   "(1st FFN layer)");
+
+    for (Benchmark b : {Benchmark::StableDiffusion, Benchmark::MLD,
+                        Benchmark::DiT}) {
+        const ModelConfig cfg = makeConfig(b, Scale::Full);
+        const StageConfig &stage = cfg.stages.front();
+        const Index rows = stage.tokens;
+        const Index cols = stage.ffnMult * stage.dModel;
+        const ConMergeSummary summary = estimateFfnConMerge(
+            rows, cols, ffnMaskParams(b), 12,
+            0xbeef + static_cast<u64>(b));
+        table.addRow({
+            benchmarkName(b),
+            formatPercent(summary.condenseRemainingFraction),
+            formatPercent(summary.mergedRemainingFraction),
+            formatPercent(summary.condenseRemainingFraction
+                          - summary.mergedRemainingFraction),
+            formatPercent(summary.tileOccupancy),
+            formatDouble(summary.tilesPerGroup, 1),
+        });
+    }
+    table.addNote("Paper anchor: Stable Diffusion 77.4% -> 8.4% "
+                  "(69% decrease).");
+    table.addNote("Merging runs the real CVG on 12 sampled 16-row "
+                  "groups per model.");
+    table.print();
+    return 0;
+}

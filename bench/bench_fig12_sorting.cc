@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Regenerates Fig. 12: cycle reduction from sparsity-sorted merging.
+ *
+ * The CAU sorts column bitmasks into sparsity classes so the CVG
+ * pairs a dense base with sparse candidates; versus merging blocks in
+ * arrival order this cuts conflict-resolution cycles 29-73% in the
+ * paper. Both modes run the identical CVG; only the pairing order
+ * differs.
+ */
+
+#include "exion/accel/conmerge_estimator.h"
+#include "exion/common/table.h"
+#include "exion/model/config.h"
+
+using namespace exion;
+
+int
+main()
+{
+    TextTable table({"Model", "Cycles (random order)",
+                     "Cycles (sorted)", "Decrement"});
+    table.setTitle("Fig. 12 — CAU merge cycles: sorted vs arrival "
+                   "order (per 16-row group)");
+
+    ConMergeConfig sorted_cfg;
+    sorted_cfg.sortBySparsity = true;
+    ConMergeConfig random_cfg;
+    random_cfg.sortBySparsity = false;
+
+    for (Benchmark b : allBenchmarks()) {
+        const ModelConfig cfg = makeConfig(b, Scale::Full);
+        const StageConfig &stage = cfg.stages.front();
+        const Index rows = stage.tokens;
+        const Index cols = stage.ffnMult * stage.dModel;
+        const u64 seed = 0xabcd + static_cast<u64>(b);
+
+        const ConMergeSummary sorted = estimateFfnConMerge(
+            rows, cols, ffnMaskParams(b), 12, seed, sorted_cfg);
+        const ConMergeSummary random = estimateFfnConMerge(
+            rows, cols, ffnMaskParams(b), 12, seed, random_cfg);
+
+        const double decrement = random.mergeCyclesPerGroup > 0.0
+            ? 1.0 - sorted.mergeCyclesPerGroup
+                  / random.mergeCyclesPerGroup
+            : 0.0;
+        table.addRow({
+            benchmarkName(b),
+            formatDouble(random.mergeCyclesPerGroup, 0),
+            formatDouble(sorted.mergeCyclesPerGroup, 0),
+            formatPercent(decrement),
+        });
+    }
+    table.addNote("Paper reports 29.3-72.7% cycle decrement from "
+                  "sorting (Fig. 12).");
+    table.print();
+    return 0;
+}

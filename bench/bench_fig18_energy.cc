@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Regenerates Fig. 18: energy-efficiency comparison and ablation.
+ *
+ * (a) EXION4 (Base/EP/FFNR/All) versus the edge GPU on the models
+ *     that fit edge memory, batch 1 and 8.
+ * (b) EXION24 versus the server GPU on all benchmarks, batch 1 and 8.
+ *
+ * Efficiency is dense-equivalent TOPS/W; the gain column is the ratio
+ * over the GPU's TOPS/W (equivalently, the GPU-to-EXION energy ratio
+ * for the same work).
+ */
+
+#include <vector>
+
+#include "exion/accel/perf_model.h"
+#include "exion/baseline/gpu_model.h"
+#include "exion/common/table.h"
+
+using namespace exion;
+
+namespace
+{
+
+void
+runComparison(const std::string &title, const ExionConfig &device,
+              const GpuSpec &gpu_spec,
+              const std::vector<Benchmark> &models, int batch)
+{
+    TextTable table({"Model", "GPU TOPS/W", "Base", "EP", "FFNR",
+                     "All", "Gain (All)"});
+    table.setTitle(title + ", batch " + std::to_string(batch));
+
+    GpuModel gpu(gpu_spec);
+    for (Benchmark b : models) {
+        const ModelConfig model = makeConfig(b, Scale::Full);
+        const SparsityProfile prof = profileFor(b);
+        const GpuRunResult gpu_run = gpu.run(model, batch);
+
+        std::vector<std::string> row = {
+            benchmarkName(b),
+            formatDouble(gpu_run.topsPerWatt(), 4),
+        };
+        double all_eff = 0.0;
+        for (Ablation a : {Ablation::Base, Ablation::Ep,
+                           Ablation::Ffnr, Ablation::All}) {
+            ExionPerfModel pm(device, a);
+            const RunStats stats = pm.run(model, prof, batch);
+            row.push_back(formatDouble(stats.topsPerWatt(), 2));
+            if (a == Ablation::All)
+                all_eff = stats.topsPerWatt();
+        }
+        row.push_back(formatRatio(all_eff / gpu_run.topsPerWatt(), 1));
+        table.addRow(std::move(row));
+    }
+    table.addNote("TOPS/W is dense-equivalent work per energy; "
+                  "columns Base..All are " + device.name
+                  + " ablations.");
+    table.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<Benchmark> edge_models = {
+        Benchmark::MLD, Benchmark::MDM, Benchmark::EDGE,
+        Benchmark::MakeAnAudio};
+    const std::vector<Benchmark> server_models = allBenchmarks();
+
+    runComparison("Fig. 18(a) — EXION4 vs edge GPU", exion4(),
+                  edgeGpu(), edge_models, 1);
+    runComparison("Fig. 18(a) — EXION4 vs edge GPU", exion4(),
+                  edgeGpu(), edge_models, 8);
+    runComparison("Fig. 18(b) — EXION24 vs server GPU", exion24(),
+                  serverGpu(), server_models, 1);
+    runComparison("Fig. 18(b) — EXION24 vs server GPU", exion24(),
+                  serverGpu(), server_models, 8);
+
+    TextTable anchors({"Comparison", "Paper range", "Meaning"});
+    anchors.setTitle("Fig. 18 — paper anchor ranges");
+    anchors.addRow({"EXION4_All vs edge GPU", "196.9-4668.2x",
+                    "energy-efficiency gain"});
+    anchors.addRow({"EXION24_All vs server GPU", "45.1-3067.6x",
+                    "energy-efficiency gain"});
+    anchors.print();
+    return 0;
+}

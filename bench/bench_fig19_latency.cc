@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Regenerates Fig. 19(a): end-to-end latency comparison.
+ *
+ * Full-run latency (all denoising iterations) of the edge GPU vs
+ * EXION4_All and the server GPU vs EXION24_All, batch 1 and 8.
+ */
+
+#include <vector>
+
+#include "exion/accel/perf_model.h"
+#include "exion/baseline/gpu_model.h"
+#include "exion/common/table.h"
+
+using namespace exion;
+
+namespace
+{
+
+void
+runComparison(const std::string &title, const ExionConfig &device,
+              const GpuSpec &gpu_spec,
+              const std::vector<Benchmark> &models, int batch)
+{
+    TextTable table({"Model", "GPU (ms)", device.name + "_All (ms)",
+                     "Speedup"});
+    table.setTitle(title + ", batch " + std::to_string(batch));
+
+    GpuModel gpu(gpu_spec);
+    for (Benchmark b : models) {
+        const ModelConfig model = makeConfig(b, Scale::Full);
+        const GpuRunResult gpu_run = gpu.run(model, batch);
+        ExionPerfModel pm(device, Ablation::All);
+        const RunStats stats = pm.run(model, profileFor(b), batch);
+        table.addRow({
+            benchmarkName(b),
+            formatDouble(gpu_run.latencySeconds * 1e3, 2),
+            formatDouble(stats.latencySeconds * 1e3, 2),
+            formatRatio(gpu_run.latencySeconds / stats.latencySeconds,
+                        1),
+        });
+    }
+    table.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<Benchmark> edge_models = {
+        Benchmark::MLD, Benchmark::MDM, Benchmark::EDGE,
+        Benchmark::MakeAnAudio};
+
+    runComparison("Fig. 19(a) — latency vs edge GPU", exion4(),
+                  edgeGpu(), edge_models, 1);
+    runComparison("Fig. 19(a) — latency vs edge GPU", exion4(),
+                  edgeGpu(), edge_models, 8);
+    runComparison("Fig. 19(a) — latency vs server GPU", exion24(),
+                  serverGpu(), allBenchmarks(), 1);
+    runComparison("Fig. 19(a) — latency vs server GPU", exion24(),
+                  serverGpu(), allBenchmarks(), 8);
+
+    TextTable anchors({"Comparison", "Paper range"});
+    anchors.setTitle("Fig. 19(a) — paper anchor speedups");
+    anchors.addRow({"EXION4_All vs edge GPU (batch 1)",
+                    "43.7-1060.6x"});
+    anchors.addRow({"EXION24_All vs server GPU (batch 1)",
+                    "3.3-365.6x"});
+    anchors.addRow({"batch 8", "42.6-1090.9x / 3.2-379.3x"});
+    anchors.print();
+    return 0;
+}

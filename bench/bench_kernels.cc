@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hot kernels: log-domain
+ * products, CVG block merging, SDUE merged-tile execution, bitmask
+ * extraction and quantised matmul. Not a paper artefact; standard
+ * performance tracking for the library itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "exion/accel/functional_device.h"
+#include "exion/common/rng.h"
+#include "exion/sparsity/log_domain.h"
+#include "exion/sparsity/mask_synth.h"
+#include "exion/tensor/ops.h"
+
+namespace exion
+{
+namespace
+{
+
+void
+BM_LdProductTwoStep(benchmark::State &state)
+{
+    Rng rng(1);
+    std::vector<i32> a(1024), b(1024);
+    for (int i = 0; i < 1024; ++i) {
+        a[i] = static_cast<i32>(rng.uniformInt(4096)) - 2048;
+        b[i] = static_cast<i32>(rng.uniformInt(4096)) - 2048;
+    }
+    for (auto _ : state) {
+        i64 acc = 0;
+        for (int i = 0; i < 1024; ++i)
+            acc += ldProduct(a[i], b[i], LodMode::TwoStep);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_LdProductTwoStep);
+
+void
+BM_LdMatmul(benchmark::State &state)
+{
+    const Index n = state.range(0);
+    Rng rng(2);
+    Matrix a(n, n), b(n, n);
+    a.fillNormal(rng, 0.0f, 1.0f);
+    b.fillNormal(rng, 0.0f, 1.0f);
+    const QuantMatrix qa = QuantMatrix::fromFloat(a, IntWidth::Int12);
+    const QuantMatrix qb = QuantMatrix::fromFloat(b, IntWidth::Int12);
+    for (auto _ : state) {
+        Matrix c = ldMatmul(qa, qb, LodMode::TwoStep);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_LdMatmul)->Arg(32)->Arg(64);
+
+void
+BM_QuantMatmul(benchmark::State &state)
+{
+    const Index n = state.range(0);
+    Rng rng(3);
+    Matrix a(n, n), b(n, n);
+    a.fillNormal(rng, 0.0f, 1.0f);
+    b.fillNormal(rng, 0.0f, 1.0f);
+    const QuantMatrix qa = QuantMatrix::fromFloat(a, IntWidth::Int12);
+    const QuantMatrix qb = QuantMatrix::fromFloat(b, IntWidth::Int12);
+    for (auto _ : state) {
+        Matrix c = matmulQuant(qa, qb);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_QuantMatmul)->Arg(64)->Arg(128);
+
+void
+BM_ConMergeGroup(benchmark::State &state)
+{
+    const double density = static_cast<double>(state.range(0)) / 100.0;
+    Rng rng(4);
+    FfnMaskParams params;
+    params.density = density;
+    params.deadColFraction = 0.3;
+    params.hotColFraction = 0.02;
+    const Bitmask2D mask = synthFfnMask(16, 1024, params, rng);
+    ConMergePipeline pipeline;
+    for (auto _ : state) {
+        GroupResult group = pipeline.processGroup(mask, 0);
+        benchmark::DoNotOptimize(group.positionsUsed);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ConMergeGroup)->Arg(3)->Arg(10)->Arg(30);
+
+void
+BM_SparseMatmulViaConMerge(benchmark::State &state)
+{
+    Rng rng(5);
+    Matrix input(64, 64), weight(64, 256);
+    input.fillNormal(rng, 0.0f, 1.0f);
+    weight.fillNormal(rng, 0.0f, 1.0f);
+    Bitmask2D mask(64, 256);
+    for (Index r = 0; r < 64; ++r)
+        for (Index c = 0; c < 256; ++c)
+            if (rng.bernoulli(0.1))
+                mask.set(r, c, true);
+    for (auto _ : state) {
+        SparseMatmulResult result =
+            sparseMatmulViaConMerge(input, weight, mask);
+        benchmark::DoNotOptimize(result.output.data().data());
+    }
+}
+BENCHMARK(BM_SparseMatmulViaConMerge);
+
+void
+BM_BitmaskColumnSlice(benchmark::State &state)
+{
+    Rng rng(6);
+    Bitmask2D mask(256, 4096);
+    for (int i = 0; i < 40000; ++i)
+        mask.set(rng.uniformInt(256), rng.uniformInt(4096), true);
+    for (auto _ : state) {
+        u64 acc = 0;
+        for (Index c = 0; c < 4096; ++c)
+            acc += mask.columnSlice16(c, 64);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_BitmaskColumnSlice);
+
+} // namespace
+} // namespace exion
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Regenerates Table II: hardware specifications of the GPUs and the
+ * comparable EXION configurations.
+ */
+
+#include "exion/accel/exion_config.h"
+#include "exion/baseline/gpu_model.h"
+#include "exion/common/table.h"
+#include "exion/sim/energy.h"
+
+using namespace exion;
+
+int
+main()
+{
+    {
+        TextTable table({"Device", "Throughput", "Memory BW",
+                         "Power"});
+        table.setTitle("Table II — GPU specifications");
+        for (const GpuSpec &spec : {edgeGpu(), serverGpu()}) {
+            table.addRow({
+                spec.name,
+                formatDouble(spec.peakTops, 1) + " TOPS",
+                formatDouble(spec.bandwidthGbs, 0) + " GB/s",
+                "~" + formatDouble(spec.boardPowerW, 0) + " W",
+            });
+        }
+        table.print();
+    }
+
+    {
+        TextTable table({"Device", "DSCs", "Throughput", "Memory BW",
+                         "DRAM", "GSC", "Est. power"});
+        table.setTitle("Table II — Comparable EXION configurations");
+        EnergyModel energy{DscParams{}};
+        for (const ExionConfig &cfg : {exion4(), exion24(), exion42()}) {
+            DramModel dram(cfg.dramType, cfg.dramBandwidthGbs);
+            table.addRow({
+                cfg.name,
+                std::to_string(cfg.numDscs),
+                formatDouble(cfg.peakTops(), 1) + " TOPS",
+                formatDouble(cfg.dramBandwidthGbs, 0) + " GB/s",
+                dram.name(),
+                formatDouble(cfg.gscBytes / (1024.0 * 1024.0), 1)
+                    + " MB",
+                "~" + formatDouble(cfg.numDscs
+                                       * energy.totalActivePowerMw()
+                                       / 1000.0, 2) + " W (cores)",
+            });
+        }
+        table.addNote("One DSC peaks at "
+                      + formatDouble(DscParams{}.peakTops(), 1)
+                      + " TOPS (Table II note: 9.8).");
+        table.addNote("Paper power estimates: EXION4 ~3.18 W, "
+                      "EXION24 ~20.40 W (load-dependent; core power "
+                      "above is the fully-active bound).");
+        table.print();
+    }
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates Table III: power and area breakdown of one DSC.
+ */
+
+#include "exion/common/table.h"
+#include "exion/sim/energy.h"
+
+using namespace exion;
+
+int
+main()
+{
+    TextTable table({"Component", "Area [mm^2]", "Power [mW]",
+                     "Energy/cycle [pJ]"});
+    table.setTitle("Table III — Breakdown of power and area usage "
+                   "(one DSC, 800 MHz, 0.8 V, 14 nm)");
+
+    EnergyModel model{DscParams{}};
+    const struct
+    {
+        DscComponent component;
+        const char *name;
+    } rows[] = {
+        {DscComponent::Sdue, "SDUE"},
+        {DscComponent::Cau, "CAU"},
+        {DscComponent::Epre, "EPRE"},
+        {DscComponent::Cfse, "CFSE"},
+        {DscComponent::OnChipMemories, "On-Chip Memories"},
+        {DscComponent::ControlDmaEtc, "Top Controller, DMA, Etc."},
+    };
+    for (const auto &row : rows) {
+        const ComponentSpec spec = componentSpec(row.component);
+        table.addRow({
+            row.name,
+            formatDouble(spec.areaMm2, 2),
+            formatDouble(spec.powerMw, 2),
+            formatDouble(model.activeEnergyPerCycle(row.component), 1),
+        });
+    }
+    table.addRow({
+        "Total",
+        formatDouble(model.totalAreaMm2(), 2),
+        formatDouble(model.totalActivePowerMw(), 2),
+        formatDouble(model.totalActivePowerMw() / 0.8, 1),
+    });
+    table.addNote("Sparsity-handling units (EPRE + CAU) draw "
+                  + formatPercent((265.15 + 16.03) / 1511.43)
+                  + " of DSC power (paper: up to 18.6%).");
+    table.addNote("EXION24 device area: "
+                  + formatDouble(AreaModel::deviceAreaMm2(
+                        24, 64ull * 1024 * 1024), 2)
+                  + " mm^2 (paper: 152.28 mm^2; RTX 6000 Ada die: "
+                    "609 mm^2).");
+    table.print();
+    return 0;
+}

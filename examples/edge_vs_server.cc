@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deployment study: the same workloads on EXION4 (edge) and EXION24
+ * (server) against their GPU counterparts — the Fig. 18/19 story as
+ * an API walkthrough.
+ */
+
+#include <iostream>
+
+#include "exion/accel/perf_model.h"
+#include "exion/baseline/gpu_model.h"
+#include "exion/common/table.h"
+
+using namespace exion;
+
+int
+main()
+{
+    TextTable table({"Model", "Device", "Latency (ms)", "Energy (J)",
+                     "TOPS/W", "vs GPU latency", "vs GPU energy"});
+    table.setTitle("Edge vs server deployment (batch 1, full scale)");
+
+    const struct
+    {
+        ExionConfig device;
+        GpuSpec gpu;
+        Benchmark benchmark;
+    } setups[] = {
+        {exion4(), edgeGpu(), Benchmark::MLD},
+        {exion4(), edgeGpu(), Benchmark::EDGE},
+        {exion24(), serverGpu(), Benchmark::DiT},
+        {exion24(), serverGpu(), Benchmark::StableDiffusion},
+    };
+
+    for (const auto &setup : setups) {
+        const ModelConfig model = makeConfig(setup.benchmark,
+                                             Scale::Full);
+        GpuModel gpu(setup.gpu);
+        const GpuRunResult gpu_run = gpu.run(model, 1);
+
+        ExionPerfModel pm(setup.device, Ablation::All);
+        const RunStats stats = pm.run(model,
+                                      profileFor(setup.benchmark), 1);
+
+        table.addRow({
+            benchmarkName(setup.benchmark),
+            setup.gpu.name,
+            formatDouble(gpu_run.latencySeconds * 1e3, 1),
+            formatDouble(gpu_run.energyJ, 2),
+            formatDouble(gpu_run.topsPerWatt(), 4),
+            "1.0x",
+            "1.0x",
+        });
+        table.addRow({
+            "",
+            setup.device.name + "_All",
+            formatDouble(stats.latencySeconds * 1e3, 1),
+            formatDouble(stats.energy * 1e-12, 3),
+            formatDouble(stats.topsPerWatt(), 2),
+            formatRatio(gpu_run.latencySeconds / stats.latencySeconds,
+                        1),
+            formatRatio(gpu_run.energyJ / (stats.energy * 1e-12), 1),
+        });
+    }
+    table.addNote("Energy ratio equals the TOPS/W gain (same "
+                  "dense-equivalent work).");
+    table.print();
+    return 0;
+}

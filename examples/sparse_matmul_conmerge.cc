@@ -1,0 +1,84 @@
+/**
+ * @file
+ * ConMerge walkthrough on a real output-sparse MMUL.
+ *
+ * Captures a live FFN-Reuse recompute mask from a diffusion run,
+ * pushes it through condensing + sorting + merging, executes the
+ * merged tiles on the functional SDUE, and verifies the result against
+ * the dense reference — the full hardware datapath of Figs. 8-14 in
+ * one program.
+ */
+
+#include <iostream>
+
+#include "exion/accel/functional_device.h"
+#include "exion/common/rng.h"
+#include "exion/model/pipeline.h"
+#include "exion/sparsity/sparse_executor.h"
+#include "exion/tensor/ops.h"
+
+using namespace exion;
+
+int
+main()
+{
+    // 1. Capture a recompute mask from a short diffusion run.
+    ModelConfig cfg = makeTinyConfig(/*tokens=*/48, /*d_model=*/64,
+                                     /*n_blocks=*/1, /*iterations=*/4);
+    cfg.ffnReuse = {3, 0.93};
+    DiffusionPipeline pipeline(cfg);
+    SparseExecutor exec(
+        SparseExecutor::fromConfig(cfg, true, false, false));
+    Bitmask2D mask;
+    exec.observers.onFfnMask = [&](int, const Bitmask2D &m, bool dense) {
+        if (!dense && mask.rows() == 0)
+            mask = m;
+    };
+    pipeline.run(exec, 3);
+    std::cout << "captured FFN recompute mask: " << mask.rows() << " x "
+              << mask.cols() << ", sparsity "
+              << mask.sparsity() * 100.0 << " %\n";
+
+    // 2. Random operands for the sparse MMUL.
+    Rng rng(11);
+    Matrix input(mask.rows(), 64), weight(64, mask.cols());
+    input.fillNormal(rng, 0.0f, 1.0f);
+    weight.fillNormal(rng, 0.0f, 1.0f);
+
+    // 3. ConMerge + SDUE execution.
+    const SparseMatmulResult result =
+        sparseMatmulViaConMerge(input, weight, mask);
+
+    std::cout << "condensing:  " << mask.cols() << " columns -> "
+              << result.conStats.matrixNonEmptyColumns
+              << " non-empty ("
+              << result.conStats.condenseRemainingFraction() * 100.0
+              << " % remain)\n";
+    std::cout << "merging:     "
+              << result.conStats.entriesAfterCondense
+              << " column slices -> " << result.conStats.positionsUsed
+              << " physical columns ("
+              << result.conStats.mergedRemainingFraction() * 100.0
+              << " % of original)\n";
+    std::cout << "tiles:       " << result.conStats.tiles
+              << " merged tiles, " << result.conStats.mergeCycles
+              << " CVG cycles\n";
+    std::cout << "SDUE:        " << result.sdueStats.cycles
+              << " cycles, active DPU fraction "
+              << result.sdueStats.activeFraction() * 100.0 << " %\n";
+
+    // 4. Verify against the dense reference.
+    const Matrix reference = matmul(input, weight);
+    double max_err = 0.0;
+    for (Index r = 0; r < mask.rows(); ++r)
+        for (Index c = 0; c < mask.cols(); ++c)
+            if (mask.get(r, c))
+                max_err = std::max(
+                    max_err, std::abs(static_cast<double>(
+                                 result.output(r, c))
+                                 - reference(r, c)));
+    std::cout << "max |error| at computed positions: " << max_err
+              << (max_err < 1e-3 ? "  (exact)" : "  (MISMATCH!)")
+              << "\n";
+    return max_err < 1e-3 ? 0 : 1;
+}

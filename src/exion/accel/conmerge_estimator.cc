@@ -1,0 +1,140 @@
+#include "exion/accel/conmerge_estimator.h"
+
+#include <cmath>
+
+#include "exion/common/logging.h"
+
+namespace exion
+{
+
+double
+analyticFfnCondenseRemaining(Index rows, const FfnMaskParams &p)
+{
+    const double r = static_cast<double>(rows);
+    const double bg_frac = 1.0 - p.deadColFraction - p.hotColFraction;
+    const double bg_empty = std::pow(1.0 - p.backgroundDensity(), r);
+    const double hot_empty = std::pow(1.0 - p.hotColDensity, r);
+    const double empty = p.deadColFraction + bg_frac * bg_empty
+        + p.hotColFraction * hot_empty;
+    return 1.0 - empty;
+}
+
+double
+analyticScoreCondenseRemaining(Index rows, Index cols,
+                               const ScoreMaskParams &p)
+{
+    // Cold columns are never attended; a warm column c is kept by a
+    // non-one-hot row with probability roughly keep_k * w_c / W
+    // (weighted sampling without replacement, first-order). Average
+    // P(empty) over the Zipf weight spectrum.
+    const Index cold = static_cast<Index>(
+        p.coldColFraction * static_cast<double>(cols));
+    const Index warm = cols - cold;
+    const double keep_k = std::min<double>(
+        static_cast<double>(warm),
+        std::max(1.0,
+                 std::ceil(p.keepRatio * static_cast<double>(cols))));
+    double w_total = 0.0;
+    for (Index c = 0; c < warm; ++c)
+        w_total += std::pow(static_cast<double>(c + 1), -p.zipfAlpha);
+
+    double empty_mean = static_cast<double>(cold);
+    for (Index c = 0; c < warm; ++c) {
+        const double w = std::pow(static_cast<double>(c + 1),
+                                  -p.zipfAlpha);
+        const double q = std::min(1.0, keep_k * w / w_total);
+        const double per_row =
+            p.oneHotFraction + (1.0 - p.oneHotFraction) * (1.0 - q);
+        empty_mean += std::pow(per_row, static_cast<double>(rows));
+    }
+    empty_mean /= static_cast<double>(cols);
+    return 1.0 - empty_mean;
+}
+
+namespace
+{
+
+template <typename MaskGen>
+ConMergeSummary
+estimateCommon(Index cols, Index sample_groups, MaskGen &&gen,
+               const ConMergeConfig &cfg)
+{
+    EXION_ASSERT(sample_groups > 0, "need at least one sample group");
+    ConMergePipeline pipeline(cfg);
+
+    ConMergeSummary summary;
+    Index positions = 0;
+    Index tiles = 0;
+    Cycle cycles = 0;
+    u64 occupied_cells = 0;
+    u64 tile_cells = 0;
+
+    for (Index g = 0; g < sample_groups; ++g) {
+        const Bitmask2D mask = gen(g);
+        const GroupResult group = pipeline.processGroup(mask, 0);
+        positions += group.positionsUsed;
+        tiles += group.tiles.size();
+        cycles += group.mergeCycles;
+        for (const auto &tile : group.tiles) {
+            tile_cells += kLanes * kTileCols;
+            for (Index lane = 0; lane < kLanes; ++lane)
+                for (Index pos = 0; pos < kTileCols; ++pos)
+                    occupied_cells +=
+                        tile.cell(lane, pos).occupied ? 1 : 0;
+        }
+    }
+
+    const double denom =
+        static_cast<double>(cols) * static_cast<double>(sample_groups);
+    summary.mergedRemainingFraction =
+        static_cast<double>(positions) / denom;
+    summary.tilesPerGroup = static_cast<double>(tiles)
+        / static_cast<double>(sample_groups);
+    summary.tileOccupancy = tile_cells
+        ? static_cast<double>(occupied_cells)
+            / static_cast<double>(tile_cells)
+        : 0.0;
+    summary.mergeCyclesPerGroup = static_cast<double>(cycles)
+        / static_cast<double>(sample_groups);
+    return summary;
+}
+
+} // namespace
+
+ConMergeSummary
+estimateFfnConMerge(Index rows, Index cols, const FfnMaskParams &params,
+                    Index sample_groups, u64 seed,
+                    const ConMergeConfig &cfg)
+{
+    Rng rng(seed);
+    ConMergeSummary summary = estimateCommon(
+        cols, sample_groups,
+        [&](Index) {
+            const Index group_rows = std::min<Index>(kLanes, rows);
+            return synthFfnMask(group_rows, cols, params, rng);
+        },
+        cfg);
+    summary.condenseRemainingFraction =
+        analyticFfnCondenseRemaining(rows, params);
+    return summary;
+}
+
+ConMergeSummary
+estimateScoreConMerge(Index rows, Index cols,
+                      const ScoreMaskParams &params, Index sample_groups,
+                      u64 seed, const ConMergeConfig &cfg)
+{
+    Rng rng(seed);
+    ConMergeSummary summary = estimateCommon(
+        cols, sample_groups,
+        [&](Index) {
+            const Index group_rows = std::min<Index>(kLanes, rows);
+            return synthScoreMask(group_rows, cols, params, rng);
+        },
+        cfg);
+    summary.condenseRemainingFraction =
+        analyticScoreCondenseRemaining(rows, cols, params);
+    return summary;
+}
+
+} // namespace exion

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Sampled ConMerge estimation for paper-scale matrices.
+ *
+ * Running ConMerge over every 16-row group of every block of every
+ * iteration at full scale is unnecessary: groups are statistically
+ * identical under the calibrated mask generators. We run the real
+ * pipeline on a handful of sampled groups and use analytic formulas
+ * (exact for the generators) for matrix-level condensing.
+ */
+
+#ifndef EXION_ACCEL_CONMERGE_ESTIMATOR_H_
+#define EXION_ACCEL_CONMERGE_ESTIMATOR_H_
+
+#include "exion/conmerge/pipeline.h"
+#include "exion/sparsity/mask_synth.h"
+
+namespace exion
+{
+
+/** Summary of ConMerge behaviour on one MMUL's output mask. */
+struct ConMergeSummary
+{
+    /** Matrix-level remaining columns after condensing (Fig. 8). */
+    double condenseRemainingFraction = 1.0;
+    /** Physical columns after merging, relative to original (Fig. 9). */
+    double mergedRemainingFraction = 1.0;
+    /** Merged tiles per 16-row group. */
+    double tilesPerGroup = 0.0;
+    /** Occupied-DPU fraction inside merged tiles (energy gating). */
+    double tileOccupancy = 0.0;
+    /** CAU merge cycles per 16-row group (Fig. 12). */
+    double mergeCyclesPerGroup = 0.0;
+};
+
+/** Estimates ConMerge on an FFN recompute mask of rows x cols. */
+ConMergeSummary estimateFfnConMerge(Index rows, Index cols,
+                                    const FfnMaskParams &params,
+                                    Index sample_groups, u64 seed,
+                                    const ConMergeConfig &cfg = {});
+
+/** Estimates ConMerge on an attention-score keep mask (rows = T_q). */
+ConMergeSummary estimateScoreConMerge(Index rows, Index cols,
+                                      const ScoreMaskParams &params,
+                                      Index sample_groups, u64 seed,
+                                      const ConMergeConfig &cfg = {});
+
+/** Analytic matrix-level condensing for the FFN mask generator. */
+double analyticFfnCondenseRemaining(Index rows,
+                                    const FfnMaskParams &params);
+
+/** Analytic matrix-level condensing for the score mask generator. */
+double analyticScoreCondenseRemaining(Index rows, Index cols,
+                                      const ScoreMaskParams &params);
+
+} // namespace exion
+
+#endif // EXION_ACCEL_CONMERGE_ESTIMATOR_H_

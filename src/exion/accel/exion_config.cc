@@ -1,0 +1,78 @@
+#include "exion/accel/exion_config.h"
+
+#include "exion/common/logging.h"
+
+namespace exion
+{
+
+std::string
+ablationName(Ablation a)
+{
+    switch (a) {
+      case Ablation::Base:
+        return "Base";
+      case Ablation::Ep:
+        return "EP";
+      case Ablation::Ffnr:
+        return "FFNR";
+      case Ablation::All:
+        return "All";
+    }
+    EXION_PANIC("unhandled ablation");
+}
+
+bool
+ablationUsesEp(Ablation a)
+{
+    return a == Ablation::Ep || a == Ablation::All;
+}
+
+bool
+ablationUsesFfnReuse(Ablation a)
+{
+    return a == Ablation::Ffnr || a == Ablation::All;
+}
+
+double
+ExionConfig::peakTops() const
+{
+    return numDscs * dsc.peakTops();
+}
+
+ExionConfig
+exion4()
+{
+    ExionConfig cfg;
+    cfg.name = "EXION4";
+    cfg.numDscs = 4;
+    cfg.dramType = DramType::Lpddr5;
+    cfg.dramBandwidthGbs = 51.0;
+    cfg.gscBytes = 4ull * 512 * 1024;
+    return cfg;
+}
+
+ExionConfig
+exion24()
+{
+    ExionConfig cfg;
+    cfg.name = "EXION24";
+    cfg.numDscs = 24;
+    cfg.dramType = DramType::Gddr6;
+    cfg.dramBandwidthGbs = 819.0;
+    cfg.gscBytes = 64ull * 1024 * 1024;
+    return cfg;
+}
+
+ExionConfig
+exion42()
+{
+    ExionConfig cfg;
+    cfg.name = "EXION42";
+    cfg.numDscs = 42;
+    cfg.dramType = DramType::Gddr6;
+    cfg.dramBandwidthGbs = 1935.0;
+    cfg.gscBytes = 112ull * 1024 * 1024;
+    return cfg;
+}
+
+} // namespace exion

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Accelerator instances and ablation points (Table II / Section V-B).
+ *
+ * EXION4 pairs 4 DSCs with LPDDR5 at 51 GB/s to match the edge GPU;
+ * EXION24 pairs 24 DSCs with GDDR6 at 819 GB/s to match the server
+ * GPU; EXION42 with 1935 GB/s matches the A100 for the Fig. 19(b)
+ * comparison against Cambricon-D.
+ */
+
+#ifndef EXION_ACCEL_EXION_CONFIG_H_
+#define EXION_ACCEL_EXION_CONFIG_H_
+
+#include <string>
+
+#include "exion/sim/dram.h"
+#include "exion/sim/params.h"
+
+namespace exion
+{
+
+/** Optimisation ablations evaluated in Fig. 18. */
+enum class Ablation
+{
+    Base, //!< no sparsity optimisations (quantised dense)
+    Ep,   //!< eager prediction only (intra-iteration sparsity)
+    Ffnr, //!< FFN-Reuse only (inter-iteration sparsity)
+    All,  //!< both optimisations
+};
+
+/** Display name, e.g. "EXION4_All". */
+std::string ablationName(Ablation a);
+
+/** True when the ablation enables eager prediction. */
+bool ablationUsesEp(Ablation a);
+
+/** True when the ablation enables FFN-Reuse. */
+bool ablationUsesFfnReuse(Ablation a);
+
+/**
+ * One EXION device instance.
+ */
+struct ExionConfig
+{
+    std::string name;
+    int numDscs = 1;
+    DramType dramType = DramType::Lpddr5;
+    double dramBandwidthGbs = 51.0;
+    Index gscBytes = 512 * 1024; //!< shared scratchpad
+    DscParams dsc;
+
+    /** Peak throughput across all DSCs, in TOPS. */
+    double peakTops() const;
+};
+
+/** Edge instance: 4 DSCs, LPDDR5 51 GB/s. */
+ExionConfig exion4();
+
+/** Server instance: 24 DSCs, GDDR6 819 GB/s, 64 MB GSC. */
+ExionConfig exion24();
+
+/** A100-class instance: 42 DSCs, GDDR6 1935 GB/s. */
+ExionConfig exion42();
+
+} // namespace exion
+
+#endif // EXION_ACCEL_EXION_CONFIG_H_

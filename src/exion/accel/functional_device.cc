@@ -1,0 +1,44 @@
+#include "exion/accel/functional_device.h"
+
+#include "exion/common/bitops.h"
+#include "exion/common/logging.h"
+
+namespace exion
+{
+
+SparseMatmulResult
+sparseMatmulViaConMerge(const Matrix &input, const Matrix &weight,
+                        const Bitmask2D &out_mask,
+                        const ConMergeConfig &cfg)
+{
+    EXION_ASSERT(input.cols() == weight.rows(),
+                 "operand shape mismatch");
+    EXION_ASSERT(out_mask.rows() == input.rows()
+                     && out_mask.cols() == weight.cols(),
+                 "mask shape mismatch");
+
+    SparseMatmulResult result;
+    result.output = Matrix(input.rows(), weight.cols());
+    result.conStats.matrixColumns = out_mask.cols();
+    for (Index c = 0; c < out_mask.cols(); ++c)
+        result.conStats.matrixNonEmptyColumns +=
+            out_mask.columnEmpty(c) ? 0 : 1;
+
+    ConMergePipeline pipeline(cfg);
+    Sdue sdue{DscParams{}};
+
+    const Index groups = ceilDiv(input.rows(), kLanes);
+    for (Index g = 0; g < groups; ++g) {
+        const Index row_base = g * kLanes;
+        GroupResult group = pipeline.processGroup(out_mask, row_base);
+        for (const auto &tile : group.tiles) {
+            tile.checkInvariants();
+            result.sdueStats.add(sdue.executeMergedTile(
+                tile, input, weight, row_base, result.output));
+        }
+        result.conStats.add(group);
+    }
+    return result;
+}
+
+} // namespace exion

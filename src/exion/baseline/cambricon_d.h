@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Cambricon-D analytic comparator (Fig. 19b).
+ *
+ * Cambricon-D (ISCA'24) applies differential acceleration to
+ * convolutional layers of diffusion models. We model its speedup over
+ * the A100 with a two-rate Amdahl split: convolution/ResBlock work
+ * accelerates strongly, transformer work only modestly. The rates are
+ * fit to the published comparison points (7.9x on Stable Diffusion,
+ * 3.3x on DiT) and then applied to our models' measured op fractions —
+ * reproducing the crossover the paper highlights: Cambricon-D wins on
+ * conv-heavy SD, EXION wins on transformer-only DiT.
+ */
+
+#ifndef EXION_BASELINE_CAMBRICON_D_H_
+#define EXION_BASELINE_CAMBRICON_D_H_
+
+#include "exion/model/config.h"
+#include "exion/model/op_counter.h"
+
+namespace exion
+{
+
+/**
+ * Cambricon-D speedup model.
+ */
+class CambriconDModel
+{
+  public:
+    CambriconDModel();
+
+    /** Speedup over the A100 for a model's op mix. */
+    double speedupOverA100(const ModelConfig &model) const;
+
+    /** Acceleration rate on conv/ResBlock work. */
+    double convRate() const { return convRate_; }
+
+    /** Acceleration rate on transformer work. */
+    double transformerRate() const { return transformerRate_; }
+
+  private:
+    double convRate_;
+    double transformerRate_;
+};
+
+} // namespace exion
+
+#endif // EXION_BASELINE_CAMBRICON_D_H_

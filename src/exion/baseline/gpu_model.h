@@ -1,0 +1,91 @@
+/**
+ * @file
+ * GPU baseline performance model (Section V-B).
+ *
+ * Stands in for the paper's measured Jetson Orin Nano / RTX 6000 Ada /
+ * A100 numbers. Per-GEMM time is the roofline maximum of compute time
+ * (with a dimension-dependent efficiency; small matrices under-utilise
+ * the SM array) and memory time, plus a per-kernel launch overhead.
+ * Each denoising iteration additionally pays a framework overhead —
+ * the dominant term for small models like MLD, which is what produces
+ * the paper's three-orders-of-magnitude gaps. Average power blends
+ * idle and load power by compute utilisation. All constants are
+ * documented in EXPERIMENTS.md.
+ */
+
+#ifndef EXION_BASELINE_GPU_MODEL_H_
+#define EXION_BASELINE_GPU_MODEL_H_
+
+#include <string>
+
+#include "exion/model/config.h"
+
+namespace exion
+{
+
+/** GPU device description. */
+struct GpuSpec
+{
+    std::string name;
+    double peakTops = 0.0;       //!< dense peak (FP16/FP32 per paper)
+    double bandwidthGbs = 0.0;
+    double boardPowerW = 0.0;    //!< full-load board power
+    double idlePowerW = 0.0;     //!< active-idle power
+    double launchOverheadUs = 0.0;  //!< per-kernel launch cost
+    double iterOverheadUs = 0.0; //!< per-iteration framework cost
+    double m0 = 128.0;           //!< GEMM efficiency knee (rows)
+    double n0 = 128.0;           //!< GEMM efficiency knee (cols)
+    double k0 = 512.0;           //!< GEMM efficiency knee (depth)
+    int bytesPerElement = 2;     //!< FP16 operands
+};
+
+/** NVIDIA Jetson Orin Nano (edge, Table II). */
+GpuSpec edgeGpu();
+
+/** NVIDIA RTX 6000 Ada (server, Table II). */
+GpuSpec serverGpu();
+
+/** NVIDIA A100 (Fig. 19b comparison). */
+GpuSpec a100Gpu();
+
+/** GPU run outcome. */
+struct GpuRunResult
+{
+    double latencySeconds = 0.0;
+    double energyJ = 0.0;
+    OpCount denseOps = 0;
+
+    /** Dense throughput in TOPS. */
+    double effectiveTops() const;
+
+    /** Energy efficiency in TOPS/W. */
+    double topsPerWatt() const;
+};
+
+/**
+ * GPU execution model.
+ */
+class GpuModel
+{
+  public:
+    explicit GpuModel(const GpuSpec &spec);
+
+    /** Time for one (m x k) * (k x n) GEMM, seconds (no launch). */
+    double gemmSeconds(Index m, Index k, Index n) const;
+
+    /** Dimension-utilisation efficiency of a GEMM. */
+    double gemmEfficiency(Index m, Index k, Index n) const;
+
+    /** Models a full diffusion run of the benchmark. */
+    GpuRunResult run(const ModelConfig &model, int batch = 1) const;
+
+    /** Device description. */
+    const GpuSpec &spec() const { return spec_; }
+
+  private:
+    GpuSpec spec_;
+};
+
+} // namespace exion
+
+#endif // EXION_BASELINE_GPU_MODEL_H_

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic() is for internal invariant violations (simulator bugs);
+ * fatal() is for user-caused conditions (bad configuration). Both
+ * terminate. warn()/inform() report without terminating.
+ */
+
+#ifndef EXION_COMMON_LOGGING_H_
+#define EXION_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace exion
+{
+
+namespace detail
+{
+
+/** Formats a printf-free message from stream-able parts. */
+template <typename... Args>
+std::string
+concatMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort: something happened that should never happen (a bug here). */
+#define EXION_PANIC(...)                                                   \
+    ::exion::detail::panicImpl(                                            \
+        __FILE__, __LINE__, ::exion::detail::concatMessage(__VA_ARGS__))
+
+/** Exit(1): the simulation cannot continue due to user input/config. */
+#define EXION_FATAL(...)                                                   \
+    ::exion::detail::fatalImpl(                                            \
+        __FILE__, __LINE__, ::exion::detail::concatMessage(__VA_ARGS__))
+
+/** Non-fatal warning about questionable but survivable conditions. */
+#define EXION_WARN(...)                                                    \
+    ::exion::detail::warnImpl(::exion::detail::concatMessage(__VA_ARGS__))
+
+/** Informational status message. */
+#define EXION_INFORM(...)                                                  \
+    ::exion::detail::informImpl(                                           \
+        ::exion::detail::concatMessage(__VA_ARGS__))
+
+/** Assert-with-message for simulator invariants; active in all builds. */
+#define EXION_ASSERT(cond, ...)                                            \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            EXION_PANIC("assertion failed: " #cond " ", __VA_ARGS__);      \
+        }                                                                  \
+    } while (false)
+
+} // namespace exion
+
+#endif // EXION_COMMON_LOGGING_H_

@@ -1,0 +1,112 @@
+#include "exion/common/rng.h"
+
+#include <cmath>
+
+#include "exion/common/logging.h"
+
+namespace exion
+{
+
+namespace
+{
+
+/** SplitMix64 step used for seeding only. */
+u64
+splitMix64(u64 &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    u64 z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Rng::Rng(u64 seed)
+{
+    u64 s = seed;
+    for (auto &word : state_)
+        word = splitMix64(s);
+}
+
+u64
+Rng::rotl(u64 x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+u64
+Rng::next()
+{
+    const u64 result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const u64 t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+u64
+Rng::uniformInt(u64 n)
+{
+    EXION_ASSERT(n > 0, "uniformInt needs a positive bound");
+    // Rejection sampling removes modulo bias.
+    const u64 threshold = (~n + 1) % n;
+    u64 draw;
+    do {
+        draw = next();
+    } while (draw < threshold);
+    return draw % n;
+}
+
+double
+Rng::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * M_PI * u2;
+    cachedNormal_ = radius * std::sin(angle);
+    hasCachedNormal_ = true;
+    return radius * std::cos(angle);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+} // namespace exion

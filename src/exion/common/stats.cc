@@ -1,0 +1,66 @@
+#include "exion/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exion/common/logging.h"
+
+namespace exion
+{
+
+void
+RunningStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double x : xs)
+        total += x;
+    return total / static_cast<double>(xs.size());
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    EXION_ASSERT(!xs.empty(), "percentile of empty vector");
+    EXION_ASSERT(p >= 0.0 && p <= 100.0, "percentile ", p);
+    std::sort(xs.begin(), xs.end());
+    const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+} // namespace exion

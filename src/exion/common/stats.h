@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Lightweight summary statistics used across experiments.
+ */
+
+#ifndef EXION_COMMON_STATS_H_
+#define EXION_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace exion
+{
+
+/**
+ * Streaming accumulator (Welford) for mean/variance/min/max.
+ */
+class RunningStats
+{
+  public:
+    /** Adds one sample. */
+    void add(double x);
+
+    /** Number of samples seen. */
+    std::size_t count() const { return count_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return mean_; }
+
+    /** Unbiased sample variance (0 when < 2 samples). */
+    double variance() const;
+
+    /** Standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample (0 when empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Largest sample (0 when empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** Mean of a vector (0 when empty). */
+double mean(const std::vector<double> &xs);
+
+/** p-th percentile (p in [0,100]) via linear interpolation. */
+double percentile(std::vector<double> xs, double p);
+
+} // namespace exion
+
+#endif // EXION_COMMON_STATS_H_

@@ -1,0 +1,110 @@
+#include "exion/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "exion/common/logging.h"
+
+namespace exion
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    EXION_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    EXION_ASSERT(cells.size() == headers_.size(),
+                 "row width ", cells.size(), " vs headers ",
+                 headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addNote(std::string note)
+{
+    notes_.push_back(std::move(note));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream oss;
+    if (!title_.empty())
+        oss << "== " << title_ << " ==\n";
+
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            oss << cells[c];
+            if (c + 1 < cells.size()) {
+                oss << std::string(widths[c] - cells[c].size() + 2, ' ');
+            }
+        }
+        oss << '\n';
+    };
+
+    emit_row(headers_);
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    oss << std::string(rule, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+    for (const auto &note : notes_)
+        oss << "  * " << note << '\n';
+    return oss.str();
+}
+
+void
+TextTable::print() const
+{
+    std::cout << render() << std::flush;
+}
+
+std::string
+formatDouble(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+formatSci(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", decimals, v);
+    return buf;
+}
+
+std::string
+formatRatio(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", decimals, v);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals,
+                  fraction * 100.0);
+    return buf;
+}
+
+} // namespace exion

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * ASCII table rendering for the benchmark harnesses.
+ *
+ * Every bench binary regenerates one paper table or figure; this
+ * printer keeps their output uniform and diffable.
+ */
+
+#ifndef EXION_COMMON_TABLE_H_
+#define EXION_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace exion
+{
+
+/**
+ * Column-aligned text table with a title and optional footnotes.
+ */
+class TextTable
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Sets the title printed above the table. */
+    void setTitle(std::string title) { title_ = std::move(title); }
+
+    /** Appends a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Appends a footnote line printed below the table. */
+    void addNote(std::string note);
+
+    /** Renders the table to a string. */
+    std::string render() const;
+
+    /** Renders and writes to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> notes_;
+};
+
+/** Formats a double with the given number of decimals. */
+std::string formatDouble(double v, int decimals = 2);
+
+/** Formats a value in engineering notation, e.g. 9.1e+07. */
+std::string formatSci(double v, int decimals = 1);
+
+/** Formats a ratio as e.g. "379.3x". */
+std::string formatRatio(double v, int decimals = 1);
+
+/** Formats a fraction as a percentage, e.g. 0.138 -> "13.8%". */
+std::string formatPercent(double fraction, int decimals = 1);
+
+} // namespace exion
+
+#endif // EXION_COMMON_TABLE_H_

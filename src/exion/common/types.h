@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fundamental type aliases shared across all EXION subsystems.
+ */
+
+#ifndef EXION_COMMON_TYPES_H_
+#define EXION_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace exion
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Simulated clock cycles. 64-bit: long diffusion runs overflow 32. */
+using Cycle = std::uint64_t;
+
+/** Operation (MAC counted as 2 ops) counters. */
+using OpCount = std::uint64_t;
+
+/** Energy in picojoules. Double: we mix pJ/bit and mJ totals. */
+using EnergyPj = double;
+
+/** Row/column index inside a matrix. */
+using Index = std::size_t;
+
+} // namespace exion
+
+#endif // EXION_COMMON_TYPES_H_

@@ -1,0 +1,29 @@
+#include "exion/conmerge/column_entry.h"
+
+#include <bit>
+
+namespace exion
+{
+
+int
+ColumnEntry::popcount() const
+{
+    return std::popcount(static_cast<unsigned>(bits));
+}
+
+std::vector<ColumnEntry>
+extractEntries(const Bitmask2D &mask, Index row0, Index *total_columns)
+{
+    std::vector<ColumnEntry> entries;
+    entries.reserve(mask.cols());
+    for (Index c = 0; c < mask.cols(); ++c) {
+        const u16 bits = mask.columnSlice16(c, row0);
+        if (bits != 0)
+            entries.push_back(ColumnEntry{c, bits});
+    }
+    if (total_columns)
+        *total_columns = mask.cols();
+    return entries;
+}
+
+} // namespace exion

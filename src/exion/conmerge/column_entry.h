@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The 26-bit SortBuffer entry of the CAU (Fig. 13).
+ *
+ * While the SDUE computes a dense iteration, the CAU receives — per
+ * 16-row DPU-lane group — each output column's original index (10 bits
+ * in hardware) plus a 16-bit bitmask of which lanes are non-sparse.
+ * All of ConMerge operates on these entries.
+ */
+
+#ifndef EXION_CONMERGE_COLUMN_ENTRY_H_
+#define EXION_CONMERGE_COLUMN_ENTRY_H_
+
+#include <vector>
+
+#include "exion/common/types.h"
+#include "exion/tensor/bitmask.h"
+
+namespace exion
+{
+
+/** Lanes per DPU-lane group (the SDUE row dimension). */
+inline constexpr Index kLanes = 16;
+
+/** Physical columns per tile (the SDUE column dimension). */
+inline constexpr Index kTileCols = 16;
+
+/** Maximum origins per physical column (triple-buffered WMEM). */
+inline constexpr Index kMaxOrigins = 3;
+
+/**
+ * One output column's occupancy within a 16-lane row group.
+ */
+struct ColumnEntry
+{
+    Index originCol = 0; //!< column index in the original weight matrix
+    u16 bits = 0;        //!< lane bitmask, bit i = lane i non-sparse
+
+    /** Number of non-sparse lanes. */
+    int popcount() const;
+
+    /** True when the whole slice is sparse (condensed away). */
+    bool empty() const { return bits == 0; }
+
+    bool operator==(const ColumnEntry &) const = default;
+};
+
+/**
+ * Extracts the non-empty column entries of one 16-row group of a mask.
+ *
+ * Dropping the all-zero slices here is the per-tile condensing the
+ * SortBuffer performs ("when data in bitmasks are all zero, those
+ * inputs are not stored").
+ *
+ * @param mask  output-sparsity mask (1 = non-sparse)
+ * @param row0  first row of the group
+ * @param[out] total_columns number of columns examined
+ */
+std::vector<ColumnEntry> extractEntries(const Bitmask2D &mask,
+                                        Index row0,
+                                        Index *total_columns = nullptr);
+
+} // namespace exion
+
+#endif // EXION_CONMERGE_COLUMN_ENTRY_H_

@@ -1,0 +1,170 @@
+#include "exion/conmerge/cvg.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <limits>
+
+#include "exion/common/logging.h"
+
+namespace exion
+{
+
+namespace
+{
+
+/** Working state of one candidate position during a merge pass. */
+struct PosWork
+{
+    Index pos = 0;
+    ColumnEntry entry;
+    u16 directLanes = 0;   //!< bits placed straight at their own lane
+    u16 conflictLanes = 0; //!< bits colliding with occupied cells
+    bool resolved = false;
+    bool rejected = false;
+    /** Planned displaced placements: (source lane, dest lane). */
+    std::vector<std::pair<Index, Index>> moves;
+};
+
+} // namespace
+
+MergePassResult
+Cvg::mergeBlock(MergedTile &tile,
+                const std::vector<std::optional<ColumnEntry>> &candidates,
+                Index slot) const
+{
+    EXION_ASSERT(slot >= 1 && slot < kMaxOrigins, "merge slot ", slot);
+    EXION_ASSERT(candidates.size() <= kTileCols,
+                 "candidate block too wide");
+
+    MergePassResult result;
+    result.cycles = 2; // SortBuffer read + bitmask map / DOF formation
+
+    // Shared CV working copy; cells never interact across positions.
+    std::array<int, kLanes> cv_state;
+    for (Index lane = 0; lane < kLanes; ++lane)
+        cv_state[lane] = tile.cv(lane);
+
+    // Classify each candidate's lanes into direct and conflicting.
+    std::vector<PosWork> work;
+    for (Index pos = 0; pos < candidates.size(); ++pos) {
+        if (!candidates[pos].has_value())
+            continue;
+        EXION_ASSERT(tile.originCount(pos) > 0,
+                     "merging into an unused position ", pos);
+        PosWork w;
+        w.pos = pos;
+        w.entry = *candidates[pos];
+        EXION_ASSERT(!w.entry.empty(), "empty candidate entry");
+        for (Index lane = 0; lane < kLanes; ++lane) {
+            if (!(w.entry.bits & (1u << lane)))
+                continue;
+            if (tile.isFree(lane, pos))
+                w.directLanes |= static_cast<u16>(1u << lane);
+            else
+                w.conflictLanes |= static_cast<u16>(1u << lane);
+        }
+        work.push_back(std::move(w));
+    }
+
+    // Resolve conflicted positions, most constrained (smallest DOF)
+    // first; each position's conflicts resolve in parallel (one cycle).
+    auto dof_of = [&](const PosWork &w) {
+        int empties = 0;
+        for (Index lane = 0; lane < kLanes; ++lane) {
+            const bool cell_free = tile.isFree(lane, w.pos)
+                && !(w.directLanes & (1u << lane));
+            if (cell_free && cv_state[lane] == kCvUnset)
+                ++empties;
+        }
+        int conflicts = std::popcount(
+            static_cast<unsigned>(w.conflictLanes));
+        return empties - conflicts;
+    };
+
+    bool pending = true;
+    while (pending) {
+        pending = false;
+        int best_dof = std::numeric_limits<int>::max();
+        PosWork *best = nullptr;
+        for (auto &w : work) {
+            if (w.resolved || w.rejected || w.conflictLanes == 0)
+                continue;
+            const int dof = dof_of(w);
+            if (dof < best_dof) {
+                best_dof = dof;
+                best = &w;
+            }
+        }
+        if (!best)
+            break;
+        pending = true;
+        ++result.resolutionSteps;
+        ++result.cycles;
+
+        // Tentative parallel resolution; atomic per position.
+        std::array<int, kLanes> cv_tentative = cv_state;
+        u16 used_dests = best->directLanes;
+        bool feasible = true;
+        std::vector<std::pair<Index, Index>> moves;
+        for (Index src = 0; src < kLanes && feasible; ++src) {
+            if (!(best->conflictLanes & (1u << src)))
+                continue;
+            // Prefer a lane whose CV already routes this source row.
+            Index dest = kLanes;
+            for (Index lane = 0; lane < kLanes; ++lane) {
+                const bool cell_free = tile.isFree(lane, best->pos)
+                    && !(used_dests & (1u << lane));
+                if (cell_free
+                    && cv_tentative[lane] == static_cast<int>(src)) {
+                    dest = lane;
+                    break;
+                }
+            }
+            if (dest == kLanes) {
+                for (Index lane = 0; lane < kLanes; ++lane) {
+                    const bool cell_free = tile.isFree(lane, best->pos)
+                        && !(used_dests & (1u << lane));
+                    if (cell_free && cv_tentative[lane] == kCvUnset) {
+                        dest = lane;
+                        break;
+                    }
+                }
+            }
+            if (dest == kLanes) {
+                feasible = false;
+                break;
+            }
+            cv_tentative[dest] = static_cast<int>(src);
+            used_dests |= static_cast<u16>(1u << dest);
+            moves.emplace_back(src, dest);
+        }
+
+        if (feasible) {
+            cv_state = cv_tentative;
+            best->moves = std::move(moves);
+            best->resolved = true;
+        } else {
+            best->rejected = true;
+        }
+    }
+
+    // Commit accepted candidates to the tile.
+    ++result.cycles; // CVMEM writeback
+    for (auto &w : work) {
+        if (w.rejected) {
+            result.rejected.push_back(w.entry);
+            continue;
+        }
+        tile.setOrigin(w.pos, slot, w.entry);
+        for (Index lane = 0; lane < kLanes; ++lane)
+            if (w.directLanes & (1u << lane))
+                tile.place(lane, w.pos, lane, w.entry.originCol, slot);
+        for (const auto &[src, dest] : w.moves)
+            tile.place(dest, w.pos, src, w.entry.originCol, slot);
+        ++result.accepted;
+    }
+    return result;
+}
+
+} // namespace exion

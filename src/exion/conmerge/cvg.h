@@ -1,0 +1,68 @@
+/**
+ * @file
+ * ConMerge Vector Generator (Fig. 14).
+ *
+ * Merges candidate column entries into an existing tile. Per merge
+ * pass, the CVG builds the 2-bit bitmask map (00 empty / 10 occupied /
+ * 01 incoming / 11 conflict), computes each position's degree of
+ * freedom (usable empty cells minus conflicts), and repeatedly resolves
+ * the most constrained position by moving its conflicting elements to
+ * CV-compatible empty lanes in parallel. Positions whose conflicts
+ * cannot be resolved reject their candidate; everything else commits.
+ *
+ * Cycle accounting mirrors the hardware flow: reading the SortBuffer,
+ * map/DOF formation, one cycle per parallel resolution step, and a
+ * writeback cycle, so the Fig. 12 sorted-vs-random comparison falls
+ * out of the same code path.
+ */
+
+#ifndef EXION_CONMERGE_CVG_H_
+#define EXION_CONMERGE_CVG_H_
+
+#include <optional>
+#include <vector>
+
+#include "exion/conmerge/merged_tile.h"
+
+namespace exion
+{
+
+/** Outcome of one block-merge pass. */
+struct MergePassResult
+{
+    /** Candidates accepted per position (empty optional = none). */
+    Index accepted = 0;
+    /** Candidates rejected (returned to the SortBuffer). */
+    std::vector<ColumnEntry> rejected;
+    /** Cycles consumed by the pass. */
+    Cycle cycles = 0;
+    /** Parallel conflict-resolution steps taken. */
+    Index resolutionSteps = 0;
+};
+
+/**
+ * ConMerge vector generator.
+ */
+class Cvg
+{
+  public:
+    /**
+     * Attempts to merge one candidate per position into the tile.
+     *
+     * @param tile       target tile (mutated on success)
+     * @param candidates one entry per position, index-aligned to tile
+     *                   positions; use std::nullopt for no candidate
+     * @param slot       origin slot the candidates occupy (1 or 2)
+     */
+    MergePassResult mergeBlock(
+        MergedTile &tile,
+        const std::vector<std::optional<ColumnEntry>> &candidates,
+        Index slot) const;
+
+  private:
+    struct PositionState;
+};
+
+} // namespace exion
+
+#endif // EXION_CONMERGE_CVG_H_

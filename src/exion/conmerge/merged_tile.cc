@@ -1,0 +1,118 @@
+#include "exion/conmerge/merged_tile.h"
+
+#include "exion/common/logging.h"
+
+namespace exion
+{
+
+MergedTile::MergedTile()
+{
+    cv_.fill(kCvUnset);
+}
+
+void
+MergedTile::initBase(const std::vector<ColumnEntry> &entries)
+{
+    EXION_ASSERT(entries.size() <= kTileCols, "base block too wide: ",
+                 entries.size());
+    EXION_ASSERT(positionsUsed_ == 0, "initBase on a used tile");
+    for (Index pos = 0; pos < entries.size(); ++pos) {
+        const ColumnEntry &entry = entries[pos];
+        setOrigin(pos, 0, entry);
+        for (Index lane = 0; lane < kLanes; ++lane) {
+            if (entry.bits & (1u << lane))
+                place(lane, pos, lane, entry.originCol, 0);
+        }
+    }
+    positionsUsed_ = entries.size();
+}
+
+Index
+MergedTile::originCount(Index pos) const
+{
+    Index count = 0;
+    for (const auto &origin : origins_[pos])
+        count += origin.has_value() ? 1 : 0;
+    return count;
+}
+
+void
+MergedTile::place(Index lane, Index pos, Index src_lane,
+                  Index origin_col, Index slot)
+{
+    EXION_ASSERT(lane < kLanes && pos < kTileCols && slot < kMaxOrigins,
+                 "place out of range");
+    TileCell &c = cells_[lane][pos];
+    EXION_ASSERT(!c.occupied, "cell (", lane, ",", pos, ") occupied");
+    if (src_lane != lane) {
+        EXION_ASSERT(cvCompatible(lane, src_lane),
+                     "CV slot of lane ", lane, " holds ", cv_[lane],
+                     ", cannot route ", src_lane);
+        cv_[lane] = static_cast<int>(src_lane);
+    }
+    c.occupied = true;
+    c.wSlot = static_cast<u8>(slot);
+    c.srcLane = static_cast<u8>(src_lane);
+    c.originCol = origin_col;
+}
+
+void
+MergedTile::setOrigin(Index pos, Index slot, const ColumnEntry &entry)
+{
+    EXION_ASSERT(pos < kTileCols && slot < kMaxOrigins,
+                 "setOrigin out of range");
+    EXION_ASSERT(!origins_[pos][slot].has_value(),
+                 "origin slot (", pos, ",", slot, ") already used");
+    origins_[pos][slot] = entry;
+}
+
+void
+MergedTile::checkInvariants() const
+{
+    for (Index lane = 0; lane < kLanes; ++lane) {
+        for (Index pos = 0; pos < kTileCols; ++pos) {
+            const TileCell &c = cells_[lane][pos];
+            if (!c.occupied)
+                continue;
+            // The origin this cell claims must be registered.
+            const auto &origin = origins_[pos][c.wSlot];
+            EXION_ASSERT(origin.has_value(),
+                         "cell references unregistered origin");
+            EXION_ASSERT(origin->originCol == c.originCol,
+                         "cell/origin column mismatch");
+            // The source row must carry this origin's bit.
+            EXION_ASSERT(origin->bits & (1u << c.srcLane),
+                         "cell sources a sparse element");
+            // Displaced cells must be routable through the lane CV.
+            if (c.srcLane != lane) {
+                EXION_ASSERT(cv_[lane]
+                                 == static_cast<int>(c.srcLane),
+                             "conflict line without CV entry");
+            }
+        }
+    }
+    // Each origin element must appear exactly once in its position.
+    for (Index pos = 0; pos < kTileCols; ++pos) {
+        for (Index slot = 0; slot < kMaxOrigins; ++slot) {
+            const auto &origin = origins_[pos][slot];
+            if (!origin.has_value())
+                continue;
+            for (Index src = 0; src < kLanes; ++src) {
+                if (!(origin->bits & (1u << src)))
+                    continue;
+                Index found = 0;
+                for (Index lane = 0; lane < kLanes; ++lane) {
+                    const TileCell &c = cells_[lane][pos];
+                    if (c.occupied && c.wSlot == slot
+                        && c.srcLane == src)
+                        ++found;
+                }
+                EXION_ASSERT(found == 1, "origin element at pos ", pos,
+                             " src ", src, " appears ", found,
+                             " times");
+            }
+        }
+    }
+}
+
+} // namespace exion

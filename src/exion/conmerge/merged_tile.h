@@ -1,0 +1,129 @@
+/**
+ * @file
+ * A merged output tile and its control state (Fig. 9 / 11).
+ *
+ * One tile covers 16 lanes x 16 physical columns of the SDUE. Each
+ * physical column serves up to three origin weight columns (the
+ * triple-buffered WMEMs selected by w_sw). An element whose source row
+ * conflicts with an already-occupied cell is displaced to another lane
+ * of the same physical column; the lane's conflict vector (CV) then
+ * routes that source row's input over the conflict line. A lane has a
+ * single CV slot, shared by all 16 positions — the central constraint
+ * the CVG resolves around.
+ */
+
+#ifndef EXION_CONMERGE_MERGED_TILE_H_
+#define EXION_CONMERGE_MERGED_TILE_H_
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "exion/conmerge/column_entry.h"
+
+namespace exion
+{
+
+/** CV value meaning "no conflict source assigned". */
+inline constexpr int kCvUnset = -1;
+
+/**
+ * Per-DPU control-map cell: where this DPU's operands come from.
+ */
+struct TileCell
+{
+    bool occupied = false;
+    u8 wSlot = 0;       //!< w_sw selection: origin slot 0..2
+    u8 srcLane = 0;     //!< source input row within the lane group
+    Index originCol = 0; //!< original weight-matrix column
+
+    /** i_sw selection: true = conflict line (srcLane != own lane). */
+    bool
+    usesConflictLine(Index lane) const
+    {
+        return occupied && srcLane != lane;
+    }
+};
+
+/**
+ * Mutable merged-tile state operated on by the CVG.
+ */
+class MergedTile
+{
+  public:
+    MergedTile();
+
+    /**
+     * Installs base entries at consecutive positions, origin slot 0.
+     * Elements occupy their own lanes; no conflicts can arise.
+     *
+     * @pre entries.size() <= kTileCols
+     */
+    void initBase(const std::vector<ColumnEntry> &entries);
+
+    /** Number of positions holding at least one origin. */
+    Index positionsUsed() const { return positionsUsed_; }
+
+    /** Cell state at (lane, position). */
+    const TileCell &
+    cell(Index lane, Index pos) const
+    {
+        return cells_[lane][pos];
+    }
+
+    /** Conflict vector of a lane (kCvUnset or a source lane index). */
+    int cv(Index lane) const { return cv_[lane]; }
+
+    /** Origin entry in (position, slot), when present. */
+    const std::optional<ColumnEntry> &
+    origin(Index pos, Index slot) const
+    {
+        return origins_[pos][slot];
+    }
+
+    /** Number of origins merged into a position. */
+    Index originCount(Index pos) const;
+
+    /** True when the cell is free. */
+    bool
+    isFree(Index lane, Index pos) const
+    {
+        return !cells_[lane][pos].occupied;
+    }
+
+    /**
+     * True when lane's CV can route source row src_lane:
+     * the slot is unset or already equals src_lane.
+     */
+    bool
+    cvCompatible(Index lane, Index src_lane) const
+    {
+        return cv_[lane] == kCvUnset
+            || cv_[lane] == static_cast<int>(src_lane);
+    }
+
+    /** Occupies a cell; updates the CV when displaced. */
+    void place(Index lane, Index pos, Index src_lane, Index origin_col,
+               Index slot);
+
+    /** Registers a merged origin entry at (position, slot). */
+    void setOrigin(Index pos, Index slot, const ColumnEntry &entry);
+
+    /**
+     * Validates all hardware constraints; panics on violation.
+     * Used by tests and debug builds after CVG commits.
+     */
+    void checkInvariants() const;
+
+  private:
+    std::array<std::array<TileCell, kTileCols>, kLanes> cells_;
+    std::array<int, kLanes> cv_;
+    std::array<std::array<std::optional<ColumnEntry>, kMaxOrigins>,
+               kTileCols>
+        origins_;
+    Index positionsUsed_ = 0;
+};
+
+} // namespace exion
+
+#endif // EXION_CONMERGE_MERGED_TILE_H_

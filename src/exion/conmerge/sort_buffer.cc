@@ -1,0 +1,101 @@
+#include "exion/conmerge/sort_buffer.h"
+
+#include "exion/common/logging.h"
+
+namespace exion
+{
+
+SparsityClass
+classifySparsity(const ColumnEntry &entry)
+{
+    const int ones = entry.popcount();
+    if (ones >= 13)
+        return SparsityClass::HighDense;
+    if (ones >= 8)
+        return SparsityClass::Dense;
+    if (ones >= 3)
+        return SparsityClass::Sparse;
+    return SparsityClass::HighSparse;
+}
+
+SortBuffer::SortBuffer(Index class_capacity) : capacity_(class_capacity)
+{
+    EXION_ASSERT(capacity_ > 0, "sort buffer capacity");
+}
+
+bool
+SortBuffer::push(const ColumnEntry &entry)
+{
+    if (entry.empty()) {
+        ++condensed_;
+        return false;
+    }
+    // Walk from the entry's class towards sparser classes, then the
+    // extra class, until a slot is free (Fig. 13 overflow behaviour).
+    int cls = static_cast<int>(classifySparsity(entry));
+    while (cls < kNumClasses
+           && classes_[cls].size() >= capacity_)
+        ++cls;
+    EXION_ASSERT(cls < kNumClasses,
+                 "sort buffer exhausted (capacity ", capacity_, ")");
+    classes_[cls].push_back(entry);
+    return true;
+}
+
+Index
+SortBuffer::pushAll(const std::vector<ColumnEntry> &entries)
+{
+    Index stored = 0;
+    for (const auto &e : entries)
+        stored += push(e) ? 1 : 0;
+    return stored;
+}
+
+Index
+SortBuffer::size() const
+{
+    Index total = 0;
+    for (const auto &cls : classes_)
+        total += cls.size();
+    return total;
+}
+
+Index
+SortBuffer::classSize(SparsityClass cls) const
+{
+    return classes_[static_cast<int>(cls)].size();
+}
+
+ColumnEntry
+SortBuffer::popDensest()
+{
+    EXION_ASSERT(!isEmpty(), "popDensest on empty sort buffer");
+    for (auto &cls : classes_) {
+        if (!cls.empty()) {
+            ColumnEntry entry = cls.front();
+            cls.pop_front();
+            return entry;
+        }
+    }
+    EXION_PANIC("unreachable");
+}
+
+ColumnEntry
+SortBuffer::popSparsest()
+{
+    EXION_ASSERT(!isEmpty(), "popSparsest on empty sort buffer");
+    // Extra class holds overflow of mixed density; prefer the real
+    // sparse classes first, from sparsest to densest, then extra.
+    static constexpr int order[kNumClasses] = {3, 2, 1, 0, 4};
+    for (int idx : order) {
+        auto &cls = classes_[idx];
+        if (!cls.empty()) {
+            ColumnEntry entry = cls.front();
+            cls.pop_front();
+            return entry;
+        }
+    }
+    EXION_PANIC("unreachable");
+}
+
+} // namespace exion

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Sparsity-level classifier and SortBuffer of the CAU (Fig. 13).
+ *
+ * Entries are coarsely sorted into five classes by the number of
+ * non-zero lane bits. A full class overflows to the next sparser
+ * class, and ultimately to the extra class — matching the hardware's
+ * bounded per-class banks. Reading alternates dense-most and
+ * sparse-most entries so the CVG merges a dense row with a sparse row.
+ */
+
+#ifndef EXION_CONMERGE_SORT_BUFFER_H_
+#define EXION_CONMERGE_SORT_BUFFER_H_
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "exion/conmerge/column_entry.h"
+
+namespace exion
+{
+
+/** Sparsity classes ordered dense-most first. */
+enum class SparsityClass
+{
+    HighDense = 0,
+    Dense = 1,
+    Sparse = 2,
+    HighSparse = 3,
+    Extra = 4,
+};
+
+/** Number of ordinary classes plus the extra class. */
+inline constexpr int kNumClasses = 5;
+
+/** Classifies an entry by its non-zero lane count. */
+SparsityClass classifySparsity(const ColumnEntry &entry);
+
+/**
+ * Bounded multi-class buffer with overflow-to-sparser semantics.
+ */
+class SortBuffer
+{
+  public:
+    /** @param class_capacity per-class entry bound (hardware banks) */
+    explicit SortBuffer(Index class_capacity = 1024);
+
+    /**
+     * Inserts an entry; empty (all-zero) entries are condensed away.
+     *
+     * @return false when the entry was condensed (not stored)
+     */
+    bool push(const ColumnEntry &entry);
+
+    /** Bulk insert. @return number of entries stored. */
+    Index pushAll(const std::vector<ColumnEntry> &entries);
+
+    /** Total stored entries. */
+    Index size() const;
+
+    /** True when no entries remain. */
+    bool isEmpty() const { return size() == 0; }
+
+    /** Entries condensed (dropped as all-zero) so far. */
+    Index condensedCount() const { return condensed_; }
+
+    /**
+     * Pops the densest stored entry.
+     * @pre !isEmpty()
+     */
+    ColumnEntry popDensest();
+
+    /**
+     * Pops the sparsest stored entry.
+     * @pre !isEmpty()
+     */
+    ColumnEntry popSparsest();
+
+    /** Entries currently in a class (diagnostics / tests). */
+    Index classSize(SparsityClass cls) const;
+
+  private:
+    Index capacity_;
+    Index condensed_ = 0;
+    std::array<std::deque<ColumnEntry>, kNumClasses> classes_;
+};
+
+} // namespace exion
+
+#endif // EXION_CONMERGE_SORT_BUFFER_H_

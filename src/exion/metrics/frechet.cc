@@ -1,0 +1,79 @@
+#include "exion/metrics/frechet.h"
+
+#include <cmath>
+
+#include "exion/common/rng.h"
+
+namespace exion
+{
+
+FrechetProxy::FrechetProxy(Index input_dim, Index feature_dim, u64 seed)
+    : inputDim_(input_dim), featureDim_(feature_dim),
+      projection_(feature_dim, input_dim)
+{
+    Rng rng(seed);
+    const float norm = 1.0f / std::sqrt(static_cast<float>(input_dim));
+    projection_.fillNormal(rng, 0.0f, norm);
+}
+
+std::vector<double>
+FrechetProxy::project(const Matrix &sample) const
+{
+    EXION_ASSERT(sample.size() == inputDim_,
+                 "sample size ", sample.size(), " vs ", inputDim_);
+    std::vector<double> out(featureDim_, 0.0);
+    for (Index f = 0; f < featureDim_; ++f) {
+        const float *prow = projection_.rowPtr(f);
+        double acc = 0.0;
+        for (Index i = 0; i < inputDim_; ++i)
+            acc += static_cast<double>(prow[i]) * sample.data()[i];
+        out[f] = acc;
+    }
+    return out;
+}
+
+double
+FrechetProxy::distance(const std::vector<Matrix> &batch_a,
+                       const std::vector<Matrix> &batch_b) const
+{
+    EXION_ASSERT(!batch_a.empty() && !batch_b.empty(),
+                 "frechet distance of empty batch");
+
+    auto fit = [this](const std::vector<Matrix> &batch,
+                      std::vector<double> &mu, std::vector<double> &var) {
+        mu.assign(featureDim_, 0.0);
+        var.assign(featureDim_, 0.0);
+        std::vector<std::vector<double>> feats;
+        feats.reserve(batch.size());
+        for (const auto &sample : batch)
+            feats.push_back(project(sample));
+        for (const auto &f : feats)
+            for (Index i = 0; i < featureDim_; ++i)
+                mu[i] += f[i];
+        for (Index i = 0; i < featureDim_; ++i)
+            mu[i] /= static_cast<double>(batch.size());
+        for (const auto &f : feats) {
+            for (Index i = 0; i < featureDim_; ++i) {
+                const double d = f[i] - mu[i];
+                var[i] += d * d;
+            }
+        }
+        for (Index i = 0; i < featureDim_; ++i)
+            var[i] /= static_cast<double>(batch.size());
+    };
+
+    std::vector<double> mu_a, var_a, mu_b, var_b;
+    fit(batch_a, mu_a, var_a);
+    fit(batch_b, mu_b, var_b);
+
+    double dist2 = 0.0;
+    for (Index i = 0; i < featureDim_; ++i) {
+        const double dm = mu_a[i] - mu_b[i];
+        dist2 += dm * dm;
+        dist2 += var_a[i] + var_b[i]
+            - 2.0 * std::sqrt(var_a[i] * var_b[i]);
+    }
+    return std::sqrt(std::max(0.0, dist2));
+}
+
+} // namespace exion

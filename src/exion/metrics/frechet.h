@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fréchet-distance proxy between batches of generated outputs.
+ *
+ * Plays the role of FID/FAD in Table I without real datasets: both
+ * batches are projected through a fixed random feature map, then the
+ * Fréchet distance between diagonal-Gaussian fits of the feature
+ * distributions is computed. Lower is better; 0 means the statistics
+ * match exactly.
+ */
+
+#ifndef EXION_METRICS_FRECHET_H_
+#define EXION_METRICS_FRECHET_H_
+
+#include <vector>
+
+#include "exion/tensor/matrix.h"
+
+namespace exion
+{
+
+/**
+ * Random-projection Fréchet distance.
+ */
+class FrechetProxy
+{
+  public:
+    /**
+     * @param input_dim    flattened output size per sample
+     * @param feature_dim  projected feature size
+     * @param seed         seed for the fixed projection
+     */
+    FrechetProxy(Index input_dim, Index feature_dim, u64 seed = 1234);
+
+    /** Projects one sample (matrix flattened) into feature space. */
+    std::vector<double> project(const Matrix &sample) const;
+
+    /**
+     * Fréchet distance between two batches of samples.
+     *
+     * Uses diagonal covariance: d^2 = |mu_a - mu_b|^2 +
+     * sum_i (sa_i + sb_i - 2 sqrt(sa_i sb_i)).
+     */
+    double distance(const std::vector<Matrix> &batch_a,
+                    const std::vector<Matrix> &batch_b) const;
+
+  private:
+    Index inputDim_;
+    Index featureDim_;
+    Matrix projection_; //!< featureDim_ x inputDim_
+};
+
+} // namespace exion
+
+#endif // EXION_METRICS_FRECHET_H_

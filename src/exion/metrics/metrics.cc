@@ -1,0 +1,69 @@
+#include "exion/metrics/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+#include "exion/tensor/ops.h"
+
+namespace exion
+{
+
+double
+psnr(const Matrix &reference, const Matrix &test)
+{
+    EXION_ASSERT(reference.rows() == test.rows()
+                     && reference.cols() == test.cols(),
+                 "psnr shape mismatch");
+    const double mse = meanSquaredError(reference, test);
+    if (mse == 0.0)
+        return std::numeric_limits<double>::infinity();
+    const double peak = static_cast<double>(reference.maxAbs());
+    if (peak == 0.0)
+        return -std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(peak * peak / mse);
+}
+
+double
+cosineSimilarity(const Matrix &a, const Matrix &b)
+{
+    EXION_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
+                 "cosine shape mismatch");
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (Index i = 0; i < a.size(); ++i) {
+        const double av = a.data()[i];
+        const double bv = b.data()[i];
+        dot += av * bv;
+        na += av * av;
+        nb += bv * bv;
+    }
+    if (na == 0.0 || nb == 0.0)
+        return na == nb ? 1.0 : 0.0;
+    return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double
+relativeError(const Matrix &reference, const Matrix &test)
+{
+    const double ref_norm = frobeniusNorm(reference);
+    const double diff_norm = frobeniusNorm(sub(reference, test));
+    if (ref_norm == 0.0)
+        return diff_norm == 0.0 ? 0.0 : 1.0;
+    return diff_norm / ref_norm;
+}
+
+double
+meanSquaredError(const Matrix &a, const Matrix &b)
+{
+    EXION_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
+                 "mse shape mismatch");
+    if (a.size() == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (Index i = 0; i < a.size(); ++i) {
+        const double d = static_cast<double>(a.data()[i]) - b.data()[i];
+        sum += d * d;
+    }
+    return sum / static_cast<double>(a.size());
+}
+
+} // namespace exion

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Output-quality metrics.
+ *
+ * Table I's cross-model metric is PSNR against the vanilla model's
+ * output, which we reproduce natively. Cosine similarity drives the
+ * Fig. 7 heatmap. Relative error supports unit tests.
+ */
+
+#ifndef EXION_METRICS_METRICS_H_
+#define EXION_METRICS_METRICS_H_
+
+#include "exion/tensor/matrix.h"
+
+namespace exion
+{
+
+/**
+ * Peak signal-to-noise ratio of test against reference, in dB.
+ *
+ * Peak is the reference's max |value| (the paper compares generated
+ * outputs whose dynamic range is model-specific). Returns +inf for
+ * identical inputs.
+ */
+double psnr(const Matrix &reference, const Matrix &test);
+
+/** Cosine similarity of the two matrices viewed as flat vectors. */
+double cosineSimilarity(const Matrix &a, const Matrix &b);
+
+/** ||a - b||_F / ||a||_F (0 when both empty). */
+double relativeError(const Matrix &reference, const Matrix &test);
+
+/** Mean squared error. */
+double meanSquaredError(const Matrix &a, const Matrix &b);
+
+} // namespace exion
+
+#endif // EXION_METRICS_METRICS_H_

@@ -1,0 +1,153 @@
+#include "exion/model/executor.h"
+
+#include <cmath>
+
+#include "exion/model/transformer_block.h"
+#include "exion/tensor/ops.h"
+#include "exion/tensor/quant_matrix.h"
+
+namespace exion
+{
+
+void
+ExecStats::merge(const ExecStats &other)
+{
+    qkvOpsDense += other.qkvOpsDense;
+    qkvOpsExecuted += other.qkvOpsExecuted;
+    attnOpsDense += other.attnOpsDense;
+    attnOpsExecuted += other.attnOpsExecuted;
+    ffnOpsDense += other.ffnOpsDense;
+    ffnOpsExecuted += other.ffnOpsExecuted;
+    ffnSparsitySum += other.ffnSparsitySum;
+    ffnSparsitySamples += other.ffnSparsitySamples;
+    scoreSparsitySum += other.scoreSparsitySum;
+    scoreSparsitySamples += other.scoreSparsitySamples;
+    qRowsTotal += other.qRowsTotal;
+    qRowsSkipped += other.qRowsSkipped;
+    kColsTotal += other.kColsTotal;
+    kColsSkipped += other.kColsSkipped;
+    vColsTotal += other.vColsTotal;
+    vColsSkipped += other.vColsSkipped;
+}
+
+Matrix
+execMatmul(const Matrix &a, const Matrix &b, bool quantize)
+{
+    if (!quantize)
+        return matmul(a, b);
+    const QuantMatrix qa = QuantMatrix::fromFloat(a, IntWidth::Int12);
+    const QuantMatrix qb = QuantMatrix::fromFloat(b, IntWidth::Int12);
+    return matmulQuant(qa, qb);
+}
+
+namespace
+{
+
+/** MACs-as-2-ops for an (m x k) * (k x n) MMUL. */
+OpCount
+mmulOps(Index m, Index k, Index n)
+{
+    return static_cast<OpCount>(2) * m * k * n;
+}
+
+} // namespace
+
+Matrix
+denseAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
+                   bool quantize, ExecStats &stats,
+                   ExecObservers &observers)
+{
+    (void)observers;
+    const Index t = x_norm.rows();
+    const Index d = blk.dModel();
+    const Index dh = blk.headDim();
+    const float inv_sqrt = static_cast<float>(blk.scoreTemp())
+        / std::sqrt(static_cast<float>(dh));
+
+    Matrix q = execMatmul(x_norm, blk.wq().weight(), quantize);
+    addRowVector(q, blk.wq().bias());
+    Matrix k = execMatmul(x_norm, blk.wk().weight(), quantize);
+    addRowVector(k, blk.wk().bias());
+    Matrix v = execMatmul(x_norm, blk.wv().weight(), quantize);
+    addRowVector(v, blk.wv().bias());
+
+    stats.qkvOpsDense += 3 * mmulOps(t, d, d);
+    stats.qkvOpsExecuted += 3 * mmulOps(t, d, d);
+    stats.qRowsTotal += t;
+    stats.kColsTotal += t;
+    stats.vColsTotal += t;
+
+    Matrix concat(t, d);
+    for (Index h = 0; h < blk.nHeads(); ++h) {
+        const Matrix qh = sliceCols(q, h * dh, dh);
+        const Matrix kh = sliceCols(k, h * dh, dh);
+        const Matrix vh = sliceCols(v, h * dh, dh);
+
+        Matrix scores = scale(matmulTransposed(qh, kh), inv_sqrt);
+        const Matrix probs = softmax(scores);
+        const Matrix out_h = execMatmul(probs, vh, quantize);
+        for (Index r = 0; r < t; ++r)
+            for (Index c = 0; c < dh; ++c)
+                concat(r, h * dh + c) = out_h(r, c);
+
+        stats.attnOpsDense += mmulOps(t, dh, t) + mmulOps(t, t, dh);
+        stats.attnOpsExecuted += mmulOps(t, dh, t) + mmulOps(t, t, dh);
+    }
+
+    Matrix out = execMatmul(concat, blk.wo().weight(), quantize);
+    addRowVector(out, blk.wo().bias());
+    stats.attnOpsDense += mmulOps(t, d, d);
+    stats.attnOpsExecuted += mmulOps(t, d, d);
+    return out;
+}
+
+Matrix
+denseFfnImpl(const TransformerBlock &blk, const Matrix &x_norm,
+             bool quantize, ExecStats &stats, ExecObservers &observers)
+{
+    const Index t = x_norm.rows();
+    const Index d = blk.dModel();
+    const Index hid = blk.ffnHidden();
+
+    Matrix gate = execMatmul(x_norm, blk.ffn1().weight(), quantize);
+    addRowVector(gate, blk.ffn1().bias());
+    stats.ffnOpsDense += mmulOps(t, d, hid);
+    stats.ffnOpsExecuted += mmulOps(t, d, hid);
+
+    Matrix hidden;
+    if (blk.geglu()) {
+        Matrix value = execMatmul(x_norm, blk.ffn1Value().weight(),
+                                  quantize);
+        addRowVector(value, blk.ffn1Value().bias());
+        stats.ffnOpsDense += mmulOps(t, d, hid);
+        stats.ffnOpsExecuted += mmulOps(t, d, hid);
+        hidden = gelu(gate);
+        for (Index i = 0; i < hidden.size(); ++i)
+            hidden.data()[i] *= value.data()[i];
+    } else {
+        hidden = gelu(gate);
+    }
+
+    if (observers.onFfnHidden)
+        observers.onFfnHidden(blk.id(), hidden);
+
+    Matrix out = execMatmul(hidden, blk.ffn2().weight(), quantize);
+    addRowVector(out, blk.ffn2().bias());
+    stats.ffnOpsDense += mmulOps(t, hid, d);
+    stats.ffnOpsExecuted += mmulOps(t, hid, d);
+    return out;
+}
+
+Matrix
+DenseExecutor::attention(const TransformerBlock &blk, const Matrix &x_norm)
+{
+    return denseAttentionImpl(blk, x_norm, quantize_, stats_, observers);
+}
+
+Matrix
+DenseExecutor::ffn(const TransformerBlock &blk, const Matrix &x_norm)
+{
+    return denseFfnImpl(blk, x_norm, quantize_, stats_, observers);
+}
+
+} // namespace exion

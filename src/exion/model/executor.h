@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Block execution strategies.
+ *
+ * A TransformerBlock owns weights; *how* its MMULs are computed is a
+ * BlockExecutor decision. The model library ships the dense reference
+ * executor (optionally with INT12 operand quantisation); the sparsity
+ * library layers FFN-Reuse and eager prediction on top of the same
+ * interface. Every optimised executor is validated against
+ * DenseExecutor outputs in the test suite.
+ */
+
+#ifndef EXION_MODEL_EXECUTOR_H_
+#define EXION_MODEL_EXECUTOR_H_
+
+#include <functional>
+
+#include "exion/tensor/bitmask.h"
+#include "exion/tensor/matrix.h"
+
+namespace exion
+{
+
+class TransformerBlock;
+
+/**
+ * Accumulated execution statistics across blocks and iterations.
+ *
+ * "Dense" counters record what an unoptimised execution would cost;
+ * "executed" counters record work actually performed after skips.
+ * MACs are counted as 2 ops, matching the paper's TOPS convention.
+ */
+struct ExecStats
+{
+    OpCount qkvOpsDense = 0;
+    OpCount qkvOpsExecuted = 0;
+    OpCount attnOpsDense = 0;
+    OpCount attnOpsExecuted = 0;
+    OpCount ffnOpsDense = 0;
+    OpCount ffnOpsExecuted = 0;
+
+    /** Sum + count for averaging FFN mask sparsity over sparse iters. */
+    double ffnSparsitySum = 0.0;
+    u64 ffnSparsitySamples = 0;
+
+    /** Sum + count for attention-score output sparsity. */
+    double scoreSparsitySum = 0.0;
+    u64 scoreSparsitySamples = 0;
+
+    /** Projection skip accounting (EP side effects, Section II-B). */
+    u64 qRowsTotal = 0;
+    u64 qRowsSkipped = 0;
+    u64 kColsTotal = 0;
+    u64 kColsSkipped = 0;
+    u64 vColsTotal = 0;
+    u64 vColsSkipped = 0;
+
+    /** Total dense-equivalent ops. */
+    OpCount totalDense() const
+    {
+        return qkvOpsDense + attnOpsDense + ffnOpsDense;
+    }
+
+    /** Total executed ops. */
+    OpCount totalExecuted() const
+    {
+        return qkvOpsExecuted + attnOpsExecuted + ffnOpsExecuted;
+    }
+
+    /** Mean FFN recompute-mask sparsity over sparse iterations. */
+    double meanFfnSparsity() const
+    {
+        return ffnSparsitySamples
+            ? ffnSparsitySum / static_cast<double>(ffnSparsitySamples)
+            : 0.0;
+    }
+
+    /** Mean attention-score output sparsity. */
+    double meanScoreSparsity() const
+    {
+        return scoreSparsitySamples
+            ? scoreSparsitySum / static_cast<double>(scoreSparsitySamples)
+            : 0.0;
+    }
+
+    /** Merges another stats block into this one. */
+    void merge(const ExecStats &other);
+};
+
+/**
+ * Observation hooks for experiments that need internal activations.
+ *
+ * All hooks are optional. Masks use the paper's convention
+ * (1 = non-sparse / compute).
+ */
+struct ExecObservers
+{
+    /** Fires with the non-linear (GELU/GEGLU) output of each FFN. */
+    std::function<void(int block, const Matrix &hidden)> onFfnHidden;
+
+    /**
+     * Fires with the FFN recompute mask. dense_iteration marks the mask
+     * generation pass (Fig. 6).
+     */
+    std::function<void(int block, const Bitmask2D &mask,
+                       bool dense_iteration)> onFfnMask;
+
+    /** Fires with the per-head attention-score keep mask. */
+    std::function<void(int block, int head, const Bitmask2D &keep)>
+        onScoreMask;
+};
+
+/**
+ * Strategy interface for computing a block's two heavy sub-layers.
+ */
+class BlockExecutor
+{
+  public:
+    virtual ~BlockExecutor() = default;
+
+    /** Called once at the start of every denoising iteration. */
+    virtual void beginIteration(int iteration) { iteration_ = iteration; }
+
+    /** Multi-head attention sub-layer (QKV, scores, AV, out-proj). */
+    virtual Matrix attention(const TransformerBlock &blk,
+                             const Matrix &x_norm) = 0;
+
+    /** FFN sub-layer (two linears around the non-linearity). */
+    virtual Matrix ffn(const TransformerBlock &blk,
+                       const Matrix &x_norm) = 0;
+
+    /** Accumulated statistics. */
+    ExecStats &stats() { return stats_; }
+
+    /** Accumulated statistics (const). */
+    const ExecStats &stats() const { return stats_; }
+
+    /** Clears statistics. */
+    void resetStats() { stats_ = ExecStats{}; }
+
+    /** Observation hooks (mutable by design; callers install them). */
+    ExecObservers observers;
+
+  protected:
+    int iteration_ = 0;
+    ExecStats stats_;
+};
+
+/**
+ * Reference dense executor, optionally quantising MMUL operands to
+ * INT12 the way the SDUE does.
+ */
+class DenseExecutor : public BlockExecutor
+{
+  public:
+    /** @param quantize route every MMUL through INT12 operands */
+    explicit DenseExecutor(bool quantize = false)
+        : quantize_(quantize)
+    {}
+
+    Matrix attention(const TransformerBlock &blk,
+                     const Matrix &x_norm) override;
+    Matrix ffn(const TransformerBlock &blk, const Matrix &x_norm) override;
+
+    /** Whether INT12 quantisation is applied. */
+    bool quantized() const { return quantize_; }
+
+  private:
+    bool quantize_;
+};
+
+/** A*B with optional INT12 operand quantisation. */
+Matrix execMatmul(const Matrix &a, const Matrix &b, bool quantize);
+
+/**
+ * Dense multi-head attention implementation shared by executors.
+ *
+ * Accumulates into stats and fires observers; returns the sub-layer
+ * output (pre-residual).
+ */
+Matrix denseAttentionImpl(const TransformerBlock &blk,
+                          const Matrix &x_norm, bool quantize,
+                          ExecStats &stats, ExecObservers &observers);
+
+/** Dense FFN implementation shared by executors. */
+Matrix denseFfnImpl(const TransformerBlock &blk, const Matrix &x_norm,
+                    bool quantize, ExecStats &stats,
+                    ExecObservers &observers);
+
+} // namespace exion
+
+#endif // EXION_MODEL_EXECUTOR_H_

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Primitive neural-network layers of the transformer block (Fig. 3b).
+ */
+
+#ifndef EXION_MODEL_LAYERS_H_
+#define EXION_MODEL_LAYERS_H_
+
+#include "exion/tensor/matrix.h"
+
+namespace exion
+{
+
+class Rng;
+
+/**
+ * Fully connected layer: y = x W + b.
+ */
+class Linear
+{
+  public:
+    /** Uninitialised (empty) layer. */
+    Linear() = default;
+
+    /** in x out layer with N(0, 1/sqrt(in)) weights, zero bias. */
+    Linear(Index in, Index out, Rng &rng);
+
+    /** Applies the layer to x (rows = tokens). */
+    Matrix forward(const Matrix &x) const;
+
+    /** Weight matrix (in x out). */
+    const Matrix &weight() const { return weight_; }
+
+    /** Bias row vector (1 x out). */
+    const Matrix &bias() const { return bias_; }
+
+    /** Mutable weight access (tests / custom initialisation). */
+    Matrix &weight() { return weight_; }
+
+    /** Mutable bias access. */
+    Matrix &bias() { return bias_; }
+
+    /** Input width. */
+    Index inDim() const { return weight_.rows(); }
+
+    /** Output width. */
+    Index outDim() const { return weight_.cols(); }
+
+  private:
+    Matrix weight_;
+    Matrix bias_;
+};
+
+/** GELU activation (tanh approximation, matching common deployments). */
+float geluScalar(float x);
+
+/** Elementwise GELU. */
+Matrix gelu(const Matrix &x);
+
+/** Row-wise layer normalisation with learned gamma/beta (1 x cols). */
+Matrix layerNorm(const Matrix &x, const Matrix &gamma,
+                 const Matrix &beta);
+
+/** Row-wise softmax. Entries equal to -inf produce probability 0. */
+Matrix softmax(const Matrix &x);
+
+/** Sinusoidal timestep embedding of width dim. */
+Matrix timestepEmbedding(int timestep, Index dim);
+
+} // namespace exion
+
+#endif // EXION_MODEL_LAYERS_H_

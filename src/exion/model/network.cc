@@ -1,0 +1,127 @@
+#include "exion/model/network.h"
+
+#include "exion/common/rng.h"
+#include "exion/tensor/ops.h"
+
+namespace exion
+{
+
+Matrix
+poolTokens(const Matrix &x, Index factor)
+{
+    EXION_ASSERT(factor > 0 && x.rows() % factor == 0,
+                 "pool factor ", factor, " vs rows ", x.rows());
+    Matrix out(x.rows() / factor, x.cols());
+    const float inv = 1.0f / static_cast<float>(factor);
+    for (Index r = 0; r < out.rows(); ++r) {
+        for (Index c = 0; c < x.cols(); ++c) {
+            float acc = 0.0f;
+            for (Index f = 0; f < factor; ++f)
+                acc += x(r * factor + f, c);
+            out(r, c) = acc * inv;
+        }
+    }
+    return out;
+}
+
+Matrix
+upsampleTokens(const Matrix &x, Index factor)
+{
+    Matrix out(x.rows() * factor, x.cols());
+    for (Index r = 0; r < x.rows(); ++r)
+        for (Index f = 0; f < factor; ++f)
+            for (Index c = 0; c < x.cols(); ++c)
+                out(r * factor + f, c) = x(r, c);
+    return out;
+}
+
+DenoisingNetwork::DenoisingNetwork(const ModelConfig &cfg) : cfg_(cfg)
+{
+    EXION_ASSERT(!cfg.stages.empty(), "network needs at least one stage");
+    Rng rng(cfg.seed);
+
+    inProj_ = Linear(cfg.latentDim, cfg.stages.front().dModel, rng);
+    outProj_ = Linear(cfg.stages.back().dModel, cfg.latentDim, rng);
+    condEmbed_ = Matrix(1, cfg.stages.front().dModel);
+    condEmbed_.fillNormal(rng, 0.0f, 0.5f);
+
+    int block_id = 0;
+    Index prev_d = cfg.stages.front().dModel;
+    for (const auto &sc : cfg.stages) {
+        Stage stage;
+        stage.cfg = sc;
+        if (sc.dModel != prev_d)
+            stage.channelProj = Linear(prev_d, sc.dModel, rng);
+        stage.timeProj = Linear(kTimeEmbedDim, sc.dModel, rng);
+        for (Index i = 0; i < sc.nResBlocks; ++i)
+            stage.resBlocks.emplace_back(sc.dModel, rng);
+        for (Index i = 0; i < sc.nBlocks; ++i) {
+            stage.blocks.emplace_back(block_id++, sc.dModel, sc.nHeads,
+                                      sc.ffnMult, cfg.geglu, rng,
+                                      sc.scoreTemp);
+        }
+        prev_d = sc.dModel;
+        stages_.push_back(std::move(stage));
+    }
+    for (const auto &stage : stages_)
+        for (const auto &blk : stage.blocks)
+            blockPtrs_.push_back(&blk);
+}
+
+Matrix
+DenoisingNetwork::forward(const Matrix &x, int timestep,
+                          BlockExecutor &exec) const
+{
+    EXION_ASSERT(x.rows() == cfg_.latentTokens
+                     && x.cols() == cfg_.latentDim,
+                 "latent shape (", x.rows(), ",", x.cols(), ") vs config");
+
+    Matrix h = inProj_.forward(x);
+    addRowVector(h, condEmbed_);
+    const Matrix t_emb = timestepEmbedding(timestep, kTimeEmbedDim);
+
+    const bool unet = cfg_.type != NetworkType::TransformerOnly
+        && stages_.size() >= 3;
+    std::vector<Matrix> skips;
+
+    Index cur_tokens = cfg_.latentTokens;
+    for (Index s = 0; s < stages_.size(); ++s) {
+        const Stage &stage = stages_[s];
+        const Index want = stage.cfg.tokens;
+
+        // Skip connection: decoder stages mirror encoder stages.
+        const bool upsampling = want > cur_tokens;
+
+        if (want < cur_tokens) {
+            if (unet)
+                skips.push_back(h);
+            h = poolTokens(h, cur_tokens / want);
+        } else if (want > cur_tokens) {
+            h = upsampleTokens(h, want / cur_tokens);
+        }
+        cur_tokens = want;
+
+        if (stage.channelProj.inDim() != 0)
+            h = stage.channelProj.forward(h);
+
+        if (unet && upsampling && !skips.empty()) {
+            const Matrix &skip = skips.back();
+            if (skip.rows() == h.rows() && skip.cols() == h.cols()) {
+                h = add(h, skip);
+                skips.pop_back();
+            }
+        }
+
+        Matrix t_proj = stage.timeProj.forward(t_emb);
+        addRowVector(h, t_proj);
+
+        for (const auto &res : stage.resBlocks)
+            h = res.forward(h);
+        for (const auto &blk : stage.blocks)
+            h = blk.forward(h, exec);
+    }
+
+    return outProj_.forward(h);
+}
+
+} // namespace exion

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Denoising networks (Fig. 3a).
+ *
+ * One generic implementation covers the three published shapes:
+ * a flat transformer stack (type 3), a transformer UNet with skip
+ * connections (type 1), and a UNet with ResBlocks (type 2). Stages at
+ * different token counts are connected by average-pool downsampling /
+ * repeat upsampling plus channel projections.
+ */
+
+#ifndef EXION_MODEL_NETWORK_H_
+#define EXION_MODEL_NETWORK_H_
+
+#include <memory>
+#include <vector>
+
+#include "exion/model/config.h"
+#include "exion/model/resblock.h"
+#include "exion/model/transformer_block.h"
+
+namespace exion
+{
+
+/** Average-pools token groups of size factor. @pre factor divides rows. */
+Matrix poolTokens(const Matrix &x, Index factor);
+
+/** Repeats each token factor times. */
+Matrix upsampleTokens(const Matrix &x, Index factor);
+
+/**
+ * The diffusion denoiser: predicts the noise of a latent at timestep t.
+ */
+class DenoisingNetwork
+{
+  public:
+    /** Builds all stages and weights deterministically from cfg.seed. */
+    explicit DenoisingNetwork(const ModelConfig &cfg);
+
+    /**
+     * Predicts noise for latent x at the given (training) timestep.
+     *
+     * @param x        latentTokens x latentDim input
+     * @param timestep scheduler timestep (conditions the time embedding)
+     * @param exec     execution strategy for transformer blocks
+     */
+    Matrix forward(const Matrix &x, int timestep,
+                   BlockExecutor &exec) const;
+
+    /** Model configuration. */
+    const ModelConfig &config() const { return cfg_; }
+
+    /** Total number of transformer blocks. */
+    Index numBlocks() const { return blockPtrs_.size(); }
+
+    /** Access to block i in execution order. */
+    const TransformerBlock &block(Index i) const { return *blockPtrs_[i]; }
+
+  private:
+    struct Stage
+    {
+        StageConfig cfg;
+        std::vector<ResBlock> resBlocks;
+        std::vector<TransformerBlock> blocks;
+        Linear channelProj; //!< previous d -> this d (empty when equal)
+        Linear timeProj;    //!< time embedding -> this d
+    };
+
+    static constexpr Index kTimeEmbedDim = 64;
+
+    ModelConfig cfg_;
+    Linear inProj_;
+    Linear outProj_;
+    Matrix condEmbed_;
+    std::vector<Stage> stages_;
+    std::vector<const TransformerBlock *> blockPtrs_;
+};
+
+} // namespace exion
+
+#endif // EXION_MODEL_NETWORK_H_

@@ -1,0 +1,32 @@
+#include "exion/model/pipeline.h"
+
+#include "exion/common/rng.h"
+
+namespace exion
+{
+
+DiffusionPipeline::DiffusionPipeline(const ModelConfig &cfg)
+    : network_(cfg), scheduler_(cfg.iterations)
+{
+}
+
+Matrix
+DiffusionPipeline::run(BlockExecutor &exec, u64 noise_seed) const
+{
+    const ModelConfig &cfg = network_.config();
+    Rng rng(noise_seed);
+    Matrix x(cfg.latentTokens, cfg.latentDim);
+    x.fillNormal(rng, 0.0f, 1.0f);
+
+    for (int i = 0; i < scheduler_.inferenceSteps(); ++i) {
+        exec.beginIteration(i);
+        const Matrix eps = network_.forward(x, scheduler_.timestep(i),
+                                            exec);
+        x = scheduler_.step(x, eps, i);
+        if (onIteration)
+            onIteration(i, x);
+    }
+    return x;
+}
+
+} // namespace exion

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * End-to-end diffusion inference pipeline.
+ *
+ * Owns a denoising network and a scheduler; runs the reverse process
+ * from seeded noise to the generated latent under a caller-provided
+ * execution strategy.
+ */
+
+#ifndef EXION_MODEL_PIPELINE_H_
+#define EXION_MODEL_PIPELINE_H_
+
+#include <functional>
+#include <memory>
+
+#include "exion/model/network.h"
+#include "exion/model/scheduler.h"
+
+namespace exion
+{
+
+/**
+ * Diffusion inference driver.
+ */
+class DiffusionPipeline
+{
+  public:
+    /** Builds the network and scheduler for cfg. */
+    explicit DiffusionPipeline(const ModelConfig &cfg);
+
+    /**
+     * Runs the full reverse process.
+     *
+     * @param exec       block execution strategy
+     * @param noise_seed seed for the initial Gaussian latent
+     * @return           final generated latent
+     */
+    Matrix run(BlockExecutor &exec, u64 noise_seed = 7) const;
+
+    /** Optional per-iteration hook (iteration index, current latent). */
+    std::function<void(int, const Matrix &)> onIteration;
+
+    /** Underlying network. */
+    const DenoisingNetwork &network() const { return network_; }
+
+    /** Underlying scheduler. */
+    const DdimScheduler &scheduler() const { return scheduler_; }
+
+    /** Model configuration. */
+    const ModelConfig &config() const { return network_.config(); }
+
+  private:
+    DenoisingNetwork network_;
+    DdimScheduler scheduler_;
+};
+
+} // namespace exion
+
+#endif // EXION_MODEL_PIPELINE_H_

@@ -1,0 +1,24 @@
+#include "exion/model/resblock.h"
+
+#include "exion/common/rng.h"
+#include "exion/tensor/ops.h"
+
+namespace exion
+{
+
+ResBlock::ResBlock(Index d_model, Rng &rng)
+    : conv1_(d_model, d_model, rng), conv2_(d_model, d_model, rng),
+      normGamma_(1, d_model, 1.0f), normBeta_(1, d_model, 0.0f)
+{
+}
+
+Matrix
+ResBlock::forward(const Matrix &x) const
+{
+    const Matrix n = layerNorm(x, normGamma_, normBeta_);
+    const Matrix h = gelu(conv1_.forward(n));
+    const Matrix out = conv2_.forward(h);
+    return add(x, out);
+}
+
+} // namespace exion

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic DDIM reverse-denoising scheduler.
+ *
+ * Only the inference-phase reverse process matters for EXION
+ * (Section II-A); we use DDIM with eta = 0 so runs are reproducible and
+ * the latent evolves smoothly between iterations — the property
+ * FFN-Reuse exploits.
+ */
+
+#ifndef EXION_MODEL_SCHEDULER_H_
+#define EXION_MODEL_SCHEDULER_H_
+
+#include <vector>
+
+#include "exion/tensor/matrix.h"
+
+namespace exion
+{
+
+/**
+ * DDIM scheduler over a linear-beta training schedule.
+ */
+class DdimScheduler
+{
+  public:
+    /**
+     * @param inference_steps denoising iterations at inference
+     * @param train_steps     training-schedule length (default 1000)
+     */
+    explicit DdimScheduler(int inference_steps, int train_steps = 1000);
+
+    /** Number of inference iterations. */
+    int inferenceSteps() const { return static_cast<int>(steps_.size()); }
+
+    /** Training timestep executed at inference iteration i. */
+    int timestep(int i) const;
+
+    /**
+     * One reverse step: x_{t_next} from x_t and predicted noise.
+     *
+     * @param x_t      current latent
+     * @param eps_hat  network-predicted noise at timestep(i)
+     * @param i        inference iteration index (0 = most noisy)
+     */
+    Matrix step(const Matrix &x_t, const Matrix &eps_hat, int i) const;
+
+    /** Cumulative alpha-bar at a training timestep. */
+    double alphaBar(int t) const;
+
+  private:
+    std::vector<int> steps_;       //!< descending training timesteps
+    std::vector<double> alphaBar_; //!< cumulative products, size train
+};
+
+} // namespace exion
+
+#endif // EXION_MODEL_SCHEDULER_H_

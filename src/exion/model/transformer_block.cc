@@ -1,0 +1,38 @@
+#include "exion/model/transformer_block.h"
+
+#include "exion/common/rng.h"
+#include "exion/tensor/ops.h"
+
+namespace exion
+{
+
+TransformerBlock::TransformerBlock(int id, Index d_model, Index n_heads,
+                                   Index ffn_mult, bool geglu, Rng &rng,
+                                   double score_temp)
+    : id_(id), dModel_(d_model), nHeads_(n_heads), geglu_(geglu),
+      scoreTemp_(score_temp),
+      wq_(d_model, d_model, rng), wk_(d_model, d_model, rng),
+      wv_(d_model, d_model, rng), wo_(d_model, d_model, rng),
+      ffn1_(d_model, ffn_mult * d_model, rng),
+      ffn2_(ffn_mult * d_model, d_model, rng),
+      ln1Gamma_(1, d_model, 1.0f), ln1Beta_(1, d_model, 0.0f),
+      ln2Gamma_(1, d_model, 1.0f), ln2Beta_(1, d_model, 0.0f)
+{
+    EXION_ASSERT(d_model % n_heads == 0,
+                 "d_model ", d_model, " not divisible by heads ", n_heads);
+    if (geglu_)
+        ffn1Value_ = Linear(d_model, ffn_mult * d_model, rng);
+}
+
+Matrix
+TransformerBlock::forward(const Matrix &x, BlockExecutor &exec) const
+{
+    const Matrix x_norm = layerNorm(x, ln1Gamma_, ln1Beta_);
+    const Matrix attn = exec.attention(*this, x_norm);
+    const Matrix h = add(x, attn);
+    const Matrix h_norm = layerNorm(h, ln2Gamma_, ln2Beta_);
+    const Matrix f = exec.ffn(*this, h_norm);
+    return add(h, f);
+}
+
+} // namespace exion

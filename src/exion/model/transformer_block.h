@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The typical transformer block of Fig. 3(b).
+ *
+ * Pre-norm design: x + Attn(LN(x)), then h + FFN(LN(h)). The block owns
+ * its weights; computation strategy is delegated to a BlockExecutor.
+ */
+
+#ifndef EXION_MODEL_TRANSFORMER_BLOCK_H_
+#define EXION_MODEL_TRANSFORMER_BLOCK_H_
+
+#include "exion/model/executor.h"
+#include "exion/model/layers.h"
+
+namespace exion
+{
+
+/**
+ * Transformer block: multi-head self-attention + 2-layer FFN.
+ */
+class TransformerBlock
+{
+  public:
+    /**
+     * @param id       unique block index within the network
+     * @param d_model  embedding width
+     * @param n_heads  attention heads (must divide d_model)
+     * @param ffn_mult FFN hidden dim = ffn_mult * d_model
+     * @param geglu    use GEGLU (two first-layer paths) instead of GELU
+     * @param rng      weight initialisation stream
+     */
+    TransformerBlock(int id, Index d_model, Index n_heads,
+                     Index ffn_mult, bool geglu, Rng &rng,
+                     double score_temp = 1.0);
+
+    /** Runs the block on x (tokens x d_model) via the executor. */
+    Matrix forward(const Matrix &x, BlockExecutor &exec) const;
+
+    /** Unique block index. */
+    int id() const { return id_; }
+
+    /** Embedding width. */
+    Index dModel() const { return dModel_; }
+
+    /** Attention head count. */
+    Index nHeads() const { return nHeads_; }
+
+    /** Per-head width. */
+    Index headDim() const { return dModel_ / nHeads_; }
+
+    /** FFN hidden width. */
+    Index ffnHidden() const { return ffn1_.outDim(); }
+
+    /** True when the FFN non-linearity is GEGLU. */
+    bool geglu() const { return geglu_; }
+
+    /** Attention score temperature. */
+    double scoreTemp() const { return scoreTemp_; }
+
+    /** Q projection. */
+    const Linear &wq() const { return wq_; }
+    /** K projection. */
+    const Linear &wk() const { return wk_; }
+    /** V projection. */
+    const Linear &wv() const { return wv_; }
+    /** Output projection after head concatenation. */
+    const Linear &wo() const { return wo_; }
+    /** First FFN layer (gate path for GEGLU). */
+    const Linear &ffn1() const { return ffn1_; }
+    /** Second GEGLU first-layer path (value path). Empty when GELU. */
+    const Linear &ffn1Value() const { return ffn1Value_; }
+    /** Second FFN layer. */
+    const Linear &ffn2() const { return ffn2_; }
+
+  private:
+    int id_;
+    Index dModel_;
+    Index nHeads_;
+    bool geglu_;
+    double scoreTemp_;
+
+    Linear wq_;
+    Linear wk_;
+    Linear wv_;
+    Linear wo_;
+    Linear ffn1_;
+    Linear ffn1Value_;
+    Linear ffn2_;
+
+    Matrix ln1Gamma_;
+    Matrix ln1Beta_;
+    Matrix ln2Gamma_;
+    Matrix ln2Beta_;
+};
+
+} // namespace exion
+
+#endif // EXION_MODEL_TRANSFORMER_BLOCK_H_

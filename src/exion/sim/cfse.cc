@@ -1,0 +1,45 @@
+#include "exion/sim/cfse.h"
+
+#include "exion/common/bitops.h"
+#include "exion/common/logging.h"
+
+namespace exion
+{
+
+int
+cfsePasses(CfseOp op)
+{
+    switch (op) {
+      case CfseOp::LayerNorm:
+        return 3;
+      case CfseOp::Softmax:
+        return 4;
+      case CfseOp::Gelu:
+        return 2;
+      case CfseOp::ResidualAdd:
+        return 1;
+      case CfseOp::Quantize:
+        return 1;
+    }
+    EXION_PANIC("unhandled CFSE op");
+}
+
+Cfse::Cfse(const DscParams &params, bool two_way)
+    : params_(params), twoWay_(two_way)
+{
+}
+
+Index
+Cfse::elementsPerCycle() const
+{
+    // One SIMD lane per DPU column; two-way mode doubles throughput.
+    return params_.dpuCols * (twoWay_ ? 2 : 1);
+}
+
+Cycle
+Cfse::opCycles(CfseOp op, u64 elements) const
+{
+    return ceilDiv(elements * cfsePasses(op), elementsPerCycle());
+}
+
+} // namespace exion

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Configurable SIMD Engine timing model (Fig. 10).
+ *
+ * The CFSE computes layer normalisation, Softmax, non-linear functions
+ * and residual additions with ALUs configurable as one-way 32-bit or
+ * two-way 16-bit (double throughput). We model per-element pass counts
+ * per function; lane count matches the DPU-array width.
+ */
+
+#ifndef EXION_SIM_CFSE_H_
+#define EXION_SIM_CFSE_H_
+
+#include "exion/common/types.h"
+#include "exion/sim/params.h"
+
+namespace exion
+{
+
+/** Special-function kinds the CFSE executes. */
+enum class CfseOp
+{
+    LayerNorm,   //!< mean/var/normalise: 3 passes
+    Softmax,     //!< max/exp/sum/scale: 4 passes
+    Gelu,        //!< LUT-based non-linearity: 2 passes
+    ResidualAdd, //!< elementwise add: 1 pass
+    Quantize,    //!< rescale between domains: 1 pass
+};
+
+/**
+ * CFSE timing model.
+ */
+class Cfse
+{
+  public:
+    /**
+     * @param params   DSC parameters
+     * @param two_way  use two-way 16-bit mode (double throughput)
+     */
+    explicit Cfse(const DscParams &params, bool two_way = true);
+
+    /** Cycles to apply op over n elements. */
+    Cycle opCycles(CfseOp op, u64 elements) const;
+
+    /** Elements processed per cycle in the current mode. */
+    Index elementsPerCycle() const;
+
+  private:
+    DscParams params_;
+    bool twoWay_;
+};
+
+/** Number of elementwise passes an op needs. */
+int cfsePasses(CfseOp op);
+
+} // namespace exion
+
+#endif // EXION_SIM_CFSE_H_

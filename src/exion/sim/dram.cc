@@ -1,0 +1,54 @@
+#include "exion/sim/dram.h"
+
+#include <cmath>
+
+#include "exion/common/logging.h"
+
+namespace exion
+{
+
+DramModel::DramModel(DramType type, double bandwidth_gbs)
+    : type_(type), bandwidthGbs_(bandwidth_gbs)
+{
+    EXION_ASSERT(bandwidth_gbs > 0.0, "bandwidth ", bandwidth_gbs);
+    switch (type_) {
+      case DramType::Lpddr5:
+        energyPerBitPj_ = 4.5;
+        latencyNs_ = 45.0;
+        break;
+      case DramType::Gddr6:
+        energyPerBitPj_ = 6.0;
+        latencyNs_ = 40.0;
+        break;
+    }
+}
+
+Cycle
+DramModel::transferCycles(u64 bytes, double clock_ghz) const
+{
+    const double seconds = transferSeconds(bytes);
+    return static_cast<Cycle>(std::ceil(seconds * clock_ghz * 1e9));
+}
+
+double
+DramModel::transferSeconds(u64 bytes) const
+{
+    if (bytes == 0)
+        return 0.0;
+    return latencyNs_ * 1e-9
+        + static_cast<double>(bytes) / (bandwidthGbs_ * 1e9);
+}
+
+EnergyPj
+DramModel::transferEnergy(u64 bytes) const
+{
+    return static_cast<double>(bytes) * 8.0 * energyPerBitPj_;
+}
+
+std::string
+DramModel::name() const
+{
+    return type_ == DramType::Lpddr5 ? "LPDDR5" : "GDDR6";
+}
+
+} // namespace exion

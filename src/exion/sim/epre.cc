@@ -1,0 +1,35 @@
+#include "exion/sim/epre.h"
+
+#include "exion/common/bitops.h"
+
+namespace exion
+{
+
+Epre::Epre(const DscParams &params) : params_(params)
+{
+}
+
+Cycle
+Epre::ldMmulCycles(Index m, Index k, Index n) const
+{
+    return denseMmulCycles(params_, m, k, n);
+}
+
+Cycle
+Epre::predictAttentionCycles(Index tokens, Index d_model,
+                             Index n_heads) const
+{
+    const Index dh = d_model / n_heads;
+    Cycle total = 0;
+    // LD Q and K projections (all heads together are d_model wide).
+    total += 2 * ldMmulCycles(tokens, d_model, d_model);
+    // LD QK^T per head.
+    total += n_heads * ldMmulCycles(tokens, dh, tokens);
+    // Top-k / one-hot scan: one row of 16 entries per lane per cycle.
+    total += n_heads
+        * ceilDiv(static_cast<u64>(tokens) * tokens,
+                  params_.dpuRows * params_.dpuCols);
+    return total;
+}
+
+} // namespace exion

@@ -1,0 +1,69 @@
+#include "exion/sim/isa.h"
+
+#include <sstream>
+
+#include "exion/common/logging.h"
+
+namespace exion
+{
+
+std::string
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::LoadInput:
+        return "LD.IN";
+      case Opcode::LoadWeight:
+        return "LD.WT";
+      case Opcode::MmulDense:
+        return "MMUL.D";
+      case Opcode::MmulMerged:
+        return "MMUL.M";
+      case Opcode::EpPredict:
+        return "EP.PRED";
+      case Opcode::CauMerge:
+        return "CAU.MRG";
+      case Opcode::CfseExec:
+        return "CFSE";
+      case Opcode::StoreOutput:
+        return "ST.OUT";
+      case Opcode::Sync:
+        return "SYNC";
+    }
+    EXION_PANIC("unhandled opcode");
+}
+
+std::string
+Instr::toString() const
+{
+    std::ostringstream oss;
+    oss << opcodeName(op);
+    switch (op) {
+      case Opcode::LoadInput:
+      case Opcode::LoadWeight:
+      case Opcode::StoreOutput:
+        oss << " bytes=" << bytes;
+        break;
+      case Opcode::MmulDense:
+        oss << " " << m << "x" << k << "x" << n;
+        break;
+      case Opcode::MmulMerged:
+        oss << " tiles=" << tiles << " k=" << k << " occ="
+            << occupancy;
+        break;
+      case Opcode::EpPredict:
+        oss << " t=" << m << " d=" << k << " heads=" << n;
+        break;
+      case Opcode::CauMerge:
+        oss << " cycles=" << cauCycles;
+        break;
+      case Opcode::CfseExec:
+        oss << " elems=" << m;
+        break;
+      case Opcode::Sync:
+        break;
+    }
+    return oss.str();
+}
+
+} // namespace exion

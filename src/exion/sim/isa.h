@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Instruction set of the DSC top controller (Fig. 10).
+ *
+ * The top controller fetches instructions from INSTMEM, moves operand
+ * tiles between DRAM/GSC and the banked on-chip memories, and kicks
+ * the SDUE / EPRE / CFSE. This compact trace-level ISA captures the
+ * behaviour the cycle model needs: what unit runs, over which shape,
+ * and which transfers can hide behind compute thanks to the
+ * double-/triple-buffered IMEM/WMEM.
+ */
+
+#ifndef EXION_SIM_ISA_H_
+#define EXION_SIM_ISA_H_
+
+#include <string>
+#include <vector>
+
+#include "exion/common/types.h"
+#include "exion/sim/cfse.h"
+
+namespace exion
+{
+
+/** Trace-level opcodes. */
+enum class Opcode
+{
+    LoadInput,   //!< DRAM/GSC -> IMEM (double buffered)
+    LoadWeight,  //!< DRAM/GSC -> WMEM (triple buffered)
+    MmulDense,   //!< SDUE dense tile sweep
+    MmulMerged,  //!< SDUE merged-tile sweep (ConMerge output)
+    EpPredict,   //!< EPRE log-domain prediction
+    CauMerge,    //!< CAU sorting + CVG merging
+    CfseExec,    //!< CFSE special function
+    StoreOutput, //!< OMEM -> GSC/DRAM
+    Sync,        //!< barrier: drain all units
+};
+
+/** Name for traces and disassembly. */
+std::string opcodeName(Opcode op);
+
+/**
+ * One decoded instruction.
+ *
+ * Field meaning by opcode:
+ *  - LoadInput / LoadWeight / StoreOutput: bytes
+ *  - MmulDense: m x k x n sweep
+ *  - MmulMerged: tiles merged tiles of depth k, occupancy in
+ *    [0,1] for clock gating
+ *  - EpPredict: tokens = m, dModel = k, heads = n
+ *  - CauMerge: cycles precomputed by the ConMerge pipeline
+ *  - CfseExec: cfseOp over m elements
+ */
+struct Instr
+{
+    Opcode op = Opcode::Sync;
+    Index m = 0;
+    Index k = 0;
+    Index n = 0;
+    u64 bytes = 0;
+    u64 tiles = 0;
+    double occupancy = 1.0;
+    Cycle cauCycles = 0;
+    CfseOp cfseOp = CfseOp::ResidualAdd;
+
+    /** One-line disassembly. */
+    std::string toString() const;
+};
+
+/** A straight-line instruction stream. */
+using Program = std::vector<Instr>;
+
+} // namespace exion
+
+#endif // EXION_SIM_ISA_H_

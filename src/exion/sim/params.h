@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Hardware parameters of one Diffusion-Sparsity aware Core (Fig. 11).
+ *
+ * All values follow the paper's "EXION Configuration" column: a 16x16
+ * DPU array with lane length 16 (one 16-element dot-product step per
+ * DPU per cycle), 16-bank IMEM/OMEM (1.5 KB per bank, double
+ * buffered), 16-bank WMEM (12 KB per bank, triple buffered), 50 KB
+ * CVMEM, 512 KB GSC, 3 KB INSTMEM, 800 MHz at 0.8 V in 14 nm.
+ */
+
+#ifndef EXION_SIM_PARAMS_H_
+#define EXION_SIM_PARAMS_H_
+
+#include "exion/common/types.h"
+
+namespace exion
+{
+
+/** DSC hardware configuration. */
+struct DscParams
+{
+    Index dpuRows = 16;      //!< DPU lanes
+    Index dpuCols = 16;      //!< DPU columns
+    /**
+     * MACs per DPU per cycle. 24 multipliers per DPU make one DSC
+     * peak at 2 * 256 * 24 * 0.8 GHz = 9.83 TOPS, matching Table II's
+     * 9.8 TOPS per DSC (EXION4 = 39.2, EXION24 = 235.2).
+     */
+    Index laneLength = 24;
+    Index imemBanks = 16;
+    Index imemBankBytes = 1536;
+    Index wmemBanks = 16;
+    Index wmemBankBytes = 12288;
+    Index omemBanks = 16;
+    Index omemBankBytes = 1536;
+    Index cvmemBytes = 50 * 1024;
+    Index instmemBytes = 3 * 1024;
+    Index gscBytes = 512 * 1024;
+    double clockGhz = 0.8;
+    int mmulBits = 12;  //!< SDUE / EPRE operand width
+    int simdBits = 16;  //!< CFSE two-way element width
+
+    /** MACs the whole DPU array retires per cycle. */
+    Index
+    macsPerCycle() const
+    {
+        return dpuRows * dpuCols * laneLength;
+    }
+
+    /** Peak throughput in TOPS (MAC = 2 ops). */
+    double
+    peakTops() const
+    {
+        return 2.0 * static_cast<double>(macsPerCycle()) * clockGhz
+            * 1e9 / 1e12;
+    }
+};
+
+/** Cycle count of a dense (m x k) * (k x n) MMUL on the array. */
+Cycle denseMmulCycles(const DscParams &p, Index m, Index k, Index n);
+
+} // namespace exion
+
+#endif // EXION_SIM_PARAMS_H_

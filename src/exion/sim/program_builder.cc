@@ -1,0 +1,98 @@
+#include "exion/sim/program_builder.h"
+
+namespace exion
+{
+
+ProgramBuilder::ProgramBuilder(const DscParams &params) : params_(params)
+{
+}
+
+void
+ProgramBuilder::addDenseMmul(Index m, Index k, Index n)
+{
+    Instr load_in;
+    load_in.op = Opcode::LoadInput;
+    load_in.bytes = int12Bytes(static_cast<u64>(m) * k);
+    program_.push_back(load_in);
+
+    Instr load_wt;
+    load_wt.op = Opcode::LoadWeight;
+    load_wt.bytes = int12Bytes(static_cast<u64>(k) * n);
+    program_.push_back(load_wt);
+
+    Instr mmul;
+    mmul.op = Opcode::MmulDense;
+    mmul.m = m;
+    mmul.k = k;
+    mmul.n = n;
+    program_.push_back(mmul);
+
+    Instr store;
+    store.op = Opcode::StoreOutput;
+    store.bytes = int12Bytes(static_cast<u64>(m) * n);
+    program_.push_back(store);
+}
+
+void
+ProgramBuilder::addMergedMmul(u64 tiles, Index k, double occupancy,
+                              Index weight_cols, Index out_rows,
+                              Cycle cau_cycles)
+{
+    Instr cau;
+    cau.op = Opcode::CauMerge;
+    cau.cauCycles = cau_cycles;
+    program_.push_back(cau);
+
+    Instr load_in;
+    load_in.op = Opcode::LoadInput;
+    load_in.bytes = int12Bytes(static_cast<u64>(out_rows) * k);
+    program_.push_back(load_in);
+
+    Instr load_wt;
+    load_wt.op = Opcode::LoadWeight;
+    load_wt.bytes = int12Bytes(static_cast<u64>(k) * weight_cols);
+    program_.push_back(load_wt);
+
+    Instr mmul;
+    mmul.op = Opcode::MmulMerged;
+    mmul.tiles = tiles;
+    mmul.k = k;
+    mmul.occupancy = occupancy;
+    program_.push_back(mmul);
+
+    Instr store;
+    store.op = Opcode::StoreOutput;
+    store.bytes = int12Bytes(static_cast<u64>(out_rows) * weight_cols);
+    program_.push_back(store);
+}
+
+void
+ProgramBuilder::addEpPredict(Index tokens, Index d_model, Index heads)
+{
+    Instr pred;
+    pred.op = Opcode::EpPredict;
+    pred.m = tokens;
+    pred.k = d_model;
+    pred.n = heads;
+    program_.push_back(pred);
+}
+
+void
+ProgramBuilder::addCfse(CfseOp op, u64 elements)
+{
+    Instr cfse;
+    cfse.op = Opcode::CfseExec;
+    cfse.cfseOp = op;
+    cfse.m = elements;
+    program_.push_back(cfse);
+}
+
+void
+ProgramBuilder::addSync()
+{
+    Instr sync;
+    sync.op = Opcode::Sync;
+    program_.push_back(sync);
+}
+
+} // namespace exion

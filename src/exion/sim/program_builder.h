@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Lowers transformer-layer work into DSC instruction streams.
+ *
+ * The software stack's "compiler": given layer shapes (and, for
+ * sparse iterations, the ConMerge outcome), emit the Load / Mmul /
+ * Cfse / Store sequence the top controller executes. Tiling follows
+ * the array shape; weight loads precede the sweeps they feed so the
+ * double buffering can hide them.
+ */
+
+#ifndef EXION_SIM_PROGRAM_BUILDER_H_
+#define EXION_SIM_PROGRAM_BUILDER_H_
+
+#include "exion/sim/isa.h"
+#include "exion/sim/params.h"
+
+namespace exion
+{
+
+/**
+ * Instruction-stream builder.
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(const DscParams &params);
+
+    /** Appends a dense MMUL (loads + sweep + store). */
+    void addDenseMmul(Index m, Index k, Index n);
+
+    /**
+     * Appends an output-sparse MMUL through merged tiles.
+     *
+     * @param tiles        merged tiles to execute
+     * @param k            reduction depth
+     * @param occupancy    occupied-DPU fraction inside tiles
+     * @param weight_cols  origin columns whose weights are fetched
+     * @param out_rows     output rows written back
+     * @param cau_cycles   CVG cycles for generating the control state
+     */
+    void addMergedMmul(u64 tiles, Index k, double occupancy,
+                       Index weight_cols, Index out_rows,
+                       Cycle cau_cycles);
+
+    /** Appends an EPRE prediction for one block's attention. */
+    void addEpPredict(Index tokens, Index d_model, Index heads);
+
+    /** Appends a CFSE special function over n elements. */
+    void addCfse(CfseOp op, u64 elements);
+
+    /** Appends a barrier. */
+    void addSync();
+
+    /** The built program. */
+    const Program &program() const { return program_; }
+
+    /** Moves the program out. */
+    Program take() { return std::move(program_); }
+
+    /** Bytes of an INT12 tensor. */
+    static u64 int12Bytes(u64 elements) { return (elements * 3 + 1) / 2; }
+
+  private:
+    DscParams params_;
+    Program program_;
+};
+
+} // namespace exion
+
+#endif // EXION_SIM_PROGRAM_BUILDER_H_

@@ -1,0 +1,123 @@
+#include "exion/sim/sdue.h"
+
+#include "exion/common/bitops.h"
+#include "exion/common/logging.h"
+
+namespace exion
+{
+
+double
+SdueRunStats::activeFraction() const
+{
+    const u64 total = activeDpuCycles + gatedDpuCycles;
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(activeDpuCycles)
+        / static_cast<double>(total);
+}
+
+void
+SdueRunStats::add(const SdueRunStats &other)
+{
+    cycles += other.cycles;
+    tilePasses += other.tilePasses;
+    activeDpuCycles += other.activeDpuCycles;
+    gatedDpuCycles += other.gatedDpuCycles;
+}
+
+Cycle
+denseMmulCycles(const DscParams &p, Index m, Index k, Index n)
+{
+    const u64 row_tiles = ceilDiv(m, p.dpuRows);
+    const u64 col_tiles = ceilDiv(n, p.dpuCols);
+    const u64 k_steps = ceilDiv(k, p.laneLength);
+    return row_tiles * col_tiles * k_steps;
+}
+
+Sdue::Sdue(const DscParams &params) : params_(params)
+{
+}
+
+SdueRunStats
+Sdue::denseMmulStats(Index m, Index k, Index n) const
+{
+    SdueRunStats stats;
+    const u64 row_tiles = ceilDiv(m, params_.dpuRows);
+    const u64 col_tiles = ceilDiv(n, params_.dpuCols);
+    const u64 k_steps = ceilDiv(k, params_.laneLength);
+    stats.tilePasses = row_tiles * col_tiles;
+    stats.cycles = stats.tilePasses * k_steps;
+
+    // Edge tiles leave part of the array idle; account exactly.
+    const u64 full_rows = m / params_.dpuRows;
+    const u64 rem_rows = m % params_.dpuRows;
+    const u64 full_cols = n / params_.dpuCols;
+    const u64 rem_cols = n % params_.dpuCols;
+    auto tile_active = [&](u64 rows, u64 cols) {
+        return rows * cols * k_steps;
+    };
+    u64 active = 0;
+    active += full_rows * full_cols
+        * tile_active(params_.dpuRows, params_.dpuCols);
+    if (rem_rows)
+        active += full_cols * tile_active(rem_rows, params_.dpuCols);
+    if (rem_cols)
+        active += full_rows * tile_active(params_.dpuRows, rem_cols);
+    if (rem_rows && rem_cols)
+        active += tile_active(rem_rows, rem_cols);
+    stats.activeDpuCycles = active;
+    stats.gatedDpuCycles =
+        stats.cycles * params_.dpuRows * params_.dpuCols - active;
+    return stats;
+}
+
+SdueRunStats
+Sdue::mergedTileStats(const MergedTile &tile, Index k) const
+{
+    SdueRunStats stats;
+    const u64 k_steps = ceilDiv(k, params_.laneLength);
+    stats.tilePasses = 1;
+    stats.cycles = k_steps;
+
+    u64 occupied = 0;
+    for (Index lane = 0; lane < kLanes; ++lane)
+        for (Index pos = 0; pos < kTileCols; ++pos)
+            occupied += tile.cell(lane, pos).occupied ? 1 : 0;
+    stats.activeDpuCycles = occupied * k_steps;
+    stats.gatedDpuCycles =
+        (params_.dpuRows * params_.dpuCols - occupied) * k_steps;
+    return stats;
+}
+
+SdueRunStats
+Sdue::executeMergedTile(const MergedTile &tile, const Matrix &input,
+                        const Matrix &weight, Index row_base,
+                        Matrix &out) const
+{
+    EXION_ASSERT(input.cols() == weight.rows(),
+                 "sdue operand shape mismatch");
+    EXION_ASSERT(out.rows() == input.rows()
+                     && out.cols() == weight.cols(),
+                 "sdue output shape mismatch");
+
+    for (Index lane = 0; lane < kLanes; ++lane) {
+        for (Index pos = 0; pos < kTileCols; ++pos) {
+            const TileCell &cell = tile.cell(lane, pos);
+            if (!cell.occupied)
+                continue;
+            const Index row = row_base + cell.srcLane;
+            EXION_ASSERT(row < input.rows(), "source row ", row,
+                         " beyond input");
+            EXION_ASSERT(cell.originCol < weight.cols(),
+                         "origin column out of range");
+            float acc = 0.0f;
+            const float *in_row = input.rowPtr(row);
+            for (Index e = 0; e < input.cols(); ++e)
+                acc += in_row[e] * weight(e, cell.originCol);
+            out(row, cell.originCol) = acc;
+        }
+    }
+    return mergedTileStats(tile, input.cols());
+}
+
+} // namespace exion

@@ -1,0 +1,138 @@
+#include "exion/sim/top_controller.h"
+
+#include <algorithm>
+
+#include "exion/common/bitops.h"
+#include "exion/common/logging.h"
+
+namespace exion
+{
+
+double
+TraceStats::computeUtilisation() const
+{
+    if (totalCycles == 0)
+        return 0.0;
+    const Cycle busy = std::max({sdueBusy, epreBusy, cfseBusy});
+    return static_cast<double>(busy) / static_cast<double>(totalCycles);
+}
+
+TopController::TopController(const DscParams &params,
+                             const DramModel &dram)
+    : params_(params), dram_(dram), sdue_(params), epre_(params),
+      cfse_(params)
+{
+}
+
+Cycle
+TopController::instrCycles(const Instr &instr) const
+{
+    switch (instr.op) {
+      case Opcode::LoadInput:
+      case Opcode::LoadWeight:
+      case Opcode::StoreOutput:
+        return dram_.transferCycles(instr.bytes, params_.clockGhz);
+      case Opcode::MmulDense:
+        return denseMmulCycles(params_, instr.m, instr.k, instr.n);
+      case Opcode::MmulMerged:
+        return instr.tiles * ceilDiv(instr.k, params_.laneLength);
+      case Opcode::EpPredict:
+        return epre_.predictAttentionCycles(instr.m, instr.k, instr.n);
+      case Opcode::CauMerge:
+        return instr.cauCycles;
+      case Opcode::CfseExec:
+        return cfse_.opCycles(instr.cfseOp, instr.m);
+      case Opcode::Sync:
+        return 0;
+    }
+    EXION_PANIC("unhandled opcode");
+}
+
+TraceStats
+TopController::run(const Program &program) const
+{
+    TraceStats stats;
+
+    // Double-buffering model: transfers in flight overlap the
+    // previous compute window ("credit"). An MMUL pays only the
+    // residual of its operand transfers beyond that window — the
+    // shadow IMEM/WMEM buffers filled while the prior sweep ran.
+    Cycle dma_in_flight = 0;
+    Cycle credit = 0;
+    Cycle shadow_pending = 0; //!< EPRE/CAU work pending the next Sync
+
+    auto begin_compute = [&](Cycle cost) {
+        const Cycle stall =
+            dma_in_flight > credit ? dma_in_flight - credit : 0;
+        stats.totalCycles += stall + cost;
+        stats.stallCycles += stall;
+        dma_in_flight = 0;
+        credit = cost;
+        shadow_pending =
+            shadow_pending > cost ? shadow_pending - cost : 0;
+    };
+
+    auto drain = [&]() {
+        // A Sync waits for everything outstanding.
+        const Cycle dma_residual =
+            dma_in_flight > credit ? dma_in_flight - credit : 0;
+        const Cycle wait = std::max(dma_residual, shadow_pending);
+        stats.totalCycles += wait;
+        stats.stallCycles += dma_residual;
+        dma_in_flight = 0;
+        credit = 0;
+        shadow_pending = 0;
+    };
+
+    for (const Instr &instr : program) {
+        ++stats.instructions;
+        const Cycle cost = instrCycles(instr);
+        switch (instr.op) {
+          case Opcode::LoadInput:
+          case Opcode::LoadWeight:
+          case Opcode::StoreOutput:
+            // Shadow-buffer fill / background writeback.
+            dma_in_flight += cost;
+            stats.dmaBusy += cost;
+            break;
+          case Opcode::EpPredict:
+            stats.epreBusy += cost;
+            shadow_pending = std::max(shadow_pending, cost);
+            break;
+          case Opcode::CauMerge:
+            stats.cauBusy += cost;
+            shadow_pending = std::max(shadow_pending, cost);
+            break;
+          case Opcode::MmulDense:
+          case Opcode::MmulMerged: {
+            begin_compute(cost);
+            stats.sdueBusy += cost;
+            if (instr.op == Opcode::MmulDense) {
+                const SdueRunStats d = sdue_.denseMmulStats(
+                    instr.m, instr.k, instr.n);
+                stats.activeDpuCycles += d.activeDpuCycles;
+                stats.gatedDpuCycles += d.gatedDpuCycles;
+            } else {
+                const u64 dpu_cycles = cost * params_.dpuRows
+                    * params_.dpuCols;
+                stats.activeDpuCycles += static_cast<u64>(
+                    dpu_cycles * instr.occupancy);
+                stats.gatedDpuCycles += static_cast<u64>(
+                    dpu_cycles * (1.0 - instr.occupancy));
+            }
+            break;
+          }
+          case Opcode::CfseExec:
+            begin_compute(cost);
+            stats.cfseBusy += cost;
+            break;
+          case Opcode::Sync:
+            drain();
+            break;
+        }
+    }
+    drain();
+    return stats;
+}
+
+} // namespace exion

@@ -1,0 +1,237 @@
+#include "exion/sparsity/ffn_reuse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exion/tensor/ops.h"
+#include "exion/tensor/quant_matrix.h"
+
+namespace exion
+{
+
+double
+sparsityQuantile(const std::vector<float> &values, double target_sparsity)
+{
+    EXION_ASSERT(!values.empty(), "quantile of empty data");
+    EXION_ASSERT(target_sparsity >= 0.0 && target_sparsity <= 1.0,
+                 "sparsity target ", target_sparsity);
+    std::vector<float> magnitudes(values.size());
+    for (Index i = 0; i < values.size(); ++i)
+        magnitudes[i] = std::abs(values[i]);
+    const Index rank = std::min<Index>(
+        values.size() - 1,
+        static_cast<Index>(target_sparsity
+                           * static_cast<double>(values.size())));
+    std::nth_element(magnitudes.begin(), magnitudes.begin() + rank,
+                     magnitudes.end());
+    return magnitudes[rank];
+}
+
+FfnReuse::FfnReuse(const FfnReuseConfig &cfg, bool quantize)
+    : cfg_(cfg), quantize_(quantize)
+{
+    EXION_ASSERT(cfg_.denseInterval >= 0, "dense interval ",
+                 cfg_.denseInterval);
+}
+
+bool
+FfnReuse::isDenseIteration(int iteration) const
+{
+    return iteration % (cfg_.denseInterval + 1) == 0;
+}
+
+const FfnReuseBlockState *
+FfnReuse::state(int block_id) const
+{
+    const auto it = states_.find(block_id);
+    return it == states_.end() || !it->second.initialized
+        ? nullptr : &it->second;
+}
+
+void
+FfnReuse::reset()
+{
+    states_.clear();
+}
+
+Matrix
+FfnReuse::run(const TransformerBlock &blk, const Matrix &x_norm,
+              int iteration, ExecStats &stats, ExecObservers &observers)
+{
+    FfnReuseBlockState &st = states_[blk.id()];
+    if (isDenseIteration(iteration) || !st.initialized)
+        return runDense(blk, x_norm, stats, observers, st);
+    return runSparse(blk, x_norm, stats, observers, st);
+}
+
+namespace
+{
+
+OpCount
+mmulOps(Index m, Index k, Index n)
+{
+    return static_cast<OpCount>(2) * m * k * n;
+}
+
+/** Computes the non-linear hidden activation densely. */
+Matrix
+denseHidden(const TransformerBlock &blk, const Matrix &x_norm,
+            bool quantize)
+{
+    Matrix gate = execMatmul(x_norm, blk.ffn1().weight(), quantize);
+    addRowVector(gate, blk.ffn1().bias());
+    Matrix hidden = gelu(gate);
+    if (blk.geglu()) {
+        Matrix value = execMatmul(x_norm, blk.ffn1Value().weight(),
+                                  quantize);
+        addRowVector(value, blk.ffn1Value().bias());
+        for (Index i = 0; i < hidden.size(); ++i)
+            hidden.data()[i] *= value.data()[i];
+    }
+    return hidden;
+}
+
+} // namespace
+
+Matrix
+FfnReuse::runDense(const TransformerBlock &blk, const Matrix &x_norm,
+                   ExecStats &stats, ExecObservers &observers,
+                   FfnReuseBlockState &st)
+{
+    const Index t = x_norm.rows();
+    const Index d = blk.dModel();
+    const Index hid = blk.ffnHidden();
+    const OpCount ffn1_dense =
+        (blk.geglu() ? 2 : 1) * mmulOps(t, d, hid);
+
+    Matrix hidden = denseHidden(blk, x_norm, quantize_);
+    stats.ffnOpsDense += ffn1_dense;
+    stats.ffnOpsExecuted += ffn1_dense;
+
+    if (observers.onFfnHidden)
+        observers.onFfnHidden(blk.id(), hidden);
+
+    // Calibrate theta and build the recompute mask.
+    st.theta = sparsityQuantile(hidden.data(), cfg_.targetSparsity);
+    st.mask = Bitmask2D(t, hid);
+    for (Index r = 0; r < t; ++r)
+        for (Index c = 0; c < hid; ++c)
+            if (std::abs(hidden(r, c)) > st.theta)
+                st.mask.set(r, c, true);
+
+    if (observers.onFfnMask)
+        observers.onFfnMask(blk.id(), st.mask, true);
+
+    // Split H into reuse and recompute regions; cache the reuse
+    // region's contribution through the second FFN layer.
+    Matrix h_reuse = hidden;
+    Matrix h_keep = hidden;
+    for (Index r = 0; r < t; ++r) {
+        for (Index c = 0; c < hid; ++c) {
+            if (st.mask.get(r, c))
+                h_reuse(r, c) = 0.0f;
+            else
+                h_keep(r, c) = 0.0f;
+        }
+    }
+    st.psumSparse = execMatmul(h_reuse, blk.ffn2().weight(), quantize_);
+    st.hiddenCache = std::move(hidden);
+    st.initialized = true;
+
+    Matrix out = add(st.psumSparse,
+                     execMatmul(h_keep, blk.ffn2().weight(), quantize_));
+    addRowVector(out, blk.ffn2().bias());
+    stats.ffnOpsDense += mmulOps(t, hid, d);
+    stats.ffnOpsExecuted += mmulOps(t, hid, d);
+    return out;
+}
+
+Matrix
+FfnReuse::runSparse(const TransformerBlock &blk, const Matrix &x_norm,
+                    ExecStats &stats, ExecObservers &observers,
+                    FfnReuseBlockState &st)
+{
+    const Index t = x_norm.rows();
+    const Index d = blk.dModel();
+    const Index hid = blk.ffnHidden();
+    EXION_ASSERT(st.mask.rows() == t && st.mask.cols() == hid,
+                 "FFN-Reuse state shape mismatch for block ", blk.id());
+
+    const u64 nnz = st.mask.countOnes();
+    const double sparsity = st.mask.sparsity();
+    stats.ffnSparsitySum += sparsity;
+    ++stats.ffnSparsitySamples;
+    if (observers.onFfnMask)
+        observers.onFfnMask(blk.id(), st.mask, false);
+
+    // Recompute only the masked elements of the hidden activation.
+    Matrix h_keep(t, hid);
+    const bool geglu = blk.geglu();
+    if (quantize_) {
+        const QuantMatrix qx =
+            QuantMatrix::fromFloat(x_norm, IntWidth::Int12);
+        const QuantMatrix qw1 =
+            QuantMatrix::fromFloat(blk.ffn1().weight(), IntWidth::Int12);
+        const QuantMatrix qw1v = geglu
+            ? QuantMatrix::fromFloat(blk.ffn1Value().weight(),
+                                     IntWidth::Int12)
+            : QuantMatrix();
+        const double s1 = qx.scale() * qw1.scale();
+        const double s1v = geglu ? qx.scale() * qw1v.scale() : 0.0;
+        for (Index r = 0; r < t; ++r) {
+            for (Index c = 0; c < hid; ++c) {
+                if (!st.mask.get(r, c))
+                    continue;
+                i64 acc = 0;
+                for (Index k = 0; k < d; ++k)
+                    acc += static_cast<i64>(qx(r, k)) * qw1(k, c);
+                float h = geluScalar(static_cast<float>(acc * s1)
+                                     + blk.ffn1().bias()(0, c));
+                if (geglu) {
+                    i64 accv = 0;
+                    for (Index k = 0; k < d; ++k)
+                        accv += static_cast<i64>(qx(r, k)) * qw1v(k, c);
+                    h *= static_cast<float>(accv * s1v)
+                        + blk.ffn1Value().bias()(0, c);
+                }
+                h_keep(r, c) = h;
+            }
+        }
+    } else {
+        const Matrix &w1 = blk.ffn1().weight();
+        for (Index r = 0; r < t; ++r) {
+            const float *xrow = x_norm.rowPtr(r);
+            for (Index c = 0; c < hid; ++c) {
+                if (!st.mask.get(r, c))
+                    continue;
+                float acc = 0.0f;
+                for (Index k = 0; k < d; ++k)
+                    acc += xrow[k] * w1(k, c);
+                float h = geluScalar(acc + blk.ffn1().bias()(0, c));
+                if (geglu) {
+                    const Matrix &w1v = blk.ffn1Value().weight();
+                    float accv = 0.0f;
+                    for (Index k = 0; k < d; ++k)
+                        accv += xrow[k] * w1v(k, c);
+                    h *= accv + blk.ffn1Value().bias()(0, c);
+                }
+                h_keep(r, c) = h;
+            }
+        }
+    }
+
+    const OpCount per_element = (geglu ? 2 : 1);
+    stats.ffnOpsDense += (geglu ? 2 : 1) * mmulOps(t, d, hid);
+    stats.ffnOpsExecuted += 2 * per_element * nnz * d;
+
+    // Second layer: accumulate only the recomputed contributions onto
+    // the cached partial sums.
+    Matrix out = add(st.psumSparse,
+                     execMatmul(h_keep, blk.ffn2().weight(), quantize_));
+    addRowVector(out, blk.ffn2().bias());
+    stats.ffnOpsDense += mmulOps(t, hid, d);
+    stats.ffnOpsExecuted += 2 * nnz * d;
+    return out;
+}
+
+} // namespace exion

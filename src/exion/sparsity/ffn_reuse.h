@@ -1,0 +1,96 @@
+/**
+ * @file
+ * FFN-Reuse algorithm (Section III-A, Fig. 6).
+ *
+ * One dense iteration computes the FFN fully, thresholds the non-linear
+ * layer's output |H| into a recompute bitmask (1 = important, compute
+ * every iteration), and caches the partial sums contributed by the
+ * reused (sparse) elements through the second FFN layer. The following
+ * N sparse iterations recompute only masked elements of the first
+ * layer's output and accumulate just those contributions onto the
+ * cached partial sums.
+ *
+ * Thresholds are calibrated per block at each dense iteration as the
+ * targetSparsity quantile of |H| — the runtime analogue of the paper's
+ * empirically determined local thresholds.
+ */
+
+#ifndef EXION_SPARSITY_FFN_REUSE_H_
+#define EXION_SPARSITY_FFN_REUSE_H_
+
+#include <unordered_map>
+
+#include "exion/model/config.h"
+#include "exion/model/executor.h"
+#include "exion/model/transformer_block.h"
+#include "exion/tensor/bitmask.h"
+
+namespace exion
+{
+
+/**
+ * Per-block inter-iteration reuse state.
+ */
+struct FfnReuseBlockState
+{
+    bool initialized = false;
+    double theta = 0.0;   //!< calibrated |H| threshold
+    Bitmask2D mask;       //!< recompute mask (1 = recompute)
+    Matrix hiddenCache;   //!< H from the last dense iteration
+    Matrix psumSparse;    //!< (H masked to reuse region) * W2
+};
+
+/**
+ * FFN-Reuse execution engine, stateful across iterations.
+ */
+class FfnReuse
+{
+  public:
+    /**
+     * @param cfg      dense interval N and sparsity target
+     * @param quantize run MMULs through INT12 operands
+     */
+    FfnReuse(const FfnReuseConfig &cfg, bool quantize);
+
+    /** True when the iteration is a dense (full recompute) one. */
+    bool isDenseIteration(int iteration) const;
+
+    /**
+     * Executes one FFN sub-layer under reuse.
+     *
+     * @param blk       the transformer block (weights)
+     * @param x_norm    normalised sub-layer input
+     * @param iteration current denoising iteration
+     * @param stats     op/sparsity accounting sink
+     * @param observers mask/activation hooks
+     */
+    Matrix run(const TransformerBlock &blk, const Matrix &x_norm,
+               int iteration, ExecStats &stats,
+               ExecObservers &observers);
+
+    /** Read access to a block's state (nullptr before first dense). */
+    const FfnReuseBlockState *state(int block_id) const;
+
+    /** Drops all cached state (e.g. between pipeline runs). */
+    void reset();
+
+  private:
+    Matrix runDense(const TransformerBlock &blk, const Matrix &x_norm,
+                    ExecStats &stats, ExecObservers &observers,
+                    FfnReuseBlockState &st);
+    Matrix runSparse(const TransformerBlock &blk, const Matrix &x_norm,
+                     ExecStats &stats, ExecObservers &observers,
+                     FfnReuseBlockState &st);
+
+    FfnReuseConfig cfg_;
+    bool quantize_;
+    std::unordered_map<int, FfnReuseBlockState> states_;
+};
+
+/** targetSparsity quantile of |values| (the calibrated threshold). */
+double sparsityQuantile(const std::vector<float> &values,
+                        double target_sparsity);
+
+} // namespace exion
+
+#endif // EXION_SPARSITY_FFN_REUSE_H_

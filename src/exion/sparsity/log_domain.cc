@@ -1,0 +1,83 @@
+#include "exion/sparsity/log_domain.h"
+
+#include <cstdlib>
+
+namespace exion
+{
+
+i64
+ldProduct(i32 a, i32 b, LodMode mode)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    const bool negative = (a < 0) != (b < 0);
+    const u32 ua = static_cast<u32>(std::abs(static_cast<i64>(a)));
+    const u32 ub = static_cast<u32>(std::abs(static_cast<i64>(b)));
+
+    i64 magnitude = 0;
+    if (mode == LodMode::Single) {
+        const int pa = leadingOne(ua);
+        const int pb = leadingOne(ub);
+        magnitude = i64{1} << (pa + pb);
+    } else {
+        const TsLod ta = twoStepLeadingOne(ua);
+        const TsLod tb = twoStepLeadingOne(ub);
+        const int a_bits[2] = {ta.first, ta.second};
+        const int b_bits[2] = {tb.first, tb.second};
+        for (int ai : a_bits) {
+            if (ai == kNoLeadingOne)
+                continue;
+            for (int bi : b_bits) {
+                if (bi == kNoLeadingOne)
+                    continue;
+                magnitude += i64{1} << (ai + bi);
+            }
+        }
+    }
+    return negative ? -magnitude : magnitude;
+}
+
+Matrix
+ldMatmul(const QuantMatrix &a, const QuantMatrix &b, LodMode mode)
+{
+    EXION_ASSERT(a.cols() == b.rows(), "ldMatmul shape mismatch");
+    Matrix c(a.rows(), b.cols());
+    const double out_scale = a.scale() * b.scale();
+    for (Index i = 0; i < a.rows(); ++i) {
+        for (Index j = 0; j < b.cols(); ++j) {
+            i64 acc = 0;
+            for (Index k = 0; k < a.cols(); ++k)
+                acc += ldProduct(a(i, k), b(k, j), mode);
+            c(i, j) = static_cast<float>(acc * out_scale);
+        }
+    }
+    return c;
+}
+
+Matrix
+ldMatmulTransposed(const QuantMatrix &a, const QuantMatrix &b,
+                   LodMode mode)
+{
+    EXION_ASSERT(a.cols() == b.cols(), "ldMatmulT shape mismatch");
+    Matrix c(a.rows(), b.rows());
+    const double out_scale = a.scale() * b.scale();
+    for (Index i = 0; i < a.rows(); ++i) {
+        for (Index j = 0; j < b.rows(); ++j) {
+            i64 acc = 0;
+            for (Index k = 0; k < a.cols(); ++k)
+                acc += ldProduct(a(i, k), b(j, k), mode);
+            c(i, j) = static_cast<float>(acc * out_scale);
+        }
+    }
+    return c;
+}
+
+Matrix
+ldMatmulFloat(const Matrix &a, const Matrix &b, LodMode mode)
+{
+    const QuantMatrix qa = QuantMatrix::fromFloat(a, IntWidth::Int12);
+    const QuantMatrix qb = QuantMatrix::fromFloat(b, IntWidth::Int12);
+    return ldMatmul(qa, qb, mode);
+}
+
+} // namespace exion

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Log-domain arithmetic of the eager-prediction engine (Fig. 5a / 15).
+ *
+ * Operands are approximated by their leading-one position (LOD) or the
+ * two leading set bits (TS-LOD); a multiply becomes an exponent
+ * addition realised as a shift, and accumulation of the resulting
+ * one-hot values uses the one-hot adder tree (functionally: exact sums
+ * of powers of two).
+ */
+
+#ifndef EXION_SPARSITY_LOG_DOMAIN_H_
+#define EXION_SPARSITY_LOG_DOMAIN_H_
+
+#include "exion/common/bitops.h"
+#include "exion/tensor/matrix.h"
+#include "exion/tensor/quant_matrix.h"
+
+namespace exion
+{
+
+/** Leading-one detection depth. */
+enum class LodMode
+{
+    Single,  //!< original EP (FACT): one bit per operand
+    TwoStep, //!< EXION's TS-LOD: two bits per operand
+};
+
+/**
+ * Approximate signed product of two integers in the log domain.
+ *
+ * Single mode: sign * 2^(p_a + p_b). TwoStep mode: the four (or fewer)
+ * cross terms of (2^a1 + 2^a2)(2^b1 + 2^b2).
+ */
+i64 ldProduct(i32 a, i32 b, LodMode mode);
+
+/**
+ * Log-domain A (m x k) * B (k x n), dequantised to float.
+ *
+ * Every MAC uses ldProduct; accumulation is exact (the one-hot adder
+ * tree merges one-hot addends losslessly).
+ */
+Matrix ldMatmul(const QuantMatrix &a, const QuantMatrix &b, LodMode mode);
+
+/** Log-domain A (m x k) * B^T (n x k), dequantised to float. */
+Matrix ldMatmulTransposed(const QuantMatrix &a, const QuantMatrix &b,
+                          LodMode mode);
+
+/**
+ * Convenience: quantise both float operands to INT12, then run the
+ * log-domain product A * B.
+ */
+Matrix ldMatmulFloat(const Matrix &a, const Matrix &b, LodMode mode);
+
+} // namespace exion
+
+#endif // EXION_SPARSITY_LOG_DOMAIN_H_

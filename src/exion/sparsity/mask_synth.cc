@@ -1,0 +1,183 @@
+#include "exion/sparsity/mask_synth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "exion/common/logging.h"
+
+namespace exion
+{
+
+double
+FfnMaskParams::backgroundDensity() const
+{
+    const double bg_fraction = 1.0 - deadColFraction - hotColFraction;
+    if (bg_fraction <= 0.0)
+        return 0.0;
+    const double hot_mass = hotColFraction * hotColDensity;
+    return std::clamp((density - hot_mass) / bg_fraction, 0.0, 1.0);
+}
+
+FfnMaskParams
+ffnMaskParams(Benchmark b)
+{
+    // density = 1 - Table I inter-iteration sparsity. Dead/hot column
+    // fractions calibrated so matrix-level condensing matches the
+    // paper's Fig. 8/17 remainders (e.g. MLD 13.8%, SD 77.4%).
+    switch (b) {
+      case Benchmark::MLD:
+        return {0.05, 0.85, 0.03, 0.85};
+      case Benchmark::MDM:
+        return {0.05, 0.80, 0.02, 0.85};
+      case Benchmark::EDGE:
+        return {0.05, 0.70, 0.02, 0.85};
+      case Benchmark::MakeAnAudio:
+        return {0.03, 0.50, 0.02, 0.85};
+      case Benchmark::StableDiffusion:
+        return {0.03, 0.226, 0.02, 0.85};
+      case Benchmark::DiT:
+        return {0.20, 0.20, 0.05, 0.85};
+      case Benchmark::VideoCrafter2:
+        return {0.30, 0.10, 0.10, 0.85};
+    }
+    EXION_PANIC("unhandled benchmark");
+}
+
+ScoreMaskParams
+scoreMaskParams(Benchmark b)
+{
+    // keepRatio = Table I top-k; one-hot fractions measured on the
+    // reduced-scale functional runs (bench_table1 prints them); cold
+    // column fractions calibrated to Fig. 17's attention condensing.
+    switch (b) {
+      case Benchmark::MLD:
+        return {0.7, 0.10, 0.8, 0.10};
+      case Benchmark::MDM:
+        return {0.05, 0.30, 0.8, 0.35};
+      case Benchmark::EDGE:
+        return {0.5, 0.20, 0.8, 0.20};
+      case Benchmark::MakeAnAudio:
+        return {0.2, 0.20, 0.8, 0.25};
+      case Benchmark::StableDiffusion:
+        return {0.8, 0.05, 0.8, 0.05};
+      case Benchmark::DiT:
+        return {0.05, 0.30, 0.8, 0.35};
+      case Benchmark::VideoCrafter2:
+        return {0.5, 0.10, 0.8, 0.10};
+    }
+    EXION_PANIC("unhandled benchmark");
+}
+
+Bitmask2D
+synthFfnMask(Index rows, Index cols, const FfnMaskParams &p, Rng &rng)
+{
+    Bitmask2D mask(rows, cols);
+    const double bg = p.backgroundDensity();
+    for (Index c = 0; c < cols; ++c) {
+        const double draw = rng.uniform();
+        double density;
+        if (draw < p.deadColFraction) {
+            continue; // dead column: stays all zero
+        } else if (draw < p.deadColFraction + p.hotColFraction) {
+            density = p.hotColDensity;
+        } else {
+            density = bg;
+        }
+        for (Index r = 0; r < rows; ++r)
+            if (rng.bernoulli(density))
+                mask.set(r, c, true);
+    }
+    return mask;
+}
+
+Bitmask2D
+synthScoreMask(Index rows, Index cols, const ScoreMaskParams &p,
+               Rng &rng)
+{
+    Bitmask2D mask(rows, cols);
+    Index keep_k = std::max<Index>(
+        1, static_cast<Index>(
+               std::ceil(p.keepRatio * static_cast<double>(cols))));
+
+    // Zipf-distributed column popularity over a shuffled rank order;
+    // a coldColFraction of columns is never attended (weight zero).
+    std::vector<double> weight(cols);
+    std::vector<Index> rank(cols);
+    for (Index c = 0; c < cols; ++c)
+        rank[c] = c;
+    for (Index c = cols; c > 1; --c)
+        std::swap(rank[c - 1], rank[rng.uniformInt(c)]);
+    const Index cold = static_cast<Index>(
+        p.coldColFraction * static_cast<double>(cols));
+    double total = 0.0;
+    Index warm = 0;
+    for (Index c = 0; c < cols; ++c) {
+        // The highest rank indices are the cold tail.
+        if (rank[c] + cold >= cols) {
+            weight[c] = 0.0;
+        } else {
+            weight[c] = std::pow(static_cast<double>(rank[c] + 1),
+                                 -p.zipfAlpha);
+            ++warm;
+        }
+        total += weight[c];
+    }
+    keep_k = std::min<Index>(keep_k, std::max<Index>(1, warm));
+
+    std::vector<Index> chosen;
+    chosen.reserve(keep_k);
+    for (Index r = 0; r < rows; ++r) {
+        if (rng.bernoulli(p.oneHotFraction))
+            continue; // one-hot row: no real score computation
+
+        if (keep_k * 2 >= warm) {
+            // Dense keep: cheaper to drop (warm - keep_k) columns.
+            std::vector<u8> kept(cols);
+            for (Index c = 0; c < cols; ++c)
+                kept[c] = weight[c] > 0.0 ? 1 : 0;
+            Index dropped = 0;
+            while (dropped < warm - keep_k) {
+                const Index c = rng.uniformInt(cols);
+                // Drop inversely proportional to popularity.
+                if (kept[c]
+                    && rng.bernoulli(1.0 - weight[c] * cols / total
+                                               * 0.5)) {
+                    kept[c] = 0;
+                    ++dropped;
+                }
+            }
+            for (Index c = 0; c < cols; ++c)
+                if (kept[c])
+                    mask.set(r, c, true);
+        } else {
+            // Sparse keep: weighted sampling without replacement.
+            chosen.clear();
+            double remaining = total;
+            std::vector<u8> used(cols, 0);
+            while (chosen.size() < keep_k) {
+                double target = rng.uniform() * remaining;
+                Index pick = cols - 1;
+                for (Index c = 0; c < cols; ++c) {
+                    if (used[c])
+                        continue;
+                    if (target < weight[c]) {
+                        pick = c;
+                        break;
+                    }
+                    target -= weight[c];
+                }
+                if (used[pick])
+                    continue;
+                used[pick] = 1;
+                remaining -= weight[pick];
+                chosen.push_back(pick);
+            }
+            for (Index c : chosen)
+                mask.set(r, c, true);
+        }
+    }
+    return mask;
+}
+
+} // namespace exion

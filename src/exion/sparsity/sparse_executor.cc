@@ -1,0 +1,217 @@
+#include "exion/sparsity/sparse_executor.h"
+
+#include <cmath>
+#include <limits>
+
+#include "exion/tensor/ops.h"
+
+namespace exion
+{
+
+SparseExecutor::SparseExecutor(const Options &opt)
+    : opt_(opt), ffnReuse_(opt.ffnReuse, opt.quantize)
+{
+}
+
+SparseExecutor::Options
+SparseExecutor::fromConfig(const ModelConfig &cfg, bool use_ffn_reuse,
+                           bool use_ep, bool quantize, LodMode mode)
+{
+    Options opt;
+    opt.useFfnReuse = use_ffn_reuse;
+    opt.useEp = use_ep;
+    opt.quantize = quantize;
+    opt.lodMode = mode;
+    opt.ffnReuse = cfg.ffnReuse;
+    opt.ep = cfg.ep;
+    return opt;
+}
+
+Matrix
+SparseExecutor::ffn(const TransformerBlock &blk, const Matrix &x_norm)
+{
+    if (!opt_.useFfnReuse)
+        return denseFfnImpl(blk, x_norm, opt_.quantize, stats_,
+                            observers);
+    return ffnReuse_.run(blk, x_norm, iteration_, stats_, observers);
+}
+
+Matrix
+SparseExecutor::attention(const TransformerBlock &blk,
+                          const Matrix &x_norm)
+{
+    if (!opt_.useEp)
+        return denseAttentionImpl(blk, x_norm, opt_.quantize, stats_,
+                                  observers);
+    return epAttention(blk, x_norm);
+}
+
+namespace
+{
+
+OpCount
+mmulOps(Index m, Index k, Index n)
+{
+    return static_cast<OpCount>(2) * m * k * n;
+}
+
+/** Row-masked projection: rows with needed == 0 stay zero. */
+Matrix
+projectNeededRows(const Matrix &x, const Linear &proj,
+                  const std::vector<u8> &needed, bool quantize)
+{
+    Matrix out(x.rows(), proj.outDim());
+    // Collect needed rows, project densely, scatter back. This keeps
+    // the quantisation behaviour identical to the dense path.
+    Index n_needed = 0;
+    for (u8 v : needed)
+        n_needed += v;
+    if (n_needed == 0)
+        return out;
+
+    Matrix packed(n_needed, x.cols());
+    Index w = 0;
+    for (Index r = 0; r < x.rows(); ++r) {
+        if (!needed[r])
+            continue;
+        for (Index c = 0; c < x.cols(); ++c)
+            packed(w, c) = x(r, c);
+        ++w;
+    }
+    Matrix projected = execMatmul(packed, proj.weight(), quantize);
+    addRowVector(projected, proj.bias());
+    w = 0;
+    for (Index r = 0; r < x.rows(); ++r) {
+        if (!needed[r])
+            continue;
+        for (Index c = 0; c < out.cols(); ++c)
+            out(r, c) = projected(w, c);
+        ++w;
+    }
+    return out;
+}
+
+} // namespace
+
+Matrix
+SparseExecutor::epAttention(const TransformerBlock &blk,
+                            const Matrix &x_norm)
+{
+    const Index t = x_norm.rows();
+    const Index d = blk.dModel();
+    const Index dh = blk.headDim();
+    const Index n_heads = blk.nHeads();
+    const float inv_sqrt = static_cast<float>(blk.scoreTemp())
+        / std::sqrt(static_cast<float>(dh));
+
+    // --- EPRE: predicted attention scores and skip decisions. ---
+    const QuantMatrix qx = QuantMatrix::fromFloat(x_norm, IntWidth::Int12);
+    std::vector<HeadDecision> decisions;
+    decisions.reserve(n_heads);
+    for (Index h = 0; h < n_heads; ++h) {
+        const QuantMatrix qwq = QuantMatrix::fromFloat(
+            sliceCols(blk.wq().weight(), h * dh, dh), IntWidth::Int12);
+        const QuantMatrix qwk = QuantMatrix::fromFloat(
+            sliceCols(blk.wk().weight(), h * dh, dh), IntWidth::Int12);
+        Matrix predicted =
+            predictHeadScore(qx, qwq, qwk, opt_.lodMode);
+        for (Index i = 0; i < predicted.size(); ++i)
+            predicted.data()[i] *=
+                static_cast<float>(blk.scoreTemp());
+        HeadDecision dec = decideFromPrediction(predicted, opt_.ep);
+        if (observers.onScoreMask)
+            observers.onScoreMask(blk.id(), static_cast<int>(h),
+                                  dec.keep);
+        stats_.scoreSparsitySum += dec.scoreSparsity();
+        ++stats_.scoreSparsitySamples;
+        decisions.push_back(std::move(dec));
+    }
+    const ProjectionNeeds needs = combineNeeds(decisions, t);
+
+    const Index nq = ProjectionNeeds::countNeeded(needs.qRowNeeded);
+    const Index nk = ProjectionNeeds::countNeeded(needs.kRowNeeded);
+    const Index nv = ProjectionNeeds::countNeeded(needs.vRowNeeded);
+    stats_.qRowsTotal += t;
+    stats_.kColsTotal += t;
+    stats_.vColsTotal += t;
+    stats_.qRowsSkipped += t - nq;
+    stats_.kColsSkipped += t - nk;
+    stats_.vColsSkipped += t - nv;
+
+    // --- Real projections, only for needed tokens (SDUE, INT12). ---
+    const Matrix q = projectNeededRows(x_norm, blk.wq(),
+                                       needs.qRowNeeded, opt_.quantize);
+    const Matrix k = projectNeededRows(x_norm, blk.wk(),
+                                       needs.kRowNeeded, opt_.quantize);
+    const Matrix v = projectNeededRows(x_norm, blk.wv(),
+                                       needs.vRowNeeded, opt_.quantize);
+    stats_.qkvOpsDense += 3 * mmulOps(t, d, d);
+    stats_.qkvOpsExecuted += mmulOps(nq, d, d) + mmulOps(nk, d, d)
+        + mmulOps(nv, d, d);
+
+    // --- Real attention at kept positions only. ---
+    Matrix concat(t, d);
+    std::vector<float> row_scores(t);
+    std::vector<Index> kept_cols;
+    kept_cols.reserve(t);
+    for (Index h = 0; h < n_heads; ++h) {
+        const HeadDecision &dec = decisions[h];
+        OpCount kept_total = 0;
+        for (Index r = 0; r < t; ++r) {
+            if (dec.oneHot[r]) {
+                // One-hot approximation: output is V at the argmax.
+                const Index src = dec.oneHotArg[r];
+                for (Index c = 0; c < dh; ++c)
+                    concat(r, h * dh + c) = v(src, h * dh + c);
+                continue;
+            }
+            kept_cols.clear();
+            for (Index c = 0; c < t; ++c)
+                if (dec.keep.get(r, c))
+                    kept_cols.push_back(c);
+            EXION_ASSERT(!kept_cols.empty(),
+                         "non-one-hot row with empty keep set");
+
+            // Scores at kept positions.
+            float max_v = -std::numeric_limits<float>::infinity();
+            for (Index idx = 0; idx < kept_cols.size(); ++idx) {
+                const Index c = kept_cols[idx];
+                float acc = 0.0f;
+                for (Index e = 0; e < dh; ++e)
+                    acc += q(r, h * dh + e) * k(c, h * dh + e);
+                const float s = acc * inv_sqrt;
+                row_scores[idx] = s;
+                max_v = std::max(max_v, s);
+            }
+            kept_total += kept_cols.size();
+
+            // Softmax over kept entries.
+            double denom = 0.0;
+            for (Index idx = 0; idx < kept_cols.size(); ++idx) {
+                row_scores[idx] = std::exp(row_scores[idx] - max_v);
+                denom += row_scores[idx];
+            }
+            const float inv_denom = static_cast<float>(1.0 / denom);
+
+            // Attention x V over kept entries.
+            for (Index e = 0; e < dh; ++e) {
+                float acc = 0.0f;
+                for (Index idx = 0; idx < kept_cols.size(); ++idx)
+                    acc += row_scores[idx] * inv_denom
+                        * v(kept_cols[idx], h * dh + e);
+                concat(r, h * dh + e) = acc;
+            }
+        }
+        stats_.attnOpsDense += mmulOps(t, dh, t) + mmulOps(t, t, dh);
+        stats_.attnOpsExecuted += 2 * 2 * kept_total * dh;
+    }
+
+    // Output projection stays dense (all rows have outputs).
+    Matrix out = execMatmul(concat, blk.wo().weight(), opt_.quantize);
+    addRowVector(out, blk.wo().bias());
+    stats_.attnOpsDense += mmulOps(t, d, d);
+    stats_.attnOpsExecuted += mmulOps(t, d, d);
+    return out;
+}
+
+} // namespace exion

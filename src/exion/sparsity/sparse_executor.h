@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The EXION execution strategy: FFN-Reuse + eager prediction.
+ *
+ * One executor covers all ablation points of the evaluation
+ * (EXION_Base / _EP / _FFNR / _All) through its Options flags.
+ */
+
+#ifndef EXION_SPARSITY_SPARSE_EXECUTOR_H_
+#define EXION_SPARSITY_SPARSE_EXECUTOR_H_
+
+#include "exion/model/config.h"
+#include "exion/model/executor.h"
+#include "exion/sparsity/eager_prediction.h"
+#include "exion/sparsity/ffn_reuse.h"
+
+namespace exion
+{
+
+/**
+ * Block executor applying EXION's software-level optimisations.
+ */
+class SparseExecutor : public BlockExecutor
+{
+  public:
+    /** Feature selection mirroring the paper's ablations. */
+    struct Options
+    {
+        bool useFfnReuse = true;
+        bool useEp = true;
+        bool quantize = false;
+        LodMode lodMode = LodMode::TwoStep;
+        FfnReuseConfig ffnReuse{};
+        EpConfig ep{};
+    };
+
+    explicit SparseExecutor(const Options &opt);
+
+    /** Options derived from a model config (Table I knobs). */
+    static Options fromConfig(const ModelConfig &cfg,
+                              bool use_ffn_reuse, bool use_ep,
+                              bool quantize,
+                              LodMode mode = LodMode::TwoStep);
+
+    Matrix attention(const TransformerBlock &blk,
+                     const Matrix &x_norm) override;
+    Matrix ffn(const TransformerBlock &blk, const Matrix &x_norm) override;
+
+    /** The FFN-Reuse engine (inspectable state). */
+    FfnReuse &ffnReuse() { return ffnReuse_; }
+
+    /** Active options. */
+    const Options &options() const { return opt_; }
+
+  private:
+    Matrix epAttention(const TransformerBlock &blk, const Matrix &x_norm);
+
+    Options opt_;
+    FfnReuse ffnReuse_;
+};
+
+} // namespace exion
+
+#endif // EXION_SPARSITY_SPARSE_EXECUTOR_H_

@@ -1,0 +1,73 @@
+#include "exion/tensor/bitmask.h"
+
+#include <bit>
+
+namespace exion
+{
+
+Bitmask2D::Bitmask2D(Index rows, Index cols)
+    : rows_(rows), cols_(cols), words_((rows * cols + 63) / 64, 0)
+{
+}
+
+u64
+Bitmask2D::countOnes() const
+{
+    u64 total = 0;
+    for (u64 w : words_)
+        total += std::popcount(w);
+    return total;
+}
+
+double
+Bitmask2D::sparsity() const
+{
+    const u64 total = static_cast<u64>(rows_) * cols_;
+    if (total == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(countOnes())
+        / static_cast<double>(total);
+}
+
+u64
+Bitmask2D::columnOnes(Index c) const
+{
+    u64 total = 0;
+    for (Index r = 0; r < rows_; ++r)
+        total += get(r, c) ? 1 : 0;
+    return total;
+}
+
+u64
+Bitmask2D::rowOnes(Index r) const
+{
+    u64 total = 0;
+    for (Index c = 0; c < cols_; ++c)
+        total += get(r, c) ? 1 : 0;
+    return total;
+}
+
+u16
+Bitmask2D::columnSlice16(Index c, Index row0) const
+{
+    u16 out = 0;
+    for (Index i = 0; i < 16; ++i) {
+        const Index r = row0 + i;
+        if (r >= rows_)
+            break;
+        if (get(r, c))
+            out |= static_cast<u16>(1u << i);
+    }
+    return out;
+}
+
+void
+Bitmask2D::orWith(const Bitmask2D &other)
+{
+    EXION_ASSERT(rows_ == other.rows_ && cols_ == other.cols_,
+                 "bitmask shape mismatch in orWith");
+    for (Index i = 0; i < words_.size(); ++i)
+        words_[i] |= other.words_[i];
+}
+
+} // namespace exion

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Packed two-dimensional bitmask.
+ *
+ * The currency of EXION's sparsity machinery: FFN-Reuse emits a
+ * recompute mask over the first FFN layer's output; eager prediction
+ * emits a keep mask over the attention score. ConMerge consumes these
+ * column-by-column (Fig. 13's 16-bit lane bitmasks are column slices of
+ * this structure).
+ */
+
+#ifndef EXION_TENSOR_BITMASK_H_
+#define EXION_TENSOR_BITMASK_H_
+
+#include <vector>
+
+#include "exion/common/logging.h"
+#include "exion/common/types.h"
+
+namespace exion
+{
+
+/**
+ * rows x cols bitmask packed 64 bits per word, row-major.
+ *
+ * Bit semantics follow the paper: 1 = non-sparse (compute / keep),
+ * 0 = sparse (skip / reuse).
+ */
+class Bitmask2D
+{
+  public:
+    /** Empty mask. */
+    Bitmask2D() = default;
+
+    /** rows x cols mask of all zeros. */
+    Bitmask2D(Index rows, Index cols);
+
+    /** Number of rows. */
+    Index rows() const { return rows_; }
+
+    /** Number of columns. */
+    Index cols() const { return cols_; }
+
+    /** Reads bit (r, c). */
+    bool
+    get(Index r, Index c) const
+    {
+        EXION_ASSERT(r < rows_ && c < cols_, "bitmask index out of range");
+        const Index bit = r * cols_ + c;
+        return (words_[bit >> 6] >> (bit & 63)) & 1u;
+    }
+
+    /** Writes bit (r, c). */
+    void
+    set(Index r, Index c, bool v)
+    {
+        EXION_ASSERT(r < rows_ && c < cols_, "bitmask index out of range");
+        const Index bit = r * cols_ + c;
+        const u64 mask = u64{1} << (bit & 63);
+        if (v)
+            words_[bit >> 6] |= mask;
+        else
+            words_[bit >> 6] &= ~mask;
+    }
+
+    /** Number of set bits. */
+    u64 countOnes() const;
+
+    /** Fraction of zero bits (the paper's "output sparsity"). */
+    double sparsity() const;
+
+    /** Number of set bits in column c. */
+    u64 columnOnes(Index c) const;
+
+    /** True when every bit in column c is zero. */
+    bool columnEmpty(Index c) const { return columnOnes(c) == 0; }
+
+    /** Number of set bits in row r. */
+    u64 rowOnes(Index r) const;
+
+    /**
+     * 16-bit lane slice of column c covering rows [row0, row0+16).
+     *
+     * Rows past the matrix edge read as zero. Bit i corresponds to row
+     * row0 + i — exactly the per-DPU-lane bitmask the CAU receives.
+     */
+    u16 columnSlice16(Index c, Index row0) const;
+
+    /** Element-wise OR with another mask of identical shape. */
+    void orWith(const Bitmask2D &other);
+
+    /** True when shapes and bits match. */
+    bool operator==(const Bitmask2D &other) const = default;
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<u64> words_;
+};
+
+} // namespace exion
+
+#endif // EXION_TENSOR_BITMASK_H_

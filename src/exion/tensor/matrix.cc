@@ -1,0 +1,45 @@
+#include "exion/tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exion/common/rng.h"
+
+namespace exion
+{
+
+Matrix::Matrix(Index rows, Index cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+void
+Matrix::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+void
+Matrix::fillNormal(Rng &rng, float mean, float stddev)
+{
+    for (auto &v : data_)
+        v = static_cast<float>(rng.normal(mean, stddev));
+}
+
+void
+Matrix::fillUniform(Rng &rng, float lo, float hi)
+{
+    for (auto &v : data_)
+        v = static_cast<float>(rng.uniform(lo, hi));
+}
+
+float
+Matrix::maxAbs() const
+{
+    float out = 0.0f;
+    for (float v : data_)
+        out = std::max(out, std::abs(v));
+    return out;
+}
+
+} // namespace exion

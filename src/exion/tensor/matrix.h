@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Dense row-major float matrix.
+ *
+ * The model substrate runs in float32; the accelerator path quantises
+ * through QuantMatrix. Kept deliberately simple: contiguous storage,
+ * bounds-checked access in debug, explicit ops in ops.h.
+ */
+
+#ifndef EXION_TENSOR_MATRIX_H_
+#define EXION_TENSOR_MATRIX_H_
+
+#include <vector>
+
+#include "exion/common/logging.h"
+#include "exion/common/types.h"
+
+namespace exion
+{
+
+class Rng;
+
+/**
+ * Row-major float32 matrix.
+ */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** rows x cols matrix initialised to fill. */
+    Matrix(Index rows, Index cols, float fill = 0.0f);
+
+    /** Number of rows. */
+    Index rows() const { return rows_; }
+
+    /** Number of columns. */
+    Index cols() const { return cols_; }
+
+    /** Total element count. */
+    Index size() const { return data_.size(); }
+
+    /** Element access. */
+    float &
+    at(Index r, Index c)
+    {
+        EXION_ASSERT(r < rows_ && c < cols_,
+                     "index (", r, ",", c, ") out of (", rows_, ",",
+                     cols_, ")");
+        return data_[r * cols_ + c];
+    }
+
+    /** Element access (const). */
+    float
+    at(Index r, Index c) const
+    {
+        EXION_ASSERT(r < rows_ && c < cols_,
+                     "index (", r, ",", c, ") out of (", rows_, ",",
+                     cols_, ")");
+        return data_[r * cols_ + c];
+    }
+
+    /** Unchecked element access for hot loops. */
+    float &operator()(Index r, Index c) { return data_[r * cols_ + c]; }
+
+    /** Unchecked element access for hot loops (const). */
+    float
+    operator()(Index r, Index c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Raw pointer to row r. */
+    float *rowPtr(Index r) { return data_.data() + r * cols_; }
+
+    /** Raw pointer to row r (const). */
+    const float *rowPtr(Index r) const { return data_.data() + r * cols_; }
+
+    /** Underlying storage. */
+    std::vector<float> &data() { return data_; }
+
+    /** Underlying storage (const). */
+    const std::vector<float> &data() const { return data_; }
+
+    /** Sets all elements to v. */
+    void fill(float v);
+
+    /** Fills with N(mean, stddev) draws from rng. */
+    void fillNormal(Rng &rng, float mean, float stddev);
+
+    /** Fills with U[lo, hi) draws from rng. */
+    void fillUniform(Rng &rng, float lo, float hi);
+
+    /** Largest |element| (0 for empty). */
+    float maxAbs() const;
+
+    /** True when shapes match and all elements are bitwise equal. */
+    bool operator==(const Matrix &other) const = default;
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace exion
+
+#endif // EXION_TENSOR_MATRIX_H_

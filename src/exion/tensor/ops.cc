@@ -1,0 +1,176 @@
+#include "exion/tensor/ops.h"
+
+#include <cmath>
+
+namespace exion
+{
+
+Matrix
+matmul(const Matrix &a, const Matrix &b)
+{
+    EXION_ASSERT(a.cols() == b.rows(), "matmul shape (", a.rows(), "x",
+                 a.cols(), ") * (", b.rows(), "x", b.cols(), ")");
+    Matrix c(a.rows(), b.cols());
+    const Index k_dim = a.cols();
+    for (Index i = 0; i < a.rows(); ++i) {
+        const float *arow = a.rowPtr(i);
+        float *crow = c.rowPtr(i);
+        for (Index k = 0; k < k_dim; ++k) {
+            const float av = arow[k];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b.rowPtr(k);
+            for (Index j = 0; j < b.cols(); ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Matrix
+matmulTransposed(const Matrix &a, const Matrix &b)
+{
+    EXION_ASSERT(a.cols() == b.cols(), "matmulT shape (", a.rows(), "x",
+                 a.cols(), ") * (", b.rows(), "x", b.cols(), ")^T");
+    Matrix c(a.rows(), b.rows());
+    const Index k_dim = a.cols();
+    for (Index i = 0; i < a.rows(); ++i) {
+        const float *arow = a.rowPtr(i);
+        for (Index j = 0; j < b.rows(); ++j) {
+            const float *brow = b.rowPtr(j);
+            float acc = 0.0f;
+            for (Index k = 0; k < k_dim; ++k)
+                acc += arow[k] * brow[k];
+            c(i, j) = acc;
+        }
+    }
+    return c;
+}
+
+Matrix
+transpose(const Matrix &a)
+{
+    Matrix t(a.cols(), a.rows());
+    for (Index i = 0; i < a.rows(); ++i)
+        for (Index j = 0; j < a.cols(); ++j)
+            t(j, i) = a(i, j);
+    return t;
+}
+
+Matrix
+add(const Matrix &a, const Matrix &b)
+{
+    EXION_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
+                 "add shape mismatch");
+    Matrix c(a.rows(), a.cols());
+    for (Index i = 0; i < a.size(); ++i)
+        c.data()[i] = a.data()[i] + b.data()[i];
+    return c;
+}
+
+Matrix
+sub(const Matrix &a, const Matrix &b)
+{
+    EXION_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
+                 "sub shape mismatch");
+    Matrix c(a.rows(), a.cols());
+    for (Index i = 0; i < a.size(); ++i)
+        c.data()[i] = a.data()[i] - b.data()[i];
+    return c;
+}
+
+Matrix
+scale(const Matrix &a, float s)
+{
+    Matrix c(a.rows(), a.cols());
+    for (Index i = 0; i < a.size(); ++i)
+        c.data()[i] = a.data()[i] * s;
+    return c;
+}
+
+void
+addRowVector(Matrix &a, const Matrix &row)
+{
+    EXION_ASSERT(row.rows() == 1 && row.cols() == a.cols(),
+                 "row vector shape mismatch");
+    for (Index i = 0; i < a.rows(); ++i) {
+        float *arow = a.rowPtr(i);
+        const float *r = row.rowPtr(0);
+        for (Index j = 0; j < a.cols(); ++j)
+            arow[j] += r[j];
+    }
+}
+
+Matrix
+matmulQuant(const QuantMatrix &a, const QuantMatrix &b)
+{
+    EXION_ASSERT(a.cols() == b.rows(), "quant matmul shape mismatch");
+    Matrix c(a.rows(), b.cols());
+    const double out_scale = a.scale() * b.scale();
+    for (Index i = 0; i < a.rows(); ++i) {
+        for (Index j = 0; j < b.cols(); ++j) {
+            i64 acc = 0;
+            for (Index k = 0; k < a.cols(); ++k)
+                acc += static_cast<i64>(a(i, k)) * b(k, j);
+            c(i, j) = static_cast<float>(acc * out_scale);
+        }
+    }
+    return c;
+}
+
+double
+frobeniusNorm(const Matrix &a)
+{
+    double sum = 0.0;
+    for (float v : a.data())
+        sum += static_cast<double>(v) * v;
+    return std::sqrt(sum);
+}
+
+double
+maxAbsDiff(const Matrix &a, const Matrix &b)
+{
+    EXION_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
+                 "maxAbsDiff shape mismatch");
+    double out = 0.0;
+    for (Index i = 0; i < a.size(); ++i) {
+        const double d = std::abs(
+            static_cast<double>(a.data()[i]) - b.data()[i]);
+        out = std::max(out, d);
+    }
+    return out;
+}
+
+Matrix
+sliceRows(const Matrix &a, Index r0, Index n)
+{
+    EXION_ASSERT(r0 + n <= a.rows(), "sliceRows out of range");
+    Matrix out(n, a.cols());
+    for (Index i = 0; i < n; ++i)
+        for (Index j = 0; j < a.cols(); ++j)
+            out(i, j) = a(r0 + i, j);
+    return out;
+}
+
+Matrix
+sliceCols(const Matrix &a, Index c0, Index n)
+{
+    EXION_ASSERT(c0 + n <= a.cols(), "sliceCols out of range");
+    Matrix out(a.rows(), n);
+    for (Index i = 0; i < a.rows(); ++i)
+        for (Index j = 0; j < n; ++j)
+            out(i, j) = a(i, c0 + j);
+    return out;
+}
+
+void
+pasteRows(Matrix &a, const Matrix &src, Index r0)
+{
+    EXION_ASSERT(r0 + src.rows() <= a.rows() && src.cols() == a.cols(),
+                 "pasteRows out of range");
+    for (Index i = 0; i < src.rows(); ++i)
+        for (Index j = 0; j < src.cols(); ++j)
+            a(r0 + i, j) = src(i, j);
+}
+
+} // namespace exion

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Dense linear-algebra reference kernels.
+ *
+ * These are the golden-model implementations every accelerated or
+ * sparsity-skipping path in the repository is validated against.
+ */
+
+#ifndef EXION_TENSOR_OPS_H_
+#define EXION_TENSOR_OPS_H_
+
+#include "exion/tensor/matrix.h"
+#include "exion/tensor/quant_matrix.h"
+
+namespace exion
+{
+
+/** C = A * B. @pre A.cols() == B.rows(). */
+Matrix matmul(const Matrix &a, const Matrix &b);
+
+/** C = A * B^T. @pre A.cols() == B.cols(). */
+Matrix matmulTransposed(const Matrix &a, const Matrix &b);
+
+/** Returns A^T. */
+Matrix transpose(const Matrix &a);
+
+/** C = A + B elementwise. @pre identical shapes. */
+Matrix add(const Matrix &a, const Matrix &b);
+
+/** C = A - B elementwise. @pre identical shapes. */
+Matrix sub(const Matrix &a, const Matrix &b);
+
+/** C = A * s elementwise. */
+Matrix scale(const Matrix &a, float s);
+
+/** Adds a row vector (1 x cols) to every row of A in place. */
+void addRowVector(Matrix &a, const Matrix &row);
+
+/** Integer matmul on quantised operands, float accumulator output. */
+Matrix matmulQuant(const QuantMatrix &a, const QuantMatrix &b);
+
+/** Frobenius norm of A. */
+double frobeniusNorm(const Matrix &a);
+
+/** Largest |a - b| over all elements. @pre identical shapes. */
+double maxAbsDiff(const Matrix &a, const Matrix &b);
+
+/** Returns rows [r0, r0+n) of A as an n x cols matrix. */
+Matrix sliceRows(const Matrix &a, Index r0, Index n);
+
+/** Returns columns [c0, c0+n) of A as a rows x n matrix. */
+Matrix sliceCols(const Matrix &a, Index c0, Index n);
+
+/** Writes the rows of src into A starting at row r0. */
+void pasteRows(Matrix &a, const Matrix &src, Index r0);
+
+} // namespace exion
+
+#endif // EXION_TENSOR_OPS_H_

@@ -1,0 +1,36 @@
+#include "exion/tensor/quant_matrix.h"
+
+namespace exion
+{
+
+QuantMatrix::QuantMatrix(Index rows, Index cols, QuantParams params)
+    : rows_(rows), cols_(cols), params_(params), data_(rows * cols, 0)
+{
+}
+
+QuantMatrix
+QuantMatrix::fromFloat(const Matrix &m, IntWidth width)
+{
+    QuantParams params = chooseQuantParams(m.data(), width);
+    return fromFloat(m, params);
+}
+
+QuantMatrix
+QuantMatrix::fromFloat(const Matrix &m, const QuantParams &params)
+{
+    QuantMatrix out(m.rows(), m.cols(), params);
+    for (Index i = 0; i < m.rows() * m.cols(); ++i)
+        out.data_[i] = quantize(m.data()[i], params);
+    return out;
+}
+
+Matrix
+QuantMatrix::toFloat() const
+{
+    Matrix out(rows_, cols_);
+    for (Index i = 0; i < rows_ * cols_; ++i)
+        out.data()[i] = dequantize(data_[i], params_);
+    return out;
+}
+
+} // namespace exion

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Integer matrix with a symmetric per-tensor scale.
+ *
+ * Models the INT12 operand storage feeding the SDUE and EPRE: values
+ * are stored as i32 (the hardware registers are narrower; quantize()
+ * already clamped to the target width) together with the scale needed
+ * to interpret accumulator outputs.
+ */
+
+#ifndef EXION_TENSOR_QUANT_MATRIX_H_
+#define EXION_TENSOR_QUANT_MATRIX_H_
+
+#include <vector>
+
+#include "exion/common/fixed_point.h"
+#include "exion/common/logging.h"
+#include "exion/common/types.h"
+#include "exion/tensor/matrix.h"
+
+namespace exion
+{
+
+/**
+ * Row-major integer matrix with quantisation metadata.
+ */
+class QuantMatrix
+{
+  public:
+    /** Empty matrix. */
+    QuantMatrix() = default;
+
+    /** rows x cols zero matrix with given params. */
+    QuantMatrix(Index rows, Index cols, QuantParams params);
+
+    /** Quantises a float matrix with a freshly chosen scale. */
+    static QuantMatrix fromFloat(const Matrix &m, IntWidth width);
+
+    /** Quantises a float matrix with fixed params. */
+    static QuantMatrix fromFloat(const Matrix &m,
+                                 const QuantParams &params);
+
+    /** Number of rows. */
+    Index rows() const { return rows_; }
+
+    /** Number of columns. */
+    Index cols() const { return cols_; }
+
+    /** Quantisation parameters. */
+    const QuantParams &params() const { return params_; }
+
+    /** Element access. */
+    i32 &
+    at(Index r, Index c)
+    {
+        EXION_ASSERT(r < rows_ && c < cols_, "quant index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    /** Element access (const). */
+    i32
+    at(Index r, Index c) const
+    {
+        EXION_ASSERT(r < rows_ && c < cols_, "quant index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    /** Unchecked access. */
+    i32 operator()(Index r, Index c) const { return data_[r * cols_ + c]; }
+
+    /** Unchecked access (mutable). */
+    i32 &operator()(Index r, Index c) { return data_[r * cols_ + c]; }
+
+    /** Dequantises back to float. */
+    Matrix toFloat() const;
+
+    /** Real value represented by one integer step. */
+    double scale() const { return params_.scale; }
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    QuantParams params_;
+    std::vector<i32> data_;
+};
+
+} // namespace exion
+
+#endif // EXION_TENSOR_QUANT_MATRIX_H_

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the GPU baseline and Cambricon-D comparator models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exion/baseline/cambricon_d.h"
+#include "exion/baseline/gpu_model.h"
+
+namespace exion
+{
+namespace
+{
+
+TEST(GpuSpecs, MatchTableII)
+{
+    EXPECT_NEAR(edgeGpu().peakTops, 40.0, 0.1);
+    EXPECT_NEAR(edgeGpu().bandwidthGbs, 68.0, 0.1);
+    EXPECT_NEAR(edgeGpu().boardPowerW, 15.0, 0.1);
+    EXPECT_NEAR(serverGpu().peakTops, 91.1, 0.1);
+    EXPECT_NEAR(serverGpu().bandwidthGbs, 960.0, 0.1);
+    EXPECT_NEAR(serverGpu().boardPowerW, 300.0, 0.1);
+}
+
+TEST(GpuModel, EfficiencyGrowsWithDims)
+{
+    GpuModel gpu(serverGpu());
+    EXPECT_LT(gpu.gemmEfficiency(8, 256, 256),
+              gpu.gemmEfficiency(256, 256, 256));
+    EXPECT_LT(gpu.gemmEfficiency(256, 256, 256),
+              gpu.gemmEfficiency(4096, 4096, 4096));
+    EXPECT_LE(gpu.gemmEfficiency(8192, 8192, 8192), 0.76);
+}
+
+TEST(GpuModel, GemmTimeMonotone)
+{
+    GpuModel gpu(serverGpu());
+    EXPECT_LT(gpu.gemmSeconds(64, 64, 64),
+              gpu.gemmSeconds(512, 512, 512));
+}
+
+TEST(GpuModel, SmallModelIsOverheadBound)
+{
+    // MLD per-iteration compute is microseconds; launch + framework
+    // overheads dominate (the source of the paper's huge gaps).
+    GpuModel gpu(edgeGpu());
+    const ModelConfig mld = makeConfig(Benchmark::MLD, Scale::Full);
+    const GpuRunResult result = gpu.run(mld);
+    const double per_iter = result.latencySeconds / mld.iterations;
+    EXPECT_GT(per_iter, 1e-3);  // >1 ms per iteration
+    EXPECT_LT(result.effectiveTops(), 0.5);
+}
+
+TEST(GpuModel, LargeModelApproachesRoofline)
+{
+    GpuModel gpu(serverGpu());
+    const ModelConfig dit = makeConfig(Benchmark::DiT, Scale::Full);
+    const GpuRunResult result = gpu.run(dit);
+    // DiT's big GEMMs reach a meaningful fraction of peak.
+    EXPECT_GT(result.effectiveTops(), 5.0);
+    EXPECT_LT(result.effectiveTops(), serverGpu().peakTops);
+}
+
+TEST(GpuModel, EnergyBetweenIdleAndBoardPower)
+{
+    GpuModel gpu(serverGpu());
+    const ModelConfig dit = makeConfig(Benchmark::DiT, Scale::Full);
+    const GpuRunResult result = gpu.run(dit);
+    const double avg_power = result.energyJ / result.latencySeconds;
+    EXPECT_GE(avg_power, serverGpu().idlePowerW);
+    EXPECT_LE(avg_power, serverGpu().boardPowerW + 1e-9);
+}
+
+TEST(GpuModel, BatchingImprovesThroughput)
+{
+    GpuModel gpu(edgeGpu());
+    const ModelConfig mdm = makeConfig(Benchmark::MDM, Scale::Full);
+    const GpuRunResult b1 = gpu.run(mdm, 1);
+    const GpuRunResult b8 = gpu.run(mdm, 8);
+    // 8x the work in less than 8x the time.
+    EXPECT_LT(b8.latencySeconds, 8.0 * b1.latencySeconds);
+    EXPECT_GT(b8.latencySeconds, b1.latencySeconds);
+}
+
+TEST(CambriconD, MatchesPublishedAnchors)
+{
+    CambriconDModel cambricon;
+    const double sd = cambricon.speedupOverA100(
+        makeConfig(Benchmark::StableDiffusion, Scale::Full));
+    const double dit = cambricon.speedupOverA100(
+        makeConfig(Benchmark::DiT, Scale::Full));
+    // Fig. 19(b): 7.9x on SD, 3.3x on DiT.
+    EXPECT_NEAR(dit, 3.3, 0.1);
+    EXPECT_GT(sd, 4.5);
+    EXPECT_LT(sd, 10.0);
+    EXPECT_GT(sd, dit);
+}
+
+} // namespace
+} // namespace exion

@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Tests for ConMerge: column entries, the sorting buffer, the CVG, and
+ * the full condensing+merging pipeline (Figs. 8, 9, 12, 13, 14).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "exion/common/rng.h"
+#include "exion/conmerge/pipeline.h"
+
+namespace exion
+{
+namespace
+{
+
+Bitmask2D
+randomMask(Index rows, Index cols, double density, u64 seed)
+{
+    Rng rng(seed);
+    Bitmask2D mask(rows, cols);
+    for (Index r = 0; r < rows; ++r)
+        for (Index c = 0; c < cols; ++c)
+            if (rng.bernoulli(density))
+                mask.set(r, c, true);
+    return mask;
+}
+
+TEST(ColumnEntry, ExtractCondensesEmptySlices)
+{
+    Bitmask2D mask(16, 4);
+    mask.set(0, 1, true);
+    mask.set(5, 1, true);
+    mask.set(15, 3, true);
+    Index total = 0;
+    const auto entries = extractEntries(mask, 0, &total);
+    EXPECT_EQ(total, 4u);
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].originCol, 1u);
+    EXPECT_EQ(entries[0].bits, static_cast<u16>(0x0021));
+    EXPECT_EQ(entries[1].originCol, 3u);
+    EXPECT_EQ(entries[1].bits, static_cast<u16>(0x8000));
+}
+
+TEST(SortBuffer, ClassifierBoundaries)
+{
+    auto entry_with_ones = [](int n) {
+        ColumnEntry e;
+        e.bits = static_cast<u16>((1u << n) - 1);
+        return e;
+    };
+    EXPECT_EQ(classifySparsity(entry_with_ones(1)),
+              SparsityClass::HighSparse);
+    EXPECT_EQ(classifySparsity(entry_with_ones(3)),
+              SparsityClass::Sparse);
+    EXPECT_EQ(classifySparsity(entry_with_ones(8)),
+              SparsityClass::Dense);
+    EXPECT_EQ(classifySparsity(entry_with_ones(14)),
+              SparsityClass::HighDense);
+}
+
+TEST(SortBuffer, CondensesAllZeroEntries)
+{
+    SortBuffer buf(8);
+    EXPECT_FALSE(buf.push(ColumnEntry{0, 0}));
+    EXPECT_EQ(buf.condensedCount(), 1u);
+    EXPECT_TRUE(buf.isEmpty());
+}
+
+TEST(SortBuffer, PopOrder)
+{
+    SortBuffer buf(8);
+    buf.push(ColumnEntry{0, 0x0001});  // 1 one  -> HighSparse
+    buf.push(ColumnEntry{1, 0xffff});  // 16     -> HighDense
+    buf.push(ColumnEntry{2, 0x00ff});  // 8      -> Dense
+    EXPECT_EQ(buf.popDensest().originCol, 1u);
+    EXPECT_EQ(buf.popSparsest().originCol, 0u);
+    EXPECT_EQ(buf.popDensest().originCol, 2u);
+    EXPECT_TRUE(buf.isEmpty());
+}
+
+TEST(SortBuffer, OverflowToSparserClassThenExtra)
+{
+    SortBuffer buf(1);
+    const ColumnEntry dense1{0, 0xffff};
+    const ColumnEntry dense2{1, 0xfff7};
+    const ColumnEntry dense3{2, 0xffef};
+    buf.push(dense1); // HighDense
+    buf.push(dense2); // HighDense full -> Dense class
+    EXPECT_EQ(buf.classSize(SparsityClass::HighDense), 1u);
+    EXPECT_EQ(buf.classSize(SparsityClass::Dense), 1u);
+    buf.push(dense3);
+    EXPECT_EQ(buf.classSize(SparsityClass::Sparse), 1u);
+    EXPECT_EQ(buf.size(), 3u);
+}
+
+TEST(MergedTile, BaseInitPlacesOwnLanes)
+{
+    MergedTile tile;
+    tile.initBase({ColumnEntry{7, 0x0005}});
+    EXPECT_EQ(tile.positionsUsed(), 1u);
+    EXPECT_TRUE(tile.cell(0, 0).occupied);
+    EXPECT_TRUE(tile.cell(2, 0).occupied);
+    EXPECT_FALSE(tile.cell(1, 0).occupied);
+    EXPECT_EQ(tile.cell(0, 0).srcLane, 0);
+    EXPECT_EQ(tile.cell(0, 0).originCol, 7u);
+    tile.checkInvariants();
+}
+
+TEST(Cvg, MergeWithoutConflicts)
+{
+    MergedTile tile;
+    tile.initBase({ColumnEntry{0, 0x000f}}); // lanes 0-3
+    Cvg cvg;
+    const auto result = cvg.mergeBlock(
+        tile, {ColumnEntry{5, 0x00f0}}, 1); // lanes 4-7: disjoint
+    EXPECT_EQ(result.accepted, 1u);
+    EXPECT_TRUE(result.rejected.empty());
+    EXPECT_EQ(result.resolutionSteps, 0u);
+    tile.checkInvariants();
+    // All merged elements sit on their own lanes (original line).
+    for (Index lane = 4; lane < 8; ++lane) {
+        EXPECT_TRUE(tile.cell(lane, 0).occupied);
+        EXPECT_EQ(tile.cell(lane, 0).srcLane, lane);
+        EXPECT_EQ(tile.cell(lane, 0).wSlot, 1);
+    }
+    EXPECT_EQ(tile.cv(4), kCvUnset);
+}
+
+TEST(Cvg, ConflictDisplacesViaCv)
+{
+    MergedTile tile;
+    tile.initBase({ColumnEntry{0, 0x0003}}); // lanes 0,1 occupied
+    Cvg cvg;
+    const auto result = cvg.mergeBlock(
+        tile, {ColumnEntry{9, 0x0001}}, 1); // lane 0 conflicts
+    EXPECT_EQ(result.accepted, 1u);
+    EXPECT_GE(result.resolutionSteps, 1u);
+    tile.checkInvariants();
+    // The displaced element landed on some free lane with CV set.
+    bool found = false;
+    for (Index lane = 0; lane < kLanes; ++lane) {
+        const TileCell &c = tile.cell(lane, 0);
+        if (c.occupied && c.wSlot == 1) {
+            EXPECT_EQ(c.srcLane, 0);
+            EXPECT_NE(lane, 0u);
+            EXPECT_EQ(tile.cv(lane), 0);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Cvg, SaturatedPositionRejects)
+{
+    MergedTile tile;
+    tile.initBase({ColumnEntry{0, 0xffff}}); // fully dense base
+    Cvg cvg;
+    const auto result = cvg.mergeBlock(tile, {ColumnEntry{9, 0x0001}},
+                                       1);
+    EXPECT_EQ(result.accepted, 0u);
+    ASSERT_EQ(result.rejected.size(), 1u);
+    EXPECT_EQ(result.rejected[0].originCol, 9u);
+    tile.checkInvariants();
+}
+
+TEST(Cvg, CvSlotConstraintForcesRejection)
+{
+    // Occupy every lane except lane 2 in position 0, and make the
+    // candidate conflict on two sources: only one empty lane exists,
+    // so only one displaced element fits; the pass must reject.
+    MergedTile tile;
+    tile.initBase({ColumnEntry{0, static_cast<u16>(~(1u << 2))}});
+    Cvg cvg;
+    const auto result = cvg.mergeBlock(tile, {ColumnEntry{9, 0x0003}},
+                                       1);
+    EXPECT_EQ(result.accepted, 0u);
+    EXPECT_EQ(result.rejected.size(), 1u);
+    tile.checkInvariants();
+}
+
+TEST(Cvg, CvReuseAcrossPositions)
+{
+    // Two positions, conflicts from the same source lane: the second
+    // displaced element can reuse the CV set by the first only if it
+    // lands on the same lane.
+    MergedTile tile;
+    tile.initBase({ColumnEntry{0, 0x0001}, ColumnEntry{1, 0x0001}});
+    Cvg cvg;
+    const auto result = cvg.mergeBlock(
+        tile,
+        {ColumnEntry{8, 0x0001}, ColumnEntry{9, 0x0001}}, 1);
+    EXPECT_EQ(result.accepted, 2u);
+    tile.checkInvariants();
+    // Exactly one lane carries a CV for source 0 (reused), or two
+    // lanes with identical CV value 0 — either way every CV set must
+    // be 0.
+    for (Index lane = 0; lane < kLanes; ++lane) {
+        if (tile.cv(lane) != kCvUnset) {
+            EXPECT_EQ(tile.cv(lane), 0);
+        }
+    }
+}
+
+TEST(Pipeline, AllZeroMaskProducesNothing)
+{
+    Bitmask2D mask(32, 64);
+    ConMergePipeline pipeline;
+    const ConMergeStats stats = pipeline.processMask(mask);
+    EXPECT_EQ(stats.positionsUsed, 0u);
+    EXPECT_EQ(stats.tiles, 0u);
+    EXPECT_DOUBLE_EQ(stats.condenseRemainingFraction(), 0.0);
+}
+
+TEST(Pipeline, DenseMaskKeepsEveryColumn)
+{
+    Bitmask2D mask(16, 48);
+    for (Index r = 0; r < 16; ++r)
+        for (Index c = 0; c < 48; ++c)
+            mask.set(r, c, true);
+    ConMergePipeline pipeline;
+    const ConMergeStats stats = pipeline.processMask(mask);
+    EXPECT_EQ(stats.positionsUsed, 48u);
+    EXPECT_DOUBLE_EQ(stats.mergedRemainingFraction(), 1.0);
+}
+
+TEST(Pipeline, SparseMaskCompactsTowardsOriginLimit)
+{
+    // 10% density: merging should get within reach of the 3-origin
+    // bound (1/3 of the non-empty entries).
+    const Bitmask2D mask = randomMask(64, 256, 0.10, 5);
+    ConMergePipeline pipeline;
+    const ConMergeStats stats = pipeline.processMask(mask);
+    EXPECT_LT(stats.mergedRemainingFraction(), 0.55);
+    EXPECT_GE(3 * stats.positionsUsed + 3,
+              stats.entriesAfterCondense);
+}
+
+TEST(Pipeline, EveryMaskedElementCoveredExactlyOnce)
+{
+    const Bitmask2D mask = randomMask(48, 96, 0.15, 11);
+    ConMergePipeline pipeline;
+    for (Index g = 0; g < 3; ++g) {
+        const GroupResult group = pipeline.processGroup(mask, g * 16);
+        // Collect covered (srcRow, originCol) pairs across tiles.
+        std::set<std::pair<Index, Index>> covered;
+        for (const auto &tile : group.tiles) {
+            tile.checkInvariants();
+            for (Index lane = 0; lane < kLanes; ++lane) {
+                for (Index pos = 0; pos < kTileCols; ++pos) {
+                    const TileCell &c = tile.cell(lane, pos);
+                    if (!c.occupied)
+                        continue;
+                    const auto key = std::make_pair(
+                        static_cast<Index>(c.srcLane), c.originCol);
+                    EXPECT_TRUE(covered.insert(key).second)
+                        << "duplicate element lane-row " << c.srcLane
+                        << " col " << c.originCol;
+                }
+            }
+        }
+        // Exactly the mask's set bits of this group are covered.
+        Index expected = 0;
+        for (Index r = 0; r < kLanes && g * 16 + r < mask.rows(); ++r)
+            for (Index c = 0; c < mask.cols(); ++c)
+                expected += mask.get(g * 16 + r, c) ? 1 : 0;
+        EXPECT_EQ(covered.size(), expected);
+    }
+}
+
+TEST(Pipeline, SortedMergingUsesFewerCycles)
+{
+    // Fig. 12: sparsity-aware pairing cuts CVG cycles substantially.
+    Rng rng(23);
+    Cycle sorted_total = 0, random_total = 0;
+    for (int trial = 0; trial < 6; ++trial) {
+        // Mixed-density mask: half dense columns, half sparse.
+        Bitmask2D mask(16, 128);
+        for (Index c = 0; c < 128; ++c) {
+            const double density = (c % 2 == 0) ? 0.75 : 0.08;
+            for (Index r = 0; r < 16; ++r)
+                if (rng.bernoulli(density))
+                    mask.set(r, c, true);
+        }
+        ConMergeConfig sorted_cfg;
+        sorted_cfg.sortBySparsity = true;
+        ConMergeConfig random_cfg;
+        random_cfg.sortBySparsity = false;
+        sorted_total += ConMergePipeline(sorted_cfg)
+                            .processMask(mask).mergeCycles;
+        random_total += ConMergePipeline(random_cfg)
+                            .processMask(mask).mergeCycles;
+    }
+    EXPECT_LT(sorted_total, random_total);
+}
+
+TEST(Cvg, CvPressureFromSingleSourceRow)
+{
+    // Adversarial case: every candidate conflicts on the same source
+    // lane. Displacements all need CV = 0; distinct destination lanes
+    // each take their own slot, so acceptance is bounded only by free
+    // cells — and every commit must still satisfy checkInvariants.
+    MergedTile tile;
+    std::vector<ColumnEntry> base;
+    for (Index pos = 0; pos < 8; ++pos)
+        base.push_back(ColumnEntry{pos, 0x0001}); // lane 0 everywhere
+    tile.initBase(base);
+
+    Cvg cvg;
+    std::vector<std::optional<ColumnEntry>> candidates(8);
+    for (Index pos = 0; pos < 8; ++pos)
+        candidates[pos] = ColumnEntry{100 + pos, 0x0001}; // conflict
+    const MergePassResult pass = cvg.mergeBlock(tile, candidates, 1);
+    EXPECT_EQ(pass.accepted + pass.rejected.size(), 8u);
+    EXPECT_GT(pass.accepted, 0u);
+    tile.checkInvariants();
+    // All written CVs route source lane 0.
+    for (Index lane = 0; lane < kLanes; ++lane) {
+        if (tile.cv(lane) != kCvUnset) {
+            EXPECT_EQ(tile.cv(lane), 0);
+        }
+    }
+}
+
+TEST(Cvg, CvPressureFromDistinctSourceRows)
+{
+    // Candidates conflict on different source lanes; each displaced
+    // element demands a distinct CV value, so the 16 single-slot CVs
+    // are the binding constraint the paper designs around.
+    MergedTile tile;
+    std::vector<ColumnEntry> base;
+    for (Index pos = 0; pos < 12; ++pos)
+        base.push_back(
+            ColumnEntry{pos, static_cast<u16>(1u << (pos % 12))});
+    tile.initBase(base);
+
+    Cvg cvg;
+    std::vector<std::optional<ColumnEntry>> candidates(12);
+    for (Index pos = 0; pos < 12; ++pos)
+        candidates[pos] =
+            ColumnEntry{200 + pos, static_cast<u16>(1u << (pos % 12))};
+    const MergePassResult pass = cvg.mergeBlock(tile, candidates, 1);
+    tile.checkInvariants();
+    // Each accepted candidate consumed one CV slot for its source.
+    Index cv_used = 0;
+    for (Index lane = 0; lane < kLanes; ++lane)
+        cv_used += tile.cv(lane) != kCvUnset ? 1 : 0;
+    EXPECT_EQ(cv_used, pass.accepted);
+    EXPECT_LE(pass.accepted, 12u);
+}
+
+/** Property sweep over densities: invariants always hold. */
+class ConMergeDensitySweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ConMergeDensitySweep, InvariantsAndCoverage)
+{
+    const double density = GetParam();
+    const Bitmask2D mask = randomMask(32, 80, density, 31);
+    ConMergePipeline pipeline;
+    const ConMergeStats stats = pipeline.processMask(mask);
+
+    // Physical positions can never exceed stored entries and never
+    // undercut the 3-origin bound.
+    EXPECT_LE(stats.positionsUsed, stats.entriesAfterCondense);
+    EXPECT_GE(3 * stats.positionsUsed + 3,
+              stats.entriesAfterCondense);
+
+    for (Index g = 0; g < 2; ++g) {
+        const GroupResult group = pipeline.processGroup(mask, g * 16);
+        for (const auto &tile : group.tiles)
+            tile.checkInvariants();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, ConMergeDensitySweep,
+                         ::testing::Values(0.02, 0.05, 0.1, 0.25, 0.5,
+                                           0.8, 0.97));
+
+} // namespace
+} // namespace exion

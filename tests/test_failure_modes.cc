@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Failure-injection tests: the invariant machinery must catch
+ * corrupted hardware control state and misuse loudly (gem5 panic
+ * semantics) rather than silently computing garbage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exion/common/fixed_point.h"
+#include "exion/conmerge/merged_tile.h"
+#include "exion/conmerge/sort_buffer.h"
+#include "exion/sim/sdue.h"
+#include "exion/tensor/bitmask.h"
+#include "exion/tensor/ops.h"
+
+namespace exion
+{
+namespace
+{
+
+using FailureDeathTest = ::testing::Test;
+
+TEST(FailureDeathTest, MatmulShapeMismatchPanics)
+{
+    Matrix a(2, 3), b(4, 2);
+    EXPECT_DEATH(matmul(a, b), "matmul shape");
+}
+
+TEST(FailureDeathTest, BitmaskOutOfRangePanics)
+{
+    Bitmask2D mask(4, 4);
+    EXPECT_DEATH(mask.set(4, 0, true), "out of range");
+}
+
+TEST(FailureDeathTest, DoubleOccupancyPanics)
+{
+    // Placing two elements into one DPU cell is a control-map bug the
+    // tile must reject.
+    MergedTile tile;
+    tile.initBase({ColumnEntry{0, 0x0001}});
+    EXPECT_DEATH(tile.place(0, 0, 0, 9, 1), "occupied");
+}
+
+TEST(FailureDeathTest, CvConflictPanics)
+{
+    // Routing two different source rows over one lane's CV violates
+    // the single-slot constraint.
+    MergedTile tile;
+    tile.initBase({ColumnEntry{0, 0x0003}, ColumnEntry{1, 0x0003}});
+    tile.place(4, 0, 2, 0, 1); // CV[4] = 2
+    EXPECT_DEATH(tile.place(4, 1, 3, 1, 1), "CV slot");
+}
+
+TEST(FailureDeathTest, CorruptedTileFailsInvariantCheck)
+{
+    // An element claiming an unregistered origin must be caught.
+    MergedTile tile;
+    tile.initBase({ColumnEntry{0, 0x0001}});
+    tile.place(5, 0, 5, 42, 1); // slot 1 origin never registered
+    EXPECT_DEATH(tile.checkInvariants(), "unregistered origin");
+}
+
+TEST(FailureDeathTest, SortBufferExhaustionPanics)
+{
+    SortBuffer buf(1);
+    // Fill one entry per class (high-dense through extra) ...
+    buf.push(ColumnEntry{0, 0xffff});
+    buf.push(ColumnEntry{1, 0xfffe});
+    buf.push(ColumnEntry{2, 0xfffc});
+    buf.push(ColumnEntry{3, 0xfff8});
+    buf.push(ColumnEntry{4, 0xfff0});
+    // ... the sixth dense entry has nowhere to go.
+    EXPECT_DEATH(buf.push(ColumnEntry{5, 0xffe0}), "exhausted");
+}
+
+TEST(FailureDeathTest, SdueRejectsShapeMismatch)
+{
+    Sdue sdue{DscParams{}};
+    MergedTile tile;
+    tile.initBase({ColumnEntry{0, 0x0001}});
+    Matrix input(16, 8), weight(9, 4), out(16, 4);
+    EXPECT_DEATH(
+        sdue.executeMergedTile(tile, input, weight, 0, out),
+        "shape mismatch");
+}
+
+TEST(FailureDeathTest, SaturatingAddRejectsSillyWidths)
+{
+    EXPECT_DEATH(saturatingAdd(1, 1, 1), "accumulator width");
+}
+
+} // namespace
+} // namespace exion

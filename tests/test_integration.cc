@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Cross-module integration tests: reduced-scale benchmarks end to end,
+ * accuracy under the EXION optimisations (Table I shape), sparsity
+ * targets, and the inter-iteration similarity the paper builds on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exion/accel/functional_device.h"
+#include "exion/common/rng.h"
+#include "exion/metrics/metrics.h"
+#include "exion/model/pipeline.h"
+#include "exion/sparsity/sparse_executor.h"
+#include "exion/tensor/ops.h"
+
+namespace exion
+{
+namespace
+{
+
+TEST(Integration, FfnReuseAccuracyAcrossBenchmarks)
+{
+    // Table I's core claim: FFN-Reuse alone leaves the generated
+    // output close to the vanilla model on every benchmark family.
+    for (Benchmark b : {Benchmark::MLD, Benchmark::DiT}) {
+        ModelConfig cfg = makeConfig(b, Scale::Reduced);
+        cfg.iterations = 20; // keep the test fast
+        DiffusionPipeline pipe(cfg);
+
+        DenseExecutor vanilla;
+        const Matrix ref = pipe.run(vanilla, 11);
+
+        auto opt = SparseExecutor::fromConfig(cfg, true, false, false);
+        SparseExecutor ffnr(opt);
+        const Matrix out = pipe.run(ffnr, 11);
+
+        EXPECT_GT(psnr(ref, out), 18.0) << benchmarkName(b);
+        EXPECT_GT(cosineSimilarity(ref, out), 0.95) << benchmarkName(b);
+        EXPECT_NEAR(ffnr.stats().meanFfnSparsity(),
+                    cfg.ffnReuse.targetSparsity, 0.03)
+            << benchmarkName(b);
+    }
+}
+
+TEST(Integration, InterIterationSimilarityIsHigh)
+{
+    // Fig. 7: cosine similarity of GELU outputs between adjacent
+    // iterations is high — the basis of FFN-Reuse.
+    ModelConfig cfg = makeConfig(Benchmark::DiT, Scale::Reduced);
+    cfg.iterations = 24;
+    DiffusionPipeline pipe(cfg);
+    DenseExecutor exec;
+    std::vector<Matrix> hidden_history;
+    exec.observers.onFfnHidden = [&](int block, const Matrix &h) {
+        if (block == 1)
+            hidden_history.push_back(h);
+    };
+    pipe.run(exec, 3);
+    ASSERT_EQ(hidden_history.size(), 24u);
+    // Early iterations take the largest scheduler steps; similarity
+    // tightens as denoising progresses (Fig. 7's diagonal band).
+    for (std::size_t i = 3; i < hidden_history.size(); ++i) {
+        EXPECT_GT(cosineSimilarity(hidden_history[i - 1],
+                                   hidden_history[i]),
+                  0.88)
+            << "iterations " << i - 1 << " -> " << i;
+    }
+}
+
+TEST(Integration, WorkReductionMatchesClosedForm)
+{
+    // Fig. 6: executing one dense + N sparse iterations cuts FFN ops
+    // by approximately 1 - (1 + N(1-s)) / (N+1).
+    ModelConfig cfg = makeConfig(Benchmark::MLD, Scale::Reduced);
+    cfg.iterations = 20;
+    DiffusionPipeline pipe(cfg);
+    auto opt = SparseExecutor::fromConfig(cfg, true, false, false);
+    SparseExecutor exec(opt);
+    pipe.run(exec, 5);
+
+    const double s = exec.stats().meanFfnSparsity();
+    const int n = cfg.ffnReuse.denseInterval;
+    // The run has ceil(20 / (N+1)) dense iterations.
+    const int dense = (cfg.iterations + n) / (n + 1);
+    const int sparse = cfg.iterations - dense;
+    const double expect_fraction =
+        (dense + sparse * (1.0 - s)) / cfg.iterations;
+    const double measured_fraction =
+        static_cast<double>(exec.stats().ffnOpsExecuted)
+        / static_cast<double>(exec.stats().ffnOpsDense);
+    EXPECT_NEAR(measured_fraction, expect_fraction, 0.05);
+}
+
+TEST(Integration, MeasuredMasksFlowThroughConMerge)
+{
+    // Masks captured from a real reduced-scale run execute correctly
+    // through ConMerge + SDUE against the dense reference.
+    ModelConfig cfg = makeTinyConfig(24, 32, 1, 6);
+    cfg.ffnReuse = {2, 0.9};
+    DiffusionPipeline pipe(cfg);
+    auto opt = SparseExecutor::fromConfig(cfg, true, false, false);
+    SparseExecutor exec(opt);
+
+    std::vector<Bitmask2D> masks;
+    exec.observers.onFfnMask = [&](int, const Bitmask2D &mask,
+                                   bool dense) {
+        if (!dense)
+            masks.push_back(mask);
+    };
+    pipe.run(exec, 9);
+    ASSERT_FALSE(masks.empty());
+
+    Rng rng(17);
+    Matrix input(masks[0].rows(), 32), weight(32, masks[0].cols());
+    input.fillNormal(rng, 0.0f, 1.0f);
+    weight.fillNormal(rng, 0.0f, 1.0f);
+    const SparseMatmulResult result =
+        sparseMatmulViaConMerge(input, weight, masks[0]);
+    const Matrix reference = matmul(input, weight);
+    for (Index r = 0; r < masks[0].rows(); ++r) {
+        for (Index c = 0; c < masks[0].cols(); ++c) {
+            if (masks[0].get(r, c)) {
+                ASSERT_NEAR(result.output(r, c), reference(r, c),
+                            1e-3);
+            }
+        }
+    }
+    EXPECT_LT(result.conStats.mergedRemainingFraction(), 1.0);
+}
+
+TEST(Integration, AllOptimisationsQuantizedStillGenerates)
+{
+    // The full EXION stack (FFN-Reuse + EP + INT12) on a UNet-type
+    // reduced benchmark produces output correlated with vanilla.
+    ModelConfig cfg = makeConfig(Benchmark::MakeAnAudio,
+                                 Scale::Reduced);
+    cfg.iterations = 12;
+    DiffusionPipeline pipe(cfg);
+    DenseExecutor vanilla;
+    const Matrix ref = pipe.run(vanilla, 21);
+
+    auto opt = SparseExecutor::fromConfig(cfg, true, true, true);
+    SparseExecutor exion(opt);
+    const Matrix out = pipe.run(exion, 21);
+    EXPECT_GT(cosineSimilarity(ref, out), 0.85);
+    EXPECT_GT(psnr(ref, out), 10.0);
+}
+
+TEST(Integration, EpAggressiveTopKSkipsColumns)
+{
+    ModelConfig cfg = makeConfig(Benchmark::MDM, Scale::Reduced);
+    cfg.iterations = 6;
+    DiffusionPipeline pipe(cfg);
+    auto opt = SparseExecutor::fromConfig(cfg, false, true, false);
+    SparseExecutor exec(opt);
+    pipe.run(exec, 31);
+    const ExecStats &s = exec.stats();
+    // MDM's k = 0.05 keeps 3 of 48 keys per row; unpopular key
+    // columns skip their K/V projections (Section II-B).
+    EXPECT_GT(s.kColsSkipped, 0u);
+    EXPECT_GT(s.vColsSkipped, 0u);
+    EXPECT_GT(s.meanScoreSparsity(), 0.9);
+}
+
+TEST(Integration, EpZeroThresholdOneHotsEveryRow)
+{
+    // q_th = 0 makes every row one-hot: Q projection is skipped for
+    // all rows and K projection everywhere (only argmax V survives).
+    ModelConfig cfg = makeTinyConfig(16, 32, 1, 2);
+    cfg.ep = {0.0, 0.5};
+    DiffusionPipeline pipe(cfg);
+    auto opt = SparseExecutor::fromConfig(cfg, false, true, false);
+    SparseExecutor exec(opt);
+    pipe.run(exec, 31);
+    const ExecStats &s = exec.stats();
+    EXPECT_EQ(s.qRowsSkipped, s.qRowsTotal);
+    EXPECT_EQ(s.kColsSkipped, s.kColsTotal);
+    EXPECT_LT(s.vColsSkipped, s.vColsTotal);
+    EXPECT_GT(s.meanScoreSparsity(), 0.99);
+}
+
+} // namespace
+} // namespace exion

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the log-domain arithmetic of the EPRE (Fig. 5a / 15).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "exion/common/rng.h"
+#include "exion/metrics/metrics.h"
+#include "exion/sparsity/log_domain.h"
+#include "exion/tensor/ops.h"
+
+namespace exion
+{
+namespace
+{
+
+TEST(LdProduct, PaperFig15Example)
+{
+    // 3 x 5 = 15. LOD: 2 x 4 = 8. TS-LOD: (2+1)(4+1) = 15 (exact here).
+    EXPECT_EQ(ldProduct(3, 5, LodMode::Single), 8);
+    EXPECT_EQ(ldProduct(3, 5, LodMode::TwoStep), 15);
+}
+
+TEST(LdProduct, PaperFig5MacExample)
+{
+    // Fig. 5(a): inputs {2, 3}, weights {5, 3}: expected 19,
+    // LOD-predicted 12 (2*5 -> 8, 3*3 -> 4).
+    const i64 lod = ldProduct(2, 5, LodMode::Single)
+        + ldProduct(3, 3, LodMode::Single);
+    EXPECT_EQ(lod, 12);
+}
+
+TEST(LdProduct, ZeroAndSigns)
+{
+    EXPECT_EQ(ldProduct(0, 17, LodMode::Single), 0);
+    EXPECT_EQ(ldProduct(17, 0, LodMode::TwoStep), 0);
+    EXPECT_EQ(ldProduct(-3, 5, LodMode::TwoStep), -15);
+    EXPECT_EQ(ldProduct(3, -5, LodMode::TwoStep), -15);
+    EXPECT_EQ(ldProduct(-3, -5, LodMode::TwoStep), 15);
+}
+
+TEST(LdProduct, PowersOfTwoAreExact)
+{
+    for (i32 a : {1, 2, 4, 64, 1024})
+        for (i32 b : {1, 8, 256})
+            EXPECT_EQ(ldProduct(a, b, LodMode::Single),
+                      static_cast<i64>(a) * b);
+}
+
+/** Property: TS-LOD dominates LOD and never overshoots. */
+class LdProductProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LdProductProperty, BoundsHold)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 2000; ++i) {
+        const i32 a = static_cast<i32>(rng.uniformInt(4096)) - 2048;
+        const i32 b = static_cast<i32>(rng.uniformInt(4096)) - 2048;
+        const i64 exact = static_cast<i64>(a) * b;
+        const i64 lod = ldProduct(a, b, LodMode::Single);
+        const i64 ts = ldProduct(a, b, LodMode::TwoStep);
+        // Same sign (or zero), monotone in approximation depth,
+        // never exceeding the exact magnitude.
+        EXPECT_LE(std::abs(lod), std::abs(exact));
+        EXPECT_LE(std::abs(ts), std::abs(exact));
+        EXPECT_GE(std::abs(ts), std::abs(lod));
+        if (exact != 0) {
+            EXPECT_GE(exact > 0 ? lod : -lod, 0);
+            // LOD keeps at least 1/4 of magnitude, TS-LOD at least
+            // 9/16 (both factors keep >= 1/2 resp. 3/4).
+            EXPECT_GE(4 * std::abs(lod) + 4, std::abs(exact));
+            EXPECT_GE(16 * std::abs(ts) + 16, 9 * std::abs(exact));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LdProductProperty,
+                         ::testing::Range(0, 8));
+
+TEST(LdMatmul, TwoStepMoreAccurateThanSingle)
+{
+    Rng rng(13);
+    Matrix a(12, 24), b(24, 10);
+    a.fillNormal(rng, 0.0f, 1.0f);
+    b.fillNormal(rng, 0.0f, 1.0f);
+    const Matrix exact = matmul(a, b);
+    const Matrix lod = ldMatmulFloat(a, b, LodMode::Single);
+    const Matrix ts = ldMatmulFloat(a, b, LodMode::TwoStep);
+    const double err_lod = relativeError(exact, lod);
+    const double err_ts = relativeError(exact, ts);
+    EXPECT_LT(err_ts, err_lod);
+    EXPECT_LT(err_ts, 0.25);
+    // The prediction must preserve ranking structure (that is all the
+    // EP decision needs): strong cosine alignment with the truth.
+    EXPECT_GT(cosineSimilarity(exact, ts), 0.95);
+    EXPECT_GT(cosineSimilarity(exact, lod), 0.8);
+}
+
+TEST(LdMatmul, TransposedConsistent)
+{
+    Rng rng(17);
+    Matrix a(6, 16), b(9, 16);
+    a.fillNormal(rng, 0.0f, 1.0f);
+    b.fillNormal(rng, 0.0f, 1.0f);
+    const QuantMatrix qa = QuantMatrix::fromFloat(a, IntWidth::Int12);
+    const QuantMatrix qb = QuantMatrix::fromFloat(b, IntWidth::Int12);
+    const QuantMatrix qbt = QuantMatrix::fromFloat(transpose(b),
+                                                   qb.params());
+    const Matrix via_t = ldMatmulTransposed(qa, qb, LodMode::TwoStep);
+    const Matrix direct = ldMatmul(qa, qbt, LodMode::TwoStep);
+    EXPECT_LT(maxAbsDiff(via_t, direct), 1e-5);
+}
+
+} // namespace
+} // namespace exion

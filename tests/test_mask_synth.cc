@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the calibrated synthetic mask generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include "exion/accel/conmerge_estimator.h"
+#include "exion/sparsity/mask_synth.h"
+
+namespace exion
+{
+namespace
+{
+
+TEST(FfnMaskParams, BackgroundDensitySolvesTarget)
+{
+    FfnMaskParams p{0.05, 0.5, 0.02, 0.85};
+    const double bg = p.backgroundDensity();
+    const double achieved = p.hotColFraction * p.hotColDensity
+        + (1.0 - p.deadColFraction - p.hotColFraction) * bg;
+    EXPECT_NEAR(achieved, p.density, 1e-9);
+}
+
+TEST(FfnMask, HitsElementSparsity)
+{
+    for (Benchmark b : allBenchmarks()) {
+        const FfnMaskParams p = ffnMaskParams(b);
+        Rng rng(42);
+        const Bitmask2D mask = synthFfnMask(512, 1024, p, rng);
+        EXPECT_NEAR(1.0 - mask.sparsity(), p.density,
+                    0.15 * p.density + 0.01)
+            << benchmarkName(b);
+    }
+}
+
+TEST(FfnMask, DeadColumnsAreEmpty)
+{
+    FfnMaskParams p{0.05, 0.6, 0.02, 0.85};
+    Rng rng(7);
+    const Bitmask2D mask = synthFfnMask(256, 2000, p, rng);
+    Index empty = 0;
+    for (Index c = 0; c < mask.cols(); ++c)
+        empty += mask.columnEmpty(c) ? 1 : 0;
+    // With 256 rows, background columns are essentially never empty.
+    EXPECT_NEAR(static_cast<double>(empty) / 2000.0, 0.6, 0.05);
+}
+
+TEST(FfnMask, AnalyticCondenseMatchesEmpirical)
+{
+    const FfnMaskParams p = ffnMaskParams(Benchmark::StableDiffusion);
+    Rng rng(11);
+    const Index rows = 128;
+    const Bitmask2D mask = synthFfnMask(rows, 4000, p, rng);
+    Index nonempty = 0;
+    for (Index c = 0; c < mask.cols(); ++c)
+        nonempty += mask.columnEmpty(c) ? 0 : 1;
+    const double empirical = static_cast<double>(nonempty) / 4000.0;
+    const double analytic = analyticFfnCondenseRemaining(rows, p);
+    EXPECT_NEAR(analytic, empirical, 0.03);
+}
+
+TEST(FfnMask, CalibrationMatchesPaperAnchors)
+{
+    // MLD condensing leaves ~13.8% of columns (Fig. 8) at its small
+    // row count; SD leaves ~77.4% at 4096 rows.
+    const double mld = analyticFfnCondenseRemaining(
+        8, ffnMaskParams(Benchmark::MLD));
+    EXPECT_NEAR(mld, 0.138, 0.05);
+    const double sd = analyticFfnCondenseRemaining(
+        4096, ffnMaskParams(Benchmark::StableDiffusion));
+    EXPECT_NEAR(sd, 0.774, 0.03);
+}
+
+TEST(ScoreMask, OneHotRowsAreEmpty)
+{
+    ScoreMaskParams p{0.3, 0.4, 0.8};
+    Rng rng(13);
+    const Bitmask2D mask = synthScoreMask(400, 64, p, rng);
+    Index empty_rows = 0;
+    for (Index r = 0; r < mask.rows(); ++r)
+        empty_rows += mask.rowOnes(r) == 0 ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(empty_rows) / 400.0, 0.4, 0.06);
+}
+
+TEST(ScoreMask, NonOneHotRowsKeepK)
+{
+    ScoreMaskParams p{0.25, 0.0, 0.8};
+    Rng rng(17);
+    const Bitmask2D mask = synthScoreMask(64, 80, p, rng);
+    const Index keep_k = static_cast<Index>(std::ceil(0.25 * 80));
+    for (Index r = 0; r < mask.rows(); ++r)
+        EXPECT_EQ(mask.rowOnes(r), keep_k);
+}
+
+TEST(ScoreMask, ZipfMakesColumnPopularitySkewed)
+{
+    ScoreMaskParams p{0.1, 0.0, 1.2};
+    Rng rng(19);
+    const Bitmask2D mask = synthScoreMask(256, 128, p, rng);
+    std::vector<u64> counts(mask.cols());
+    for (Index c = 0; c < mask.cols(); ++c)
+        counts[c] = mask.columnOnes(c);
+    std::sort(counts.begin(), counts.end());
+    // The hottest decile attracts far more queries than the coldest.
+    u64 cold = 0, hot = 0;
+    for (Index i = 0; i < 13; ++i) {
+        cold += counts[i];
+        hot += counts[counts.size() - 1 - i];
+    }
+    EXPECT_GT(hot, 4 * (cold + 1));
+}
+
+TEST(ScoreMask, DenseKeepPathWorks)
+{
+    ScoreMaskParams p{0.8, 0.0, 0.8};
+    Rng rng(23);
+    const Bitmask2D mask = synthScoreMask(32, 64, p, rng);
+    const Index keep_k = static_cast<Index>(std::ceil(0.8 * 64));
+    for (Index r = 0; r < mask.rows(); ++r)
+        EXPECT_EQ(mask.rowOnes(r), keep_k);
+}
+
+TEST(ScoreMask, AnalyticCondenseReasonable)
+{
+    ScoreMaskParams p{0.05, 0.3, 0.8};
+    const double remaining = analyticScoreCondenseRemaining(16, 256, p);
+    EXPECT_GT(remaining, 0.1);
+    EXPECT_LT(remaining, 1.0);
+    // More rows -> more columns touched.
+    EXPECT_GT(analyticScoreCondenseRemaining(256, 256, p), remaining);
+}
+
+} // namespace
+} // namespace exion

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for exion/metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exion/common/rng.h"
+#include "exion/metrics/frechet.h"
+#include "exion/metrics/metrics.h"
+#include "exion/tensor/ops.h"
+
+namespace exion
+{
+namespace
+{
+
+TEST(Psnr, IdenticalIsInfinite)
+{
+    Matrix a(3, 3, 1.0f);
+    EXPECT_TRUE(std::isinf(psnr(a, a)));
+}
+
+TEST(Psnr, KnownValue)
+{
+    Matrix ref(1, 4, 1.0f);
+    Matrix test = ref;
+    test(0, 0) = 0.9f; // mse = 0.01 / 4, peak = 1
+    const double expected = 10.0 * std::log10(1.0 / (0.01 / 4.0));
+    EXPECT_NEAR(psnr(ref, test), expected, 1e-4);
+}
+
+TEST(Psnr, MoreNoiseLowerPsnr)
+{
+    Rng rng(3);
+    Matrix ref(16, 16);
+    ref.fillNormal(rng, 0.0f, 1.0f);
+    Matrix small_noise = ref, big_noise = ref;
+    for (Index i = 0; i < ref.size(); ++i) {
+        const float n = static_cast<float>(rng.normal());
+        small_noise.data()[i] += 0.01f * n;
+        big_noise.data()[i] += 0.2f * n;
+    }
+    EXPECT_GT(psnr(ref, small_noise), psnr(ref, big_noise));
+}
+
+TEST(CosineSimilarity, Basics)
+{
+    Matrix a(1, 2), b(1, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 0;
+    b(0, 0) = 0;
+    b(0, 1) = 1;
+    EXPECT_NEAR(cosineSimilarity(a, b), 0.0, 1e-7);
+    EXPECT_NEAR(cosineSimilarity(a, a), 1.0, 1e-7);
+    const Matrix neg = scale(a, -2.0f);
+    EXPECT_NEAR(cosineSimilarity(a, neg), -1.0, 1e-7);
+}
+
+TEST(RelativeError, ZeroForIdentical)
+{
+    Matrix a(2, 2, 3.0f);
+    EXPECT_DOUBLE_EQ(relativeError(a, a), 0.0);
+}
+
+TEST(RelativeError, ScalesWithPerturbation)
+{
+    Matrix a(2, 2, 2.0f);
+    Matrix b = scale(a, 1.1f);
+    EXPECT_NEAR(relativeError(a, b), 0.1, 1e-6);
+}
+
+TEST(Frechet, ZeroForIdenticalBatches)
+{
+    Rng rng(5);
+    std::vector<Matrix> batch;
+    for (int i = 0; i < 6; ++i) {
+        Matrix m(4, 4);
+        m.fillNormal(rng, 0.0f, 1.0f);
+        batch.push_back(m);
+    }
+    FrechetProxy proxy(16, 8);
+    EXPECT_NEAR(proxy.distance(batch, batch), 0.0, 1e-9);
+}
+
+TEST(Frechet, GrowsWithDistributionShift)
+{
+    Rng rng(7);
+    std::vector<Matrix> base, shifted_small, shifted_large;
+    for (int i = 0; i < 16; ++i) {
+        Matrix m(4, 4);
+        m.fillNormal(rng, 0.0f, 1.0f);
+        base.push_back(m);
+        Matrix s = m;
+        for (auto &v : s.data())
+            v += 0.1f;
+        shifted_small.push_back(s);
+        Matrix l = m;
+        for (auto &v : l.data())
+            v += 1.0f;
+        shifted_large.push_back(l);
+    }
+    FrechetProxy proxy(16, 8);
+    const double d_small = proxy.distance(base, shifted_small);
+    const double d_large = proxy.distance(base, shifted_large);
+    EXPECT_GT(d_small, 0.0);
+    EXPECT_GT(d_large, d_small * 2.0);
+}
+
+} // namespace
+} // namespace exion

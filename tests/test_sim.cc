@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the hardware component models: params, energy/area, DRAM,
+ * SDUE, EPRE, CFSE.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exion/common/rng.h"
+#include "exion/conmerge/pipeline.h"
+#include "exion/sim/cfse.h"
+#include "exion/sim/dram.h"
+#include "exion/sim/energy.h"
+#include "exion/sim/epre.h"
+#include "exion/sim/sdue.h"
+#include "exion/tensor/ops.h"
+
+namespace exion
+{
+namespace
+{
+
+TEST(Params, PeakTopsMatchesTableII)
+{
+    DscParams p;
+    // One DSC peaks at 9.8 TOPS (Table II note 2).
+    EXPECT_NEAR(p.peakTops(), 9.8, 0.1);
+}
+
+TEST(Params, DenseMmulCycles)
+{
+    DscParams p;
+    // 16x16 outputs, K=24: one tile, one K step.
+    EXPECT_EQ(denseMmulCycles(p, 16, 24, 16), 1u);
+    // 32 rows -> two row tiles.
+    EXPECT_EQ(denseMmulCycles(p, 32, 24, 16), 2u);
+    // K=48 -> two K steps.
+    EXPECT_EQ(denseMmulCycles(p, 16, 48, 16), 2u);
+    // Partial tiles round up.
+    EXPECT_EQ(denseMmulCycles(p, 17, 25, 17), 2u * 2u * 2u);
+}
+
+TEST(Energy, TableIIITotals)
+{
+    EnergyModel model{DscParams{}};
+    EXPECT_NEAR(model.totalActivePowerMw(), 1511.43, 0.02);
+    EXPECT_NEAR(model.totalAreaMm2(), 4.37, 0.001);
+}
+
+TEST(Energy, PerCycleDerivation)
+{
+    EnergyModel model{DscParams{}};
+    // 957.97 mW at 0.8 GHz -> 1197.46 pJ per cycle.
+    EXPECT_NEAR(model.activeEnergyPerCycle(DscComponent::Sdue),
+                957.97 / 0.8, 0.01);
+    EXPECT_LT(model.gatedEnergyPerCycle(DscComponent::Sdue),
+              model.activeEnergyPerCycle(DscComponent::Sdue) * 0.15);
+}
+
+TEST(Energy, GatingSavesEnergy)
+{
+    EnergyModel model{DscParams{}};
+    const EnergyPj full = model.sdueEnergy(1000, 1.0);
+    const EnergyPj tenth = model.sdueEnergy(1000, 0.1);
+    EXPECT_LT(tenth, full * 0.25);
+    EXPECT_GT(tenth, 0.0);
+}
+
+TEST(Energy, DeviceAreaMatchesPaper)
+{
+    // EXION24: 24 DSCs + 64 MB GSC = 152.28 mm^2 (Section V-D).
+    const double area = AreaModel::deviceAreaMm2(24,
+                                                 64ull * 1024 * 1024);
+    EXPECT_NEAR(area, 152.28, 2.0);
+}
+
+TEST(Dram, BandwidthAndLatency)
+{
+    DramModel dram(DramType::Lpddr5, 51.0);
+    // 51 GB transfer takes ~1 second.
+    EXPECT_NEAR(dram.transferSeconds(51ull * 1000 * 1000 * 1000), 1.0,
+                0.01);
+    // Small transfers are latency-bound.
+    EXPECT_GT(dram.transferSeconds(64), 40e-9);
+    EXPECT_EQ(dram.transferCycles(0, 0.8), 0u);
+}
+
+TEST(Dram, EnergyPerBit)
+{
+    DramModel dram(DramType::Gddr6, 819.0);
+    EXPECT_NEAR(dram.transferEnergy(1), 8.0 * 6.0, 1e-9);
+    EXPECT_EQ(dram.name(), "GDDR6");
+}
+
+TEST(Sdue, DenseStatsFullTiles)
+{
+    Sdue sdue{DscParams{}};
+    const SdueRunStats stats = sdue.denseMmulStats(32, 48, 32);
+    EXPECT_EQ(stats.tilePasses, 4u);
+    EXPECT_EQ(stats.cycles, 4u * 2u);
+    EXPECT_DOUBLE_EQ(stats.activeFraction(), 1.0);
+}
+
+TEST(Sdue, DenseStatsEdgeTiles)
+{
+    Sdue sdue{DscParams{}};
+    const SdueRunStats stats = sdue.denseMmulStats(8, 24, 8);
+    EXPECT_EQ(stats.tilePasses, 1u);
+    // Only an 8x8 corner of the 16x16 array works.
+    EXPECT_NEAR(stats.activeFraction(), 64.0 / 256.0, 1e-9);
+}
+
+TEST(Sdue, MergedTileExecutionMatchesReference)
+{
+    Rng rng(3);
+    const Index m = 16, k = 40, n = 48;
+    Matrix input(m, k), weight(k, n);
+    input.fillNormal(rng, 0.0f, 1.0f);
+    weight.fillNormal(rng, 0.0f, 1.0f);
+    Bitmask2D mask(m, n);
+    for (Index r = 0; r < m; ++r)
+        for (Index c = 0; c < n; ++c)
+            if (rng.bernoulli(0.2))
+                mask.set(r, c, true);
+
+    ConMergePipeline pipeline;
+    const GroupResult group = pipeline.processGroup(mask, 0);
+    Sdue sdue{DscParams{}};
+    Matrix out(m, n);
+    SdueRunStats stats;
+    for (const auto &tile : group.tiles)
+        stats.add(sdue.executeMergedTile(tile, input, weight, 0, out));
+
+    const Matrix reference = matmul(input, weight);
+    for (Index r = 0; r < m; ++r) {
+        for (Index c = 0; c < n; ++c) {
+            if (mask.get(r, c))
+                EXPECT_NEAR(out(r, c), reference(r, c), 1e-3)
+                    << "(" << r << "," << c << ")";
+            else
+                EXPECT_FLOAT_EQ(out(r, c), 0.0f);
+        }
+    }
+    EXPECT_EQ(stats.tilePasses, group.tiles.size());
+    EXPECT_GT(stats.activeFraction(), 0.0);
+}
+
+TEST(Sdue, MergedTileCyclesScaleWithK)
+{
+    Sdue sdue{DscParams{}};
+    MergedTile tile;
+    tile.initBase({ColumnEntry{0, 0x00ff}});
+    EXPECT_EQ(sdue.mergedTileStats(tile, 24).cycles, 1u);
+    EXPECT_EQ(sdue.mergedTileStats(tile, 25).cycles, 2u);
+    EXPECT_EQ(sdue.mergedTileStats(tile, 240).cycles, 10u);
+}
+
+TEST(Epre, PredictionCyclesScale)
+{
+    Epre epre{DscParams{}};
+    const Cycle small = epre.predictAttentionCycles(64, 256, 4);
+    const Cycle large = epre.predictAttentionCycles(128, 256, 4);
+    EXPECT_GT(large, small);
+    EXPECT_GT(small, 0u);
+}
+
+TEST(Cfse, OpCyclesAndModes)
+{
+    Cfse two_way{DscParams{}, true};
+    Cfse one_way{DscParams{}, false};
+    EXPECT_EQ(two_way.elementsPerCycle(), 32u);
+    EXPECT_EQ(one_way.elementsPerCycle(), 16u);
+    EXPECT_EQ(two_way.opCycles(CfseOp::ResidualAdd, 32), 1u);
+    EXPECT_EQ(two_way.opCycles(CfseOp::Softmax, 32), 4u);
+    EXPECT_EQ(one_way.opCycles(CfseOp::ResidualAdd, 32), 2u);
+    // Softmax costs more passes than residual add.
+    EXPECT_GT(cfsePasses(CfseOp::Softmax),
+              cfsePasses(CfseOp::ResidualAdd));
+}
+
+} // namespace
+} // namespace exion

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for exion/tensor: Matrix, ops, QuantMatrix, Bitmask2D.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exion/common/rng.h"
+#include "exion/tensor/bitmask.h"
+#include "exion/tensor/ops.h"
+#include "exion/tensor/quant_matrix.h"
+
+namespace exion
+{
+namespace
+{
+
+TEST(Matrix, ConstructAndAccess)
+{
+    Matrix m(2, 3, 1.5f);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_FLOAT_EQ(m.at(1, 2), 1.5f);
+    m.at(0, 1) = 2.0f;
+    EXPECT_FLOAT_EQ(m(0, 1), 2.0f);
+}
+
+TEST(Matrix, MaxAbs)
+{
+    Matrix m(2, 2);
+    m(0, 0) = -3.0f;
+    m(1, 1) = 2.0f;
+    EXPECT_FLOAT_EQ(m.maxAbs(), 3.0f);
+}
+
+TEST(Ops, MatmulSmall)
+{
+    Matrix a(2, 3);
+    Matrix b(3, 2);
+    float av[] = {1, 2, 3, 4, 5, 6};
+    float bv[] = {7, 8, 9, 10, 11, 12};
+    std::copy(av, av + 6, a.data().begin());
+    std::copy(bv, bv + 6, b.data().begin());
+    const Matrix c = matmul(a, b);
+    EXPECT_FLOAT_EQ(c(0, 0), 58.0f);
+    EXPECT_FLOAT_EQ(c(0, 1), 64.0f);
+    EXPECT_FLOAT_EQ(c(1, 0), 139.0f);
+    EXPECT_FLOAT_EQ(c(1, 1), 154.0f);
+}
+
+TEST(Ops, MatmulTransposedMatchesMatmul)
+{
+    Rng rng(3);
+    Matrix a(5, 7), b(4, 7);
+    a.fillNormal(rng, 0.0f, 1.0f);
+    b.fillNormal(rng, 0.0f, 1.0f);
+    const Matrix direct = matmulTransposed(a, b);
+    const Matrix via_t = matmul(a, transpose(b));
+    EXPECT_LT(maxAbsDiff(direct, via_t), 1e-4);
+}
+
+TEST(Ops, TransposeInvolution)
+{
+    Rng rng(5);
+    Matrix a(6, 4);
+    a.fillNormal(rng, 0.0f, 1.0f);
+    EXPECT_EQ(transpose(transpose(a)), a);
+}
+
+TEST(Ops, AddSubScale)
+{
+    Matrix a(1, 3), b(1, 3);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(0, 2) = 3;
+    b(0, 0) = 4;
+    b(0, 1) = 5;
+    b(0, 2) = 6;
+    const Matrix s = add(a, b);
+    EXPECT_FLOAT_EQ(s(0, 2), 9.0f);
+    const Matrix d = sub(b, a);
+    EXPECT_FLOAT_EQ(d(0, 0), 3.0f);
+    const Matrix sc = scale(a, 2.0f);
+    EXPECT_FLOAT_EQ(sc(0, 1), 4.0f);
+}
+
+TEST(Ops, SliceAndPaste)
+{
+    Rng rng(7);
+    Matrix a(8, 6);
+    a.fillNormal(rng, 0.0f, 1.0f);
+    const Matrix rows = sliceRows(a, 2, 3);
+    EXPECT_EQ(rows.rows(), 3u);
+    EXPECT_FLOAT_EQ(rows(0, 0), a(2, 0));
+    const Matrix cols = sliceCols(a, 1, 2);
+    EXPECT_EQ(cols.cols(), 2u);
+    EXPECT_FLOAT_EQ(cols(5, 1), a(5, 2));
+
+    Matrix target(8, 6, 0.0f);
+    pasteRows(target, rows, 2);
+    EXPECT_FLOAT_EQ(target(3, 4), a(3, 4));
+    EXPECT_FLOAT_EQ(target(0, 0), 0.0f);
+}
+
+TEST(Ops, QuantMatmulApproximatesFloat)
+{
+    Rng rng(9);
+    Matrix a(12, 20), b(20, 8);
+    a.fillNormal(rng, 0.0f, 1.0f);
+    b.fillNormal(rng, 0.0f, 1.0f);
+    const Matrix exact = matmul(a, b);
+    const QuantMatrix qa = QuantMatrix::fromFloat(a, IntWidth::Int12);
+    const QuantMatrix qb = QuantMatrix::fromFloat(b, IntWidth::Int12);
+    const Matrix approx = matmulQuant(qa, qb);
+    // INT12 round-trip error over a 20-deep dot product stays small.
+    EXPECT_LT(maxAbsDiff(exact, approx), 0.05);
+}
+
+TEST(QuantMatrix, RoundTrip)
+{
+    Rng rng(11);
+    Matrix a(4, 4);
+    a.fillNormal(rng, 0.0f, 3.0f);
+    const QuantMatrix q = QuantMatrix::fromFloat(a, IntWidth::Int12);
+    const Matrix back = q.toFloat();
+    EXPECT_LT(maxAbsDiff(a, back), q.scale() * 0.51);
+}
+
+TEST(Bitmask, SetGetCount)
+{
+    Bitmask2D m(5, 9);
+    EXPECT_EQ(m.countOnes(), 0u);
+    m.set(0, 0, true);
+    m.set(4, 8, true);
+    m.set(2, 3, true);
+    EXPECT_TRUE(m.get(4, 8));
+    EXPECT_FALSE(m.get(4, 7));
+    EXPECT_EQ(m.countOnes(), 3u);
+    m.set(2, 3, false);
+    EXPECT_EQ(m.countOnes(), 2u);
+}
+
+TEST(Bitmask, SparsityAndColumns)
+{
+    Bitmask2D m(4, 4);
+    for (Index r = 0; r < 4; ++r)
+        m.set(r, 1, true);
+    EXPECT_DOUBLE_EQ(m.sparsity(), 0.75);
+    EXPECT_EQ(m.columnOnes(1), 4u);
+    EXPECT_TRUE(m.columnEmpty(0));
+    EXPECT_FALSE(m.columnEmpty(1));
+    EXPECT_EQ(m.rowOnes(2), 1u);
+}
+
+TEST(Bitmask, ColumnSlice16)
+{
+    Bitmask2D m(20, 2);
+    m.set(0, 0, true);
+    m.set(15, 0, true);
+    m.set(16, 0, true);
+    EXPECT_EQ(m.columnSlice16(0, 0), static_cast<u16>(0x8001));
+    EXPECT_EQ(m.columnSlice16(0, 16), static_cast<u16>(0x0001));
+    EXPECT_EQ(m.columnSlice16(1, 0), 0u);
+}
+
+TEST(Bitmask, OrWith)
+{
+    Bitmask2D a(2, 2), b(2, 2);
+    a.set(0, 0, true);
+    b.set(1, 1, true);
+    a.orWith(b);
+    EXPECT_TRUE(a.get(0, 0));
+    EXPECT_TRUE(a.get(1, 1));
+    EXPECT_EQ(a.countOnes(), 2u);
+}
+
+/** Property sweep: packed bitmask behaves like a bool matrix. */
+class BitmaskProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BitmaskProperty, MatchesReferenceBoolMatrix)
+{
+    const int seed = GetParam();
+    Rng rng(seed);
+    const Index rows = 1 + rng.uniformInt(40);
+    const Index cols = 1 + rng.uniformInt(70);
+    Bitmask2D mask(rows, cols);
+    std::vector<std::vector<bool>> ref(rows,
+                                       std::vector<bool>(cols, false));
+    for (int i = 0; i < 300; ++i) {
+        const Index r = rng.uniformInt(rows);
+        const Index c = rng.uniformInt(cols);
+        const bool v = rng.bernoulli(0.5);
+        mask.set(r, c, v);
+        ref[r][c] = v;
+    }
+    u64 ones = 0;
+    for (Index r = 0; r < rows; ++r)
+        for (Index c = 0; c < cols; ++c) {
+            EXPECT_EQ(mask.get(r, c), ref[r][c]);
+            ones += ref[r][c] ? 1 : 0;
+        }
+    EXPECT_EQ(mask.countOnes(), ones);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitmaskProperty,
+                         ::testing::Range(0, 12));
+
+} // namespace
+} // namespace exion

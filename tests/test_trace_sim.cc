@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the ISA, program builder and trace-driven top controller,
+ * including the pin between trace execution and the closed-form cycle
+ * model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exion/sim/program_builder.h"
+#include "exion/sim/top_controller.h"
+
+namespace exion
+{
+namespace
+{
+
+DramModel
+testDram()
+{
+    return DramModel(DramType::Lpddr5, 51.0);
+}
+
+TEST(Isa, Disassembly)
+{
+    Instr mmul;
+    mmul.op = Opcode::MmulDense;
+    mmul.m = 16;
+    mmul.k = 24;
+    mmul.n = 16;
+    EXPECT_EQ(mmul.toString(), "MMUL.D 16x24x16");
+
+    Instr load;
+    load.op = Opcode::LoadWeight;
+    load.bytes = 1024;
+    EXPECT_EQ(load.toString(), "LD.WT bytes=1024");
+    EXPECT_EQ(opcodeName(Opcode::Sync), "SYNC");
+}
+
+TEST(ProgramBuilder, DenseMmulShape)
+{
+    ProgramBuilder builder{DscParams{}};
+    builder.addDenseMmul(32, 64, 48);
+    const Program &prog = builder.program();
+    ASSERT_EQ(prog.size(), 4u);
+    EXPECT_EQ(prog[0].op, Opcode::LoadInput);
+    EXPECT_EQ(prog[0].bytes, ProgramBuilder::int12Bytes(32 * 64));
+    EXPECT_EQ(prog[1].op, Opcode::LoadWeight);
+    EXPECT_EQ(prog[2].op, Opcode::MmulDense);
+    EXPECT_EQ(prog[3].op, Opcode::StoreOutput);
+}
+
+TEST(TopController, InstrCyclesMatchComponents)
+{
+    const DscParams params;
+    TopController tc(params, testDram());
+
+    Instr mmul;
+    mmul.op = Opcode::MmulDense;
+    mmul.m = 32;
+    mmul.k = 48;
+    mmul.n = 32;
+    EXPECT_EQ(tc.instrCycles(mmul),
+              denseMmulCycles(params, 32, 48, 32));
+
+    Instr merged;
+    merged.op = Opcode::MmulMerged;
+    merged.tiles = 5;
+    merged.k = 48;
+    EXPECT_EQ(tc.instrCycles(merged), 5u * 2u);
+
+    Instr sync;
+    sync.op = Opcode::Sync;
+    EXPECT_EQ(tc.instrCycles(sync), 0u);
+}
+
+TEST(TopController, ComputeOnlyProgramSumsCycles)
+{
+    const DscParams params;
+    TopController tc(params, testDram());
+    Program prog;
+    Instr mmul;
+    mmul.op = Opcode::MmulDense;
+    mmul.m = 64;
+    mmul.k = 96;
+    mmul.n = 64;
+    prog.push_back(mmul);
+    prog.push_back(mmul);
+    const TraceStats stats = tc.run(prog);
+    EXPECT_EQ(stats.totalCycles,
+              2 * denseMmulCycles(params, 64, 96, 64));
+    EXPECT_EQ(stats.sdueBusy, stats.totalCycles);
+    EXPECT_EQ(stats.stallCycles, 0u);
+    EXPECT_EQ(stats.instructions, 2u);
+}
+
+TEST(TopController, DmaStallsWhenComputeCannotHideIt)
+{
+    const DscParams params;
+    TopController tc(params, testDram());
+    // Huge load before tiny compute: the transfer cannot hide.
+    ProgramBuilder builder(params);
+    builder.addDenseMmul(16, 24, 16); // 1-cycle sweep
+    const TraceStats stats = tc.run(builder.program());
+    EXPECT_GT(stats.stallCycles, 0u);
+    EXPECT_GT(stats.totalCycles, 1u);
+    EXPECT_EQ(stats.sdueBusy, 1u);
+}
+
+TEST(TopController, ShadowUnitsHideBehindCompute)
+{
+    const DscParams params;
+    TopController tc(params, testDram());
+    Program prog;
+    Instr pred;
+    pred.op = Opcode::EpPredict;
+    pred.m = 32;
+    pred.k = 64;
+    pred.n = 4;
+    prog.push_back(pred);
+    Instr mmul;
+    mmul.op = Opcode::MmulDense;
+    mmul.m = 512;
+    mmul.k = 512;
+    mmul.n = 512;
+    prog.push_back(mmul);
+    const TraceStats stats = tc.run(prog);
+    // The small prediction fully hides behind the large sweep.
+    EXPECT_EQ(stats.totalCycles, stats.sdueBusy);
+    EXPECT_GT(stats.epreBusy, 0u);
+}
+
+TEST(TopController, SyncDrainsShadowWork)
+{
+    const DscParams params;
+    TopController tc(params, testDram());
+    Program prog;
+    Instr pred;
+    pred.op = Opcode::EpPredict;
+    pred.m = 256;
+    pred.k = 512;
+    pred.n = 8;
+    prog.push_back(pred);
+    Instr sync;
+    sync.op = Opcode::Sync;
+    prog.push_back(sync);
+    const TraceStats stats = tc.run(prog);
+    // Nothing to hide behind: the sync pays the full prediction.
+    EXPECT_EQ(stats.totalCycles, stats.epreBusy);
+    EXPECT_GT(stats.totalCycles, 0u);
+}
+
+TEST(TopController, MergedMmulAccountsGating)
+{
+    const DscParams params;
+    TopController tc(params, testDram());
+    Program prog;
+    Instr merged;
+    merged.op = Opcode::MmulMerged;
+    merged.tiles = 4;
+    merged.k = 24;
+    merged.occupancy = 0.25;
+    prog.push_back(merged);
+    const TraceStats stats = tc.run(prog);
+    EXPECT_EQ(stats.totalCycles, 4u);
+    const u64 total_dpu = stats.activeDpuCycles + stats.gatedDpuCycles;
+    EXPECT_EQ(total_dpu, 4u * 256u);
+    EXPECT_NEAR(static_cast<double>(stats.activeDpuCycles) / total_dpu,
+                0.25, 1e-9);
+}
+
+/** Property: a pipeline of balanced stages hides most transfers. */
+class OverlapSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(OverlapSweep, BiggerComputeHidesMoreDma)
+{
+    const DscParams params;
+    TopController tc(params, testDram());
+    const Index dim = 128 << GetParam(); // 128, 256, 512
+    ProgramBuilder builder(params);
+    for (int i = 0; i < 4; ++i)
+        builder.addDenseMmul(dim, dim, dim);
+    const TraceStats stats = tc.run(builder.program());
+    const double stall_fraction =
+        static_cast<double>(stats.stallCycles) / stats.totalCycles;
+    // Compute grows as dim^3, transfers as dim^2: stalls shrink.
+    if (GetParam() == 2) {
+        EXPECT_LT(stall_fraction, 0.35);
+    }
+    EXPECT_EQ(stats.instructions, 16u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, OverlapSweep, ::testing::Range(0, 3));
+
+} // namespace
+} // namespace exion
