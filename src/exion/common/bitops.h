@@ -14,6 +14,7 @@
 #include <bit>
 #include <cstdint>
 
+#include "exion/common/logging.h"
 #include "exion/common/types.h"
 
 namespace exion
@@ -26,7 +27,9 @@ inline constexpr int kNoLeadingOne = -1;
  * Position of the leading one of v (0 = LSB), or kNoLeadingOne.
  *
  * This is the single-step LOD of the original eager-prediction
- * hardware (FACT): v is approximated as 2^lod(v).
+ * hardware (FACT): v is approximated as 2^lod(v). Zero input is
+ * well-defined and returns kNoLeadingOne — callers must check the
+ * sentinel before using the position as a shift amount.
  */
 constexpr int
 leadingOne(u32 v)
@@ -51,7 +54,9 @@ struct TsLod
  * Two-step leading-one detection: v ~= 2^first + 2^second.
  *
  * Used by the EPRE (Fig. 15): first conduct LOD, convert the leading
- * one to zero, then detect one more bit.
+ * one to zero, then detect one more bit. Zero input yields both
+ * fields at kNoLeadingOne; a power of two yields second ==
+ * kNoLeadingOne.
  */
 constexpr TsLod
 twoStepLeadingOne(u32 v)
@@ -65,7 +70,7 @@ twoStepLeadingOne(u32 v)
     return out;
 }
 
-/** Value reconstructed from a single-step LOD approximation. */
+/** Value reconstructed from a single-step LOD approximation (0 -> 0). */
 constexpr u32
 lodValue(u32 v)
 {
@@ -73,7 +78,7 @@ lodValue(u32 v)
     return p == kNoLeadingOne ? 0 : (u32{1} << p);
 }
 
-/** Value reconstructed from a TS-LOD approximation. */
+/** Value reconstructed from a TS-LOD approximation (0 -> 0). */
 constexpr u32
 tsLodValue(u32 v)
 {
@@ -93,10 +98,16 @@ popcount64(u64 v)
     return std::popcount(v);
 }
 
-/** Ceiling division for positive integers. */
+/**
+ * Ceiling division. @pre den > 0; num + den - 1 must not overflow.
+ *
+ * den == 0 would be undefined behaviour in the division; it is
+ * asserted here (and rejected at compile time in constant evaluation).
+ */
 constexpr u64
 ceilDiv(u64 num, u64 den)
 {
+    EXION_ASSERT(den > 0, "ceilDiv by zero (num ", num, ")");
     return (num + den - 1) / den;
 }
 

@@ -7,10 +7,6 @@
 namespace exion
 {
 
-namespace
-{
-
-/** SplitMix64 step used for seeding only. */
 u64
 splitMix64(u64 &x)
 {
@@ -20,8 +16,6 @@ splitMix64(u64 &x)
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
     return z ^ (z >> 31);
 }
-
-} // namespace
 
 Rng::Rng(u64 seed)
 {

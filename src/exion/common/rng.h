@@ -19,6 +19,14 @@ namespace exion
 {
 
 /**
+ * One SplitMix64 step: advances x and returns the mixed word.
+ *
+ * The seeding primitive behind Rng; exposed so other deterministic
+ * seed derivations (e.g. per-task streams) share one implementation.
+ */
+u64 splitMix64(u64 &x);
+
+/**
  * Xoshiro256++ generator with convenience draws.
  *
  * Gaussian draws use Box-Muller on the uniform stream, so sequences

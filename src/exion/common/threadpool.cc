@@ -1,0 +1,111 @@
+#include "exion/common/threadpool.h"
+
+#include <utility>
+
+#include "exion/common/logging.h"
+
+namespace exion
+{
+
+namespace
+{
+
+/** Mixes (pool seed, task index) into an independent task seed. */
+u64
+mixSeed(u64 seed, u64 index)
+{
+    // Jump the SplitMix64 stream by the task index, then take one
+    // mixing step (which adds the golden-ratio increment itself).
+    u64 x = seed + index * 0x9e3779b97f4a7c15ULL;
+    return splitMix64(x);
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(int workers, u64 seed) : seed_(seed)
+{
+    if (workers <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        workers = hw == 0 ? 1 : static_cast<int>(hw);
+    }
+    workers_.reserve(workers);
+    try {
+        for (int i = 0; i < workers; ++i)
+            workers_.emplace_back([this]() { workerLoop(); });
+    } catch (...) {
+        // Thread start failed (e.g. task limit): stop and join the
+        // workers that did start, then let the caller see the error —
+        // unwinding joinable std::threads would std::terminate.
+        shutdown();
+        throw;
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    shutdown();
+}
+
+void
+ThreadPool::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+    workers_.clear();
+}
+
+u64
+ThreadPool::submittedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return submitted_;
+}
+
+void
+ThreadPool::post(std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        EXION_ASSERT(!stopping_, "submit after ThreadPool shutdown");
+        ++submitted_;
+        queue_.push_back(std::move(fn));
+    }
+    cv_.notify_one();
+}
+
+u64
+ThreadPool::nextTaskSeed()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return mixSeed(seed_, seededSubmitted_++);
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this]() { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        // packaged_task routes exceptions into the future; a raw
+        // submit()-wrapped callable does the same, so task() never
+        // throws here.
+        task();
+    }
+}
+
+} // namespace exion

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fixed-size worker thread pool with deterministic task seeding.
+ *
+ * Tasks are queued FIFO and executed by a fixed set of workers; every
+ * submission returns a std::future that carries the task's result or
+ * exception. Seeded tasks additionally receive an exion::Rng whose
+ * seed depends only on the pool seed and the task's submission index —
+ * never on which worker picks the task up — so randomised work is
+ * bit-identical across worker counts and scheduling orders.
+ */
+
+#ifndef EXION_COMMON_THREADPOOL_H_
+#define EXION_COMMON_THREADPOOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "exion/common/rng.h"
+#include "exion/common/types.h"
+
+namespace exion
+{
+
+/**
+ * Fixed worker pool executing queued tasks.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Starts the workers.
+     *
+     * @param workers worker threads (>= 1; 0 picks the hardware
+     *                concurrency)
+     * @param seed    base seed for deterministic per-task Rng streams
+     */
+    explicit ThreadPool(int workers = 0,
+                        u64 seed = 0x2545f4914f6cdd1dULL);
+
+    /** Drains remaining tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueues a task; the future carries its result or exception.
+     */
+    template <typename F>
+    auto submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> future = task->get_future();
+        post([task]() { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Enqueues a task that receives a deterministically seeded Rng.
+     *
+     * The Rng seed is derived from (pool seed, index of this seeded
+     * submission), so a given submission sequence produces identical
+     * draws regardless of worker count.
+     */
+    template <typename F>
+    auto submitSeeded(F &&fn) -> std::future<std::invoke_result_t<F, Rng &>>
+    {
+        using R = std::invoke_result_t<F, Rng &>;
+        const u64 task_seed = nextTaskSeed();
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            [fn = std::forward<F>(fn), task_seed]() mutable {
+                Rng rng(task_seed);
+                return fn(rng);
+            });
+        std::future<R> future = task->get_future();
+        post([task]() { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Finishes all queued tasks and stops the workers. Subsequent
+     * submissions panic. Idempotent; also called by the destructor.
+     */
+    void shutdown();
+
+    /** Number of worker threads. */
+    int workerCount() const { return static_cast<int>(workers_.size()); }
+
+    /** Tasks submitted so far (plain and seeded). */
+    u64 submittedCount() const;
+
+  private:
+    void post(std::function<void()> fn);
+    u64 nextTaskSeed();
+    void workerLoop();
+
+    u64 seed_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    u64 submitted_ = 0;
+    u64 seededSubmitted_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace exion
+
+#endif // EXION_COMMON_THREADPOOL_H_

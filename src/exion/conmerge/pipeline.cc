@@ -193,13 +193,20 @@ ConMergeStats
 ConMergePipeline::processMask(const Bitmask2D &mask) const
 {
     ConMergeStats stats;
-    stats.matrixColumns = mask.cols();
+    processMaskInto(mask, stats);
+    return stats;
+}
+
+void
+ConMergePipeline::processMaskInto(const Bitmask2D &mask,
+                                  ConMergeStats &into) const
+{
+    into.matrixColumns += mask.cols();
     for (Index c = 0; c < mask.cols(); ++c)
-        stats.matrixNonEmptyColumns += mask.columnEmpty(c) ? 0 : 1;
+        into.matrixNonEmptyColumns += mask.columnEmpty(c) ? 0 : 1;
     const Index groups = ceilDiv(mask.rows(), kLanes);
     for (Index g = 0; g < groups; ++g)
-        stats.add(processGroup(mask, g * kLanes));
-    return stats;
+        into.add(processGroup(mask, g * kLanes));
 }
 
 } // namespace exion

@@ -141,13 +141,13 @@ denseFfnImpl(const TransformerBlock &blk, const Matrix &x_norm,
 Matrix
 DenseExecutor::attention(const TransformerBlock &blk, const Matrix &x_norm)
 {
-    return denseAttentionImpl(blk, x_norm, quantize_, stats_, observers);
+    return denseAttentionImpl(blk, x_norm, quantize_, stats(), observers);
 }
 
 Matrix
 DenseExecutor::ffn(const TransformerBlock &blk, const Matrix &x_norm)
 {
-    return denseFfnImpl(blk, x_norm, quantize_, stats_, observers);
+    return denseFfnImpl(blk, x_norm, quantize_, stats(), observers);
 }
 
 } // namespace exion

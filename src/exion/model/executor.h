@@ -111,15 +111,44 @@ struct ExecObservers
 };
 
 /**
+ * Per-request mutable execution state.
+ *
+ * Every piece of state a BlockExecutor mutates while driving one
+ * denoising stream — the current iteration index and the op/sparsity
+ * accounting — lives here rather than in the executor itself. An
+ * executor owns a private context by default (the original
+ * single-stream behaviour); a serving layer binds one ExecContext per
+ * in-flight request so request state never leaks across streams and
+ * survives the executor that produced it.
+ */
+struct ExecContext
+{
+    /** Current denoising iteration. */
+    int iteration = 0;
+    /** Accumulated op/sparsity accounting. */
+    ExecStats stats;
+};
+
+/**
  * Strategy interface for computing a block's two heavy sub-layers.
+ *
+ * Executors are stateful (bound context + observers) and not
+ * copyable; create one per concurrent denoising stream.
  */
 class BlockExecutor
 {
   public:
+    BlockExecutor() = default;
     virtual ~BlockExecutor() = default;
 
+    BlockExecutor(const BlockExecutor &) = delete;
+    BlockExecutor &operator=(const BlockExecutor &) = delete;
+
     /** Called once at the start of every denoising iteration. */
-    virtual void beginIteration(int iteration) { iteration_ = iteration; }
+    virtual void beginIteration(int iteration)
+    {
+        ctx().iteration = iteration;
+    }
 
     /** Multi-head attention sub-layer (QKV, scores, AV, out-proj). */
     virtual Matrix attention(const TransformerBlock &blk,
@@ -129,21 +158,37 @@ class BlockExecutor
     virtual Matrix ffn(const TransformerBlock &blk,
                        const Matrix &x_norm) = 0;
 
-    /** Accumulated statistics. */
-    ExecStats &stats() { return stats_; }
+    /** Binds an external per-request context. */
+    void bindContext(ExecContext &ctx) { ctx_ = &ctx; }
+
+    /** Reverts to the executor-owned single-stream context. */
+    void unbindContext() { ctx_ = &ownCtx_; }
+
+    /** Active execution context. */
+    ExecContext &ctx() { return *ctx_; }
+
+    /** Active execution context (const). */
+    const ExecContext &ctx() const { return *ctx_; }
+
+    /** Accumulated statistics of the active context. */
+    ExecStats &stats() { return ctx_->stats; }
 
     /** Accumulated statistics (const). */
-    const ExecStats &stats() const { return stats_; }
+    const ExecStats &stats() const { return ctx_->stats; }
 
-    /** Clears statistics. */
-    void resetStats() { stats_ = ExecStats{}; }
+    /** Clears the active context's statistics. */
+    void resetStats() { ctx_->stats = ExecStats{}; }
 
     /** Observation hooks (mutable by design; callers install them). */
     ExecObservers observers;
 
   protected:
-    int iteration_ = 0;
-    ExecStats stats_;
+    /** Current iteration of the active context. */
+    int iteration() const { return ctx_->iteration; }
+
+  private:
+    ExecContext ownCtx_;
+    ExecContext *ctx_ = &ownCtx_;
 };
 
 /**

@@ -13,8 +13,20 @@ DiffusionPipeline::DiffusionPipeline(const ModelConfig &cfg)
 Matrix
 DiffusionPipeline::run(BlockExecutor &exec, u64 noise_seed) const
 {
+    RunOptions opts;
+    opts.noiseSeed = noise_seed;
+    // The legacy hook lives on the (possibly shared) pipeline; route
+    // it through the per-request options so both entry points share
+    // one loop.
+    opts.onIteration = onIteration;
+    return run(exec, opts);
+}
+
+Matrix
+DiffusionPipeline::run(BlockExecutor &exec, const RunOptions &opts) const
+{
     const ModelConfig &cfg = network_.config();
-    Rng rng(noise_seed);
+    Rng rng(opts.noiseSeed);
     Matrix x(cfg.latentTokens, cfg.latentDim);
     x.fillNormal(rng, 0.0f, 1.0f);
 
@@ -23,8 +35,8 @@ DiffusionPipeline::run(BlockExecutor &exec, u64 noise_seed) const
         const Matrix eps = network_.forward(x, scheduler_.timestep(i),
                                             exec);
         x = scheduler_.step(x, eps, i);
-        if (onIteration)
-            onIteration(i, x);
+        if (opts.onIteration)
+            opts.onIteration(i, x);
     }
     return x;
 }

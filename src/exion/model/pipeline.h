@@ -20,7 +20,29 @@ namespace exion
 {
 
 /**
+ * Per-request run parameters.
+ *
+ * Everything that varies between two denoising requests against the
+ * same pipeline lives here, so one immutable pipeline can serve many
+ * concurrent requests.
+ */
+struct RunOptions
+{
+    /** Seed for the initial Gaussian latent. */
+    u64 noiseSeed = 7;
+    /** Optional per-iteration hook (iteration index, current latent). */
+    std::function<void(int, const Matrix &)> onIteration;
+};
+
+/**
  * Diffusion inference driver.
+ *
+ * After construction the pipeline is immutable (all weights fixed);
+ * run() is const and safe to call from multiple threads concurrently
+ * as long as each caller brings its own executor. The legacy
+ * onIteration member is the single exception — installing it on a
+ * shared pipeline is a single-stream convenience; concurrent callers
+ * pass their hook via RunOptions instead.
  */
 class DiffusionPipeline
 {
@@ -37,7 +59,18 @@ class DiffusionPipeline
      */
     Matrix run(BlockExecutor &exec, u64 noise_seed = 7) const;
 
-    /** Optional per-iteration hook (iteration index, current latent). */
+    /**
+     * Runs the full reverse process with per-request options.
+     *
+     * Thread-safe: touches no pipeline state besides the immutable
+     * network/scheduler and ignores the legacy onIteration member.
+     */
+    Matrix run(BlockExecutor &exec, const RunOptions &opts) const;
+
+    /**
+     * Optional per-iteration hook (iteration index, current latent).
+     * Single-stream use only; see RunOptions for concurrent runs.
+     */
     std::function<void(int, const Matrix &)> onIteration;
 
     /** Underlying network. */

@@ -1,0 +1,147 @@
+#include "exion/serve/batch_engine.h"
+
+#include <chrono>
+#include <utility>
+
+#include "exion/common/logging.h"
+
+namespace exion
+{
+
+std::string
+execModeName(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::Dense:
+        return "dense";
+      case ExecMode::FfnReuseOnly:
+        return "ffn-reuse";
+      case ExecMode::EpOnly:
+        return "ep";
+      case ExecMode::Exion:
+        return "exion";
+    }
+    return "?";
+}
+
+BatchEngine::BatchEngine() : BatchEngine(Options{})
+{
+}
+
+BatchEngine::BatchEngine(const Options &opts)
+    : opts_(opts), conmergePipe_(opts.conmerge),
+      pool_(opts.workers, opts.poolSeed)
+{
+}
+
+void
+BatchEngine::addModel(const ModelConfig &cfg)
+{
+    models_[cfg.benchmark] =
+        std::make_unique<const DiffusionPipeline>(cfg);
+}
+
+const DiffusionPipeline &
+BatchEngine::pipeline(Benchmark b) const
+{
+    const auto it = models_.find(b);
+    EXION_ASSERT(it != models_.end(), "benchmark ", benchmarkName(b),
+                 " not registered with the engine");
+    return *it->second;
+}
+
+std::future<RequestResult>
+BatchEngine::submit(const ServeRequest &req)
+{
+    // Resolve the pipeline now so a missing model fails the submitter,
+    // not a worker.
+    pipeline(req.benchmark);
+    return pool_.submit([this, req]() { return runOne(req); });
+}
+
+std::vector<RequestResult>
+BatchEngine::runBatch(const std::vector<ServeRequest> &requests)
+{
+    std::vector<std::future<RequestResult>> futures;
+    futures.reserve(requests.size());
+    for (const ServeRequest &req : requests)
+        futures.push_back(submit(req));
+    std::vector<RequestResult> results;
+    results.reserve(requests.size());
+    // Drain every future even if one throws, so no in-flight work is
+    // abandoned; then report the first failure with its request id.
+    std::exception_ptr first_error;
+    u64 failed_id = 0;
+    for (Index i = 0; i < futures.size(); ++i) {
+        try {
+            results.push_back(futures[i].get());
+        } catch (...) {
+            if (!first_error) {
+                first_error = std::current_exception();
+                failed_id = requests[i].id;
+            }
+        }
+    }
+    if (first_error) {
+        EXION_WARN("batch request ", failed_id,
+                   " failed; rethrowing its error");
+        std::rethrow_exception(first_error);
+    }
+    return results;
+}
+
+std::vector<RequestResult>
+BatchEngine::runSequential(const std::vector<ServeRequest> &requests)
+{
+    std::vector<RequestResult> results;
+    results.reserve(requests.size());
+    for (const ServeRequest &req : requests)
+        results.push_back(runOne(req));
+    return results;
+}
+
+RequestResult
+BatchEngine::runOne(const ServeRequest &req) const
+{
+    const DiffusionPipeline &pipe = pipeline(req.benchmark);
+    const ModelConfig &cfg = pipe.config();
+
+    RequestContext ctx;
+    std::unique_ptr<BlockExecutor> exec;
+    if (req.mode == ExecMode::Dense) {
+        auto dense = std::make_unique<DenseExecutor>(req.quantize);
+        dense->bindContext(ctx.exec);
+        exec = std::move(dense);
+    } else {
+        const bool ffnr = req.mode != ExecMode::EpOnly;
+        const bool ep = req.mode != ExecMode::FfnReuseOnly;
+        auto sparse = std::make_unique<SparseExecutor>(
+            SparseExecutor::fromConfig(cfg, ffnr, ep, req.quantize));
+        sparse->bindRequestState(ctx.exec, ctx.ffn);
+        if (req.trackConMerge && ffnr) {
+            sparse->observers.onFfnMask =
+                [this, &ctx](int, const Bitmask2D &mask, bool) {
+                    conmergePipe_.processMaskInto(mask, ctx.conmerge);
+                };
+        }
+        exec = std::move(sparse);
+    }
+
+    RunOptions opts;
+    opts.noiseSeed = req.noiseSeed;
+
+    const auto start = std::chrono::steady_clock::now();
+    Matrix output = pipe.run(*exec, opts);
+    const auto stop = std::chrono::steady_clock::now();
+
+    RequestResult result;
+    result.id = req.id;
+    result.output = std::move(output);
+    result.stats = ctx.exec.stats;
+    result.conmerge = ctx.conmerge;
+    result.seconds =
+        std::chrono::duration<double>(stop - start).count();
+    return result;
+}
+
+} // namespace exion

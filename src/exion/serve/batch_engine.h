@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Multi-request batched denoising engine.
+ *
+ * Registers immutable DiffusionPipelines once (weights shared across
+ * every request for that benchmark) and schedules N concurrent
+ * denoising requests across a ThreadPool. Each request owns a
+ * RequestContext bundling every piece of mutable state the run
+ * produces — execution context, FFN-Reuse bundle, ConMerge accounting
+ * — so results are bit-identical no matter how requests interleave
+ * across workers.
+ */
+
+#ifndef EXION_SERVE_BATCH_ENGINE_H_
+#define EXION_SERVE_BATCH_ENGINE_H_
+
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exion/common/threadpool.h"
+#include "exion/conmerge/pipeline.h"
+#include "exion/model/pipeline.h"
+#include "exion/sparsity/sparse_executor.h"
+
+namespace exion
+{
+
+/** Block execution strategy of one request (the paper's ablations). */
+enum class ExecMode
+{
+    Dense,       //!< reference dense executor
+    FfnReuseOnly, //!< inter-iteration sparsity only
+    EpOnly,      //!< intra-iteration eager prediction only
+    Exion,       //!< FFN-Reuse + eager prediction
+};
+
+/** Short display name, e.g. "dense", "exion". */
+std::string execModeName(ExecMode mode);
+
+/** One denoising request. */
+struct ServeRequest
+{
+    /** Caller-chosen identifier, echoed in the result. */
+    u64 id = 0;
+    /** Which registered model serves the request. */
+    Benchmark benchmark = Benchmark::MLD;
+    /** Execution strategy. */
+    ExecMode mode = ExecMode::Exion;
+    /** INT12 operand quantisation. */
+    bool quantize = false;
+    /** Seed of the initial Gaussian latent. */
+    u64 noiseSeed = 7;
+    /**
+     * Accumulate ConMerge compaction statistics over every FFN
+     * recompute mask the request produces (sparse modes only).
+     */
+    bool trackConMerge = false;
+};
+
+/**
+ * All mutable state of one in-flight request.
+ *
+ * This is the per-request context object: executors bind into it
+ * instead of holding stream state themselves, so one request's
+ * iteration counter, op accounting, inter-iteration FFN-Reuse caches
+ * and ConMerge accounting can never bleed into another's.
+ */
+struct RequestContext
+{
+    ExecContext exec;       //!< iteration index + ExecStats
+    FfnReuseState ffn;      //!< inter-iteration FFN-Reuse caches
+    ConMergeStats conmerge; //!< per-iteration mask compaction roll-up
+};
+
+/** Completed request: output latent plus all accounting. */
+struct RequestResult
+{
+    u64 id = 0;
+    Matrix output;
+    ExecStats stats;
+    ConMergeStats conmerge;
+    /** Wall-clock seconds spent executing the request. */
+    double seconds = 0.0;
+};
+
+/**
+ * Batched multi-request simulation engine.
+ *
+ * Usage: addModel() every benchmark the request mix needs (not
+ * thread-safe; do it before submitting), then submit() individual
+ * requests or runBatch() a whole mix. Request execution is
+ * deterministic: a request's result depends only on the request and
+ * the registered weights, never on worker count or scheduling order.
+ */
+class BatchEngine
+{
+  public:
+    struct Options
+    {
+        /** Worker threads (0 = hardware concurrency). */
+        int workers = 0;
+        /**
+         * ThreadPool seed. Denoising runs derive all randomness from
+         * each request's noiseSeed; this only feeds submitSeeded()
+         * consumers (planned: randomised schedulers, see ROADMAP).
+         */
+        u64 poolSeed = 0x2545f4914f6cdd1dULL;
+        /** ConMerge configuration for trackConMerge requests. */
+        ConMergeConfig conmerge;
+    };
+
+    /** Engine with default options (hardware-concurrency workers). */
+    BatchEngine();
+
+    explicit BatchEngine(const Options &opts);
+
+    /**
+     * Builds and registers the pipeline serving a benchmark at the
+     * given scale. Re-registering a benchmark replaces its pipeline.
+     */
+    void addModel(const ModelConfig &cfg);
+
+    /** Registered pipeline for a benchmark. @pre addModel'ed. */
+    const DiffusionPipeline &pipeline(Benchmark b) const;
+
+    /**
+     * Enqueues one request; the future carries its result or
+     * exception.
+     */
+    std::future<RequestResult> submit(const ServeRequest &req);
+
+    /**
+     * Runs a whole batch across the workers; results are returned in
+     * request order. All-or-nothing: if any request throws, every
+     * future is still drained (no abandoned work) and the first
+     * failure is rethrown. Callers needing per-request error handling
+     * use submit() and inspect each future.
+     */
+    std::vector<RequestResult> runBatch(
+        const std::vector<ServeRequest> &requests);
+
+    /**
+     * Reference single-stream path: runs the batch on the calling
+     * thread, one request at a time. Bit-identical to runBatch().
+     */
+    std::vector<RequestResult> runSequential(
+        const std::vector<ServeRequest> &requests);
+
+    /** Number of pool workers. */
+    int workerCount() const { return pool_.workerCount(); }
+
+  private:
+    RequestResult runOne(const ServeRequest &req) const;
+
+    Options opts_;
+    ConMergePipeline conmergePipe_;
+    std::map<Benchmark, std::unique_ptr<const DiffusionPipeline>> models_;
+    ThreadPool pool_;
+};
+
+} // namespace exion
+
+#endif // EXION_SERVE_BATCH_ENGINE_H_

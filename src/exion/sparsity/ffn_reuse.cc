@@ -43,22 +43,22 @@ FfnReuse::isDenseIteration(int iteration) const
 const FfnReuseBlockState *
 FfnReuse::state(int block_id) const
 {
-    const auto it = states_.find(block_id);
-    return it == states_.end() || !it->second.initialized
+    const auto it = state_->blocks.find(block_id);
+    return it == state_->blocks.end() || !it->second.initialized
         ? nullptr : &it->second;
 }
 
 void
 FfnReuse::reset()
 {
-    states_.clear();
+    state_->reset();
 }
 
 Matrix
 FfnReuse::run(const TransformerBlock &blk, const Matrix &x_norm,
               int iteration, ExecStats &stats, ExecObservers &observers)
 {
-    FfnReuseBlockState &st = states_[blk.id()];
+    FfnReuseBlockState &st = state_->blocks[blk.id()];
     if (isDenseIteration(iteration) || !st.initialized)
         return runDense(blk, x_norm, stats, observers, st);
     return runSparse(blk, x_norm, stats, observers, st);

@@ -41,7 +41,25 @@ struct FfnReuseBlockState
 };
 
 /**
+ * Per-request FFN-Reuse state bundle: one entry per transformer block.
+ *
+ * The engine holds a private bundle by default; a serving layer binds
+ * one bundle per in-flight request so inter-iteration reuse state
+ * (masks, hidden caches, partial sums) never mixes across concurrent
+ * denoising streams.
+ */
+struct FfnReuseState
+{
+    std::unordered_map<int, FfnReuseBlockState> blocks;
+
+    /** Drops all cached block state. */
+    void reset() { blocks.clear(); }
+};
+
+/**
  * FFN-Reuse execution engine, stateful across iterations.
+ *
+ * Not copyable: it carries a bound per-request state pointer.
  */
 class FfnReuse
 {
@@ -51,6 +69,15 @@ class FfnReuse
      * @param quantize run MMULs through INT12 operands
      */
     FfnReuse(const FfnReuseConfig &cfg, bool quantize);
+
+    FfnReuse(const FfnReuse &) = delete;
+    FfnReuse &operator=(const FfnReuse &) = delete;
+
+    /** Binds an external per-request state bundle. */
+    void bindState(FfnReuseState &state) { state_ = &state; }
+
+    /** Reverts to the engine-owned single-stream state bundle. */
+    void unbindState() { state_ = &ownState_; }
 
     /** True when the iteration is a dense (full recompute) one. */
     bool isDenseIteration(int iteration) const;
@@ -71,7 +98,7 @@ class FfnReuse
     /** Read access to a block's state (nullptr before first dense). */
     const FfnReuseBlockState *state(int block_id) const;
 
-    /** Drops all cached state (e.g. between pipeline runs). */
+    /** Drops the bound bundle's state (e.g. between pipeline runs). */
     void reset();
 
   private:
@@ -84,7 +111,8 @@ class FfnReuse
 
     FfnReuseConfig cfg_;
     bool quantize_;
-    std::unordered_map<int, FfnReuseBlockState> states_;
+    FfnReuseState ownState_;
+    FfnReuseState *state_ = &ownState_;
 };
 
 /** targetSparsity quantile of |values| (the calibrated threshold). */

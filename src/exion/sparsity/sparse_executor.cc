@@ -31,9 +31,9 @@ Matrix
 SparseExecutor::ffn(const TransformerBlock &blk, const Matrix &x_norm)
 {
     if (!opt_.useFfnReuse)
-        return denseFfnImpl(blk, x_norm, opt_.quantize, stats_,
+        return denseFfnImpl(blk, x_norm, opt_.quantize, stats(),
                             observers);
-    return ffnReuse_.run(blk, x_norm, iteration_, stats_, observers);
+    return ffnReuse_.run(blk, x_norm, iteration(), stats(), observers);
 }
 
 Matrix
@@ -41,7 +41,7 @@ SparseExecutor::attention(const TransformerBlock &blk,
                           const Matrix &x_norm)
 {
     if (!opt_.useEp)
-        return denseAttentionImpl(blk, x_norm, opt_.quantize, stats_,
+        return denseAttentionImpl(blk, x_norm, opt_.quantize, stats(),
                                   observers);
     return epAttention(blk, x_norm);
 }
@@ -122,8 +122,8 @@ SparseExecutor::epAttention(const TransformerBlock &blk,
         if (observers.onScoreMask)
             observers.onScoreMask(blk.id(), static_cast<int>(h),
                                   dec.keep);
-        stats_.scoreSparsitySum += dec.scoreSparsity();
-        ++stats_.scoreSparsitySamples;
+        stats().scoreSparsitySum += dec.scoreSparsity();
+        ++stats().scoreSparsitySamples;
         decisions.push_back(std::move(dec));
     }
     const ProjectionNeeds needs = combineNeeds(decisions, t);
@@ -131,12 +131,12 @@ SparseExecutor::epAttention(const TransformerBlock &blk,
     const Index nq = ProjectionNeeds::countNeeded(needs.qRowNeeded);
     const Index nk = ProjectionNeeds::countNeeded(needs.kRowNeeded);
     const Index nv = ProjectionNeeds::countNeeded(needs.vRowNeeded);
-    stats_.qRowsTotal += t;
-    stats_.kColsTotal += t;
-    stats_.vColsTotal += t;
-    stats_.qRowsSkipped += t - nq;
-    stats_.kColsSkipped += t - nk;
-    stats_.vColsSkipped += t - nv;
+    stats().qRowsTotal += t;
+    stats().kColsTotal += t;
+    stats().vColsTotal += t;
+    stats().qRowsSkipped += t - nq;
+    stats().kColsSkipped += t - nk;
+    stats().vColsSkipped += t - nv;
 
     // --- Real projections, only for needed tokens (SDUE, INT12). ---
     const Matrix q = projectNeededRows(x_norm, blk.wq(),
@@ -145,8 +145,8 @@ SparseExecutor::epAttention(const TransformerBlock &blk,
                                        needs.kRowNeeded, opt_.quantize);
     const Matrix v = projectNeededRows(x_norm, blk.wv(),
                                        needs.vRowNeeded, opt_.quantize);
-    stats_.qkvOpsDense += 3 * mmulOps(t, d, d);
-    stats_.qkvOpsExecuted += mmulOps(nq, d, d) + mmulOps(nk, d, d)
+    stats().qkvOpsDense += 3 * mmulOps(t, d, d);
+    stats().qkvOpsExecuted += mmulOps(nq, d, d) + mmulOps(nk, d, d)
         + mmulOps(nv, d, d);
 
     // --- Real attention at kept positions only. ---
@@ -202,15 +202,15 @@ SparseExecutor::epAttention(const TransformerBlock &blk,
                 concat(r, h * dh + e) = acc;
             }
         }
-        stats_.attnOpsDense += mmulOps(t, dh, t) + mmulOps(t, t, dh);
-        stats_.attnOpsExecuted += 2 * 2 * kept_total * dh;
+        stats().attnOpsDense += mmulOps(t, dh, t) + mmulOps(t, t, dh);
+        stats().attnOpsExecuted += 2 * 2 * kept_total * dh;
     }
 
     // Output projection stays dense (all rows have outputs).
     Matrix out = execMatmul(concat, blk.wo().weight(), opt_.quantize);
     addRowVector(out, blk.wo().bias());
-    stats_.attnOpsDense += mmulOps(t, d, d);
-    stats_.attnOpsExecuted += mmulOps(t, d, d);
+    stats().attnOpsDense += mmulOps(t, d, d);
+    stats().attnOpsExecuted += mmulOps(t, d, d);
     return out;
 }
 

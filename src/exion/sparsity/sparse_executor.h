@@ -49,6 +49,16 @@ class SparseExecutor : public BlockExecutor
     /** The FFN-Reuse engine (inspectable state). */
     FfnReuse &ffnReuse() { return ffnReuse_; }
 
+    /**
+     * Binds all per-request state in one call: the execution context
+     * (iteration + stats) and the FFN-Reuse bundle.
+     */
+    void bindRequestState(ExecContext &ctx, FfnReuseState &ffn)
+    {
+        bindContext(ctx);
+        ffnReuse_.bindState(ffn);
+    }
+
     /** Active options. */
     const Options &options() const { return opt_; }
 

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for the batched serving engine: batched-vs-sequential
+ * bit-identity under threading, per-request state isolation, mixed
+ * request scheduling and ConMerge accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exion/serve/batch_engine.h"
+
+namespace exion
+{
+namespace
+{
+
+ModelConfig
+tinyConfig()
+{
+    return makeTinyConfig(/*tokens=*/8, /*d_model=*/16, /*n_blocks=*/2,
+                          /*iterations=*/6);
+}
+
+/** A mixed batch over one tiny model: modes, seeds, quantisation. */
+std::vector<ServeRequest>
+mixedBatch(Benchmark b, int n)
+{
+    std::vector<ServeRequest> batch;
+    const ExecMode modes[] = {ExecMode::Dense, ExecMode::FfnReuseOnly,
+                              ExecMode::EpOnly, ExecMode::Exion};
+    for (int i = 0; i < n; ++i) {
+        ServeRequest req;
+        req.id = static_cast<u64>(i);
+        req.benchmark = b;
+        req.mode = modes[i % 4];
+        req.quantize = i % 3 == 0;
+        req.noiseSeed = 100 + static_cast<u64>(i);
+        batch.push_back(req);
+    }
+    return batch;
+}
+
+void
+expectBitIdentical(const std::vector<RequestResult> &a,
+                   const std::vector<RequestResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (Index i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        ASSERT_EQ(a[i].output.rows(), b[i].output.rows());
+        ASSERT_EQ(a[i].output.cols(), b[i].output.cols());
+        for (Index e = 0; e < a[i].output.size(); ++e)
+            EXPECT_EQ(a[i].output.data()[e], b[i].output.data()[e])
+                << "request " << i << " element " << e;
+        EXPECT_EQ(a[i].stats.totalExecuted(), b[i].stats.totalExecuted());
+        EXPECT_EQ(a[i].stats.totalDense(), b[i].stats.totalDense());
+    }
+}
+
+TEST(BatchEngine, BatchedMatchesSequentialBitExactly)
+{
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 4;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    const auto batch = mixedBatch(cfg.benchmark, 12);
+    const auto sequential = engine.runSequential(batch);
+    const auto batched = engine.runBatch(batch);
+    expectBitIdentical(sequential, batched);
+}
+
+TEST(BatchEngine, RepeatedBatchesAreDeterministic)
+{
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 3;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    const auto batch = mixedBatch(cfg.benchmark, 8);
+    expectBitIdentical(engine.runBatch(batch), engine.runBatch(batch));
+}
+
+TEST(BatchEngine, WorkerCountDoesNotChangeResults)
+{
+    const ModelConfig cfg = tinyConfig();
+    const auto batch = mixedBatch(cfg.benchmark, 8);
+
+    BatchEngine::Options one;
+    one.workers = 1;
+    BatchEngine engine1(one);
+    engine1.addModel(cfg);
+
+    BatchEngine::Options many;
+    many.workers = 8;
+    BatchEngine engine8(many);
+    engine8.addModel(cfg);
+
+    expectBitIdentical(engine1.runBatch(batch), engine8.runBatch(batch));
+}
+
+TEST(BatchEngine, MatchesDirectPipelineRun)
+{
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 2;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    ServeRequest req;
+    req.benchmark = cfg.benchmark;
+    req.mode = ExecMode::Dense;
+    req.noiseSeed = 42;
+    const RequestResult result = engine.submit(req).get();
+
+    DiffusionPipeline pipe(cfg);
+    DenseExecutor exec;
+    const Matrix expected = pipe.run(exec, /*noise_seed=*/42);
+    ASSERT_EQ(result.output.size(), expected.size());
+    for (Index e = 0; e < expected.size(); ++e)
+        EXPECT_EQ(result.output.data()[e], expected.data()[e]);
+    EXPECT_EQ(result.stats.totalExecuted(),
+              exec.stats().totalExecuted());
+}
+
+TEST(BatchEngine, SparseRequestsKeepIndependentReuseState)
+{
+    // Two concurrent Exion requests with different seeds must match
+    // their isolated single-stream runs: shared FFN-Reuse state would
+    // corrupt masks and partial sums across streams.
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 2;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    std::vector<ServeRequest> batch(2);
+    batch[0].benchmark = cfg.benchmark;
+    batch[0].mode = ExecMode::Exion;
+    batch[0].noiseSeed = 1;
+    batch[1] = batch[0];
+    batch[1].id = 1;
+    batch[1].noiseSeed = 2;
+
+    const auto results = engine.runBatch(batch);
+    for (int i = 0; i < 2; ++i) {
+        DiffusionPipeline pipe(cfg);
+        SparseExecutor exec(SparseExecutor::fromConfig(
+            cfg, /*use_ffn_reuse=*/true, /*use_ep=*/true,
+            /*quantize=*/false));
+        const Matrix expected =
+            pipe.run(exec, /*noise_seed=*/1 + static_cast<u64>(i));
+        for (Index e = 0; e < expected.size(); ++e)
+            EXPECT_EQ(results[i].output.data()[e], expected.data()[e])
+                << "request " << i << " element " << e;
+    }
+}
+
+TEST(BatchEngine, TracksConMergeStatsPerRequest)
+{
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 2;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    ServeRequest req;
+    req.benchmark = cfg.benchmark;
+    req.mode = ExecMode::Exion;
+    req.trackConMerge = true;
+    const RequestResult tracked = engine.submit(req).get();
+    // 6 iterations x 2 blocks of masks flow through ConMerge; the
+    // dense-interval pattern fires onFfnMask every iteration.
+    EXPECT_GT(tracked.conmerge.groups, 0u);
+    EXPECT_GT(tracked.conmerge.matrixColumns, 0u);
+
+    req.trackConMerge = false;
+    const RequestResult untracked = engine.submit(req).get();
+    EXPECT_EQ(untracked.conmerge.groups, 0u);
+
+    // Accounting must not perturb numerics.
+    for (Index e = 0; e < tracked.output.size(); ++e)
+        EXPECT_EQ(tracked.output.data()[e], untracked.output.data()[e]);
+}
+
+TEST(BatchEngine, ResultsKeepRequestOrderAndIds)
+{
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 4;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    auto batch = mixedBatch(cfg.benchmark, 10);
+    for (Index i = 0; i < batch.size(); ++i)
+        batch[i].id = 1000 + static_cast<u64>(i);
+    const auto results = engine.runBatch(batch);
+    ASSERT_EQ(results.size(), batch.size());
+    for (Index i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i].id, 1000 + static_cast<u64>(i));
+}
+
+TEST(BatchEngine, ServesMultipleModels)
+{
+    const ModelConfig tiny = tinyConfig();
+    ModelConfig other = makeTinyConfig(/*tokens=*/4, /*d_model=*/8,
+                                       /*n_blocks=*/1, /*iterations=*/4);
+    other.benchmark = Benchmark::DiT;
+
+    BatchEngine::Options opts;
+    opts.workers = 2;
+    BatchEngine engine(opts);
+    engine.addModel(tiny);
+    engine.addModel(other);
+
+    std::vector<ServeRequest> batch(2);
+    batch[0].benchmark = tiny.benchmark;
+    batch[1].benchmark = other.benchmark;
+    batch[1].id = 1;
+    const auto results = engine.runBatch(batch);
+    EXPECT_EQ(results[0].output.rows(), tiny.latentTokens);
+    EXPECT_EQ(results[1].output.rows(), other.latentTokens);
+}
+
+TEST(ExecContext, BindingIsolatesStatsAcrossContexts)
+{
+    DenseExecutor exec;
+    ExecContext a, b;
+
+    exec.bindContext(a);
+    exec.beginIteration(3);
+    exec.stats().qkvOpsDense = 10;
+
+    exec.bindContext(b);
+    EXPECT_EQ(exec.ctx().iteration, 0);
+    EXPECT_EQ(exec.stats().qkvOpsDense, 0u);
+
+    exec.unbindContext();
+    EXPECT_EQ(a.iteration, 3);
+    EXPECT_EQ(a.stats.qkvOpsDense, 10u);
+}
+
+} // namespace
+} // namespace exion

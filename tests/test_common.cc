@@ -119,6 +119,36 @@ TEST(BitOps, CeilDiv)
     EXPECT_EQ(ceilDiv(17, 16), 2u);
 }
 
+TEST(BitOps, ZeroInputEdgeCases)
+{
+    // Zero is a valid input everywhere: the LOD helpers return the
+    // sentinel / zero rather than shifting by a negative amount.
+    EXPECT_EQ(leadingOne(0), kNoLeadingOne);
+    EXPECT_EQ(twoStepLeadingOne(0),
+              (TsLod{kNoLeadingOne, kNoLeadingOne}));
+    EXPECT_EQ(lodValue(0), 0u);
+    EXPECT_EQ(tsLodValue(0), 0u);
+    EXPECT_EQ(popcount64(0), 0);
+    EXPECT_EQ(ceilDiv(0, 1), 0u);
+}
+
+TEST(BitOps, MaxValueEdgeCases)
+{
+    constexpr u32 kMax32 = 0xffffffffu;
+    EXPECT_EQ(leadingOne(kMax32), 31);
+    EXPECT_EQ(twoStepLeadingOne(kMax32), (TsLod{31, 30}));
+    EXPECT_EQ(lodValue(kMax32), u32{1} << 31);
+    EXPECT_EQ(tsLodValue(kMax32), (u32{1} << 31) | (u32{1} << 30));
+    EXPECT_EQ(popcount64(~u64{0}), 64);
+    // No overflow at the top of the range when den == 1.
+    EXPECT_EQ(ceilDiv(~u64{0}, 1), ~u64{0});
+}
+
+TEST(BitOps, CeilDivZeroDenominatorPanics)
+{
+    EXPECT_DEATH(ceilDiv(5, 0), "ceilDiv by zero");
+}
+
 TEST(FixedPoint, WidthProperties)
 {
     EXPECT_EQ(intWidthBits(IntWidth::Int12), 12);

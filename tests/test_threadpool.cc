@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the ThreadPool: results, FIFO ordering, exception
+ * propagation, deterministic seeded tasks and shutdown behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exion/common/threadpool.h"
+
+namespace exion
+{
+namespace
+{
+
+TEST(ThreadPool, ReturnsResults)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(pool.submit([i]() { return i * i; }));
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, WorkerCountClamped)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.workerCount(), 3);
+    ThreadPool defaulted(0);
+    EXPECT_GE(defaulted.workerCount(), 1);
+}
+
+TEST(ThreadPool, SingleWorkerPreservesFifoOrder)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 64; ++i)
+        futures.push_back(
+            pool.submit([i, &order]() { order.push_back(i); }));
+    for (auto &f : futures)
+        f.get();
+    ASSERT_EQ(order.size(), 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, PropagatesExceptions)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit(
+        []() -> int { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(future.get(), std::runtime_error);
+
+    // The pool survives a throwing task.
+    EXPECT_EQ(pool.submit([]() { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, SeededTasksAreDeterministicAcrossWorkerCounts)
+{
+    const auto draw_all = [](int workers) {
+        ThreadPool pool(workers, /*seed=*/99);
+        std::vector<std::future<u64>> futures;
+        for (int i = 0; i < 16; ++i)
+            futures.push_back(
+                pool.submitSeeded([](Rng &rng) { return rng.next(); }));
+        std::vector<u64> draws;
+        for (auto &f : futures)
+            draws.push_back(f.get());
+        return draws;
+    };
+    EXPECT_EQ(draw_all(1), draw_all(4));
+}
+
+TEST(ThreadPool, SeededTasksDifferByIndex)
+{
+    ThreadPool pool(1, /*seed=*/5);
+    const u64 a =
+        pool.submitSeeded([](Rng &rng) { return rng.next(); }).get();
+    const u64 b =
+        pool.submitSeeded([](Rng &rng) { return rng.next(); }).get();
+    EXPECT_NE(a, b);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&done]() {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+                ++done;
+            });
+        pool.shutdown();
+        EXPECT_EQ(done.load(), 100);
+    }
+    EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(3);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&done]() { ++done; });
+    }
+    EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, CountsSubmissions)
+{
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.submittedCount(), 0u);
+    pool.submit([]() {}).get();
+    pool.submitSeeded([](Rng &) { return 0; }).get();
+    EXPECT_EQ(pool.submittedCount(), 2u);
+}
+
+} // namespace
+} // namespace exion
