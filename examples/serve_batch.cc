@@ -1,9 +1,10 @@
 /**
  * @file
- * Batched serving of a mixed request stream: text-to-image
+ * Asynchronous serving of a mixed request stream: text-to-image
  * (StableDiffusion) and text-to-motion (MLD) requests with different
- * execution modes and seeds, scheduled across a worker pool by the
- * BatchEngine.
+ * execution modes, seeds and priority classes, submitted continuously
+ * to the BatchEngine and drained from its ResultQueue as they
+ * complete — no batch barrier.
  *
  * Build & run:
  *   cmake -B build -S . && cmake --build build
@@ -12,6 +13,7 @@
 
 #include <iomanip>
 #include <iostream>
+#include <map>
 
 #include "exion/serve/batch_engine.h"
 
@@ -35,8 +37,10 @@ main()
     engine.addModel(t2m);
 
     // 2. A mixed request stream: alternating workloads, a vanilla
-    //    reference sprinkled in, per-request seeds.
-    std::vector<ServeRequest> batch;
+    //    reference sprinkled in, per-request seeds, and a priority
+    //    mix — the slow dense requests ride in the Low class so they
+    //    never hold up interactive traffic.
+    std::vector<ServeRequest> stream;
     for (int i = 0; i < 8; ++i) {
         ServeRequest req;
         req.id = static_cast<u64>(i);
@@ -45,28 +49,42 @@ main()
         req.mode = i % 4 == 3 ? ExecMode::Dense : ExecMode::Exion;
         req.noiseSeed = 1000 + static_cast<u64>(i);
         req.trackConMerge = req.mode == ExecMode::Exion;
-        batch.push_back(req);
+        req.priority = req.mode == ExecMode::Dense ? Priority::Low
+                                                   : Priority::High;
+        stream.push_back(req);
     }
 
-    // 3. Serve the batch across the workers.
-    const auto results = engine.runBatch(batch);
+    // 3. Submit everything up front — submit() returns immediately —
+    //    then stream completions out of the ResultQueue in whatever
+    //    order the scheduler finishes them.
+    std::map<u64, const ServeRequest *> by_id;
+    for (const ServeRequest &req : stream) {
+        engine.submit(req);
+        by_id[req.id] = &req;
+    }
 
-    std::cout << "served " << results.size() << " requests on "
+    std::cout << "streaming " << stream.size() << " requests over "
               << engine.workerCount() << " workers\n\n";
     std::cout << std::left << std::setw(4) << "id" << std::setw(16)
-              << "model" << std::setw(8) << "mode" << std::setw(12)
-              << "ops saved" << std::setw(12) << "merged cols"
-              << "seconds\n";
-    for (Index i = 0; i < results.size(); ++i) {
-        const RequestResult &r = results[i];
-        const ServeRequest &req = batch[i];
+              << "model" << std::setw(8) << "mode" << std::setw(10)
+              << "priority" << std::setw(12) << "ops saved"
+              << std::setw(12) << "merged cols" << "seconds\n";
+
+    std::map<u64, RequestResult> results;
+    while (results.size() < stream.size()) {
+        auto popped = engine.results().pop();
+        if (!popped.has_value())
+            break; // queue closed (not expected here)
+        const RequestResult &r = *popped;
+        const ServeRequest &req = *by_id.at(r.id);
         const double saved = r.stats.totalDense() == 0 ? 0.0
             : 1.0
                 - static_cast<double>(r.stats.totalExecuted())
                     / static_cast<double>(r.stats.totalDense());
         std::cout << std::left << std::setw(4) << r.id << std::setw(16)
                   << benchmarkName(req.benchmark) << std::setw(8)
-                  << execModeName(req.mode) << std::setw(12)
+                  << execModeName(req.mode) << std::setw(10)
+                  << priorityName(req.priority) << std::setw(12)
                   << (std::to_string(
                           static_cast<int>(100.0 * saved + 0.5))
                       + " %");
@@ -81,16 +99,24 @@ main()
             std::cout << std::setw(12) << "-";
         std::cout << std::fixed << std::setprecision(3) << r.seconds
                   << "\n";
+        const u64 id = r.id;
+        results.emplace(id, std::move(*popped));
     }
 
-    // 4. Every result is bit-identical to its single-stream run.
-    const auto sequential = engine.runSequential(batch);
-    bool identical = true;
-    for (Index i = 0; i < results.size(); ++i)
-        for (Index e = 0; e < results[i].output.size(); ++e)
-            identical &= results[i].output.data()[e]
+    // 4. Every streamed result is bit-identical to its single-stream
+    //    run, regardless of the completion order above.
+    const auto sequential = engine.runSequential(stream);
+    bool identical = results.size() == stream.size();
+    for (Index i = 0; identical && i < sequential.size(); ++i) {
+        const RequestResult &streamed = results.at(stream[i].id);
+        identical &= streamed.ok()
+            && streamed.output.size() == sequential[i].output.size();
+        for (Index e = 0; identical && e < sequential[i].output.size();
+             ++e)
+            identical &= streamed.output.data()[e]
                 == sequential[i].output.data()[e];
-    std::cout << "\nbatched == sequential (bit-exact): "
+    }
+    std::cout << "\nasync == sequential (bit-exact): "
               << (identical ? "yes" : "NO") << "\n";
     return identical ? 0 : 1;
 }

@@ -47,6 +47,23 @@ ThreadPool::~ThreadPool()
 }
 
 void
+ThreadPool::pause()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = true;
+}
+
+void
+ThreadPool::resume()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        paused_ = false;
+    }
+    cv_.notify_all();
+}
+
+void
 ThreadPool::shutdown()
 {
     {
@@ -59,6 +76,11 @@ ThreadPool::shutdown()
     for (auto &worker : workers_)
         worker.join();
     workers_.clear();
+    // Everything accepted before shutdown began has now run: workers
+    // drain the queue before exiting, and post() refuses new work once
+    // stopping_ is set, so nothing can be abandoned in the queue.
+    EXION_ASSERT(queue_.empty(),
+                 "ThreadPool shutdown abandoned queued tasks");
 }
 
 u64
@@ -68,14 +90,24 @@ ThreadPool::submittedCount() const
     return submitted_;
 }
 
+u64
+ThreadPool::queuedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<u64>(queue_.size());
+}
+
 void
-ThreadPool::post(std::function<void()> fn)
+ThreadPool::post(std::function<void()> fn, i64 priority)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        EXION_ASSERT(!stopping_, "submit after ThreadPool shutdown");
+        // Fail loudly: a task accepted here would never run (workers
+        // are exiting or gone) and its future would deadlock on get().
+        if (stopping_)
+            throw ThreadPoolStopped();
+        queue_.emplace(TaskKey{priority, submitted_}, std::move(fn));
         ++submitted_;
-        queue_.push_back(std::move(fn));
     }
     cv_.notify_one();
 }
@@ -94,12 +126,15 @@ ThreadPool::workerLoop()
         std::function<void()> task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
-            cv_.wait(lock,
-                     [this]() { return stopping_ || !queue_.empty(); });
+            // A pause idles the workers without losing work; shutdown
+            // overrides it so draining always completes.
+            cv_.wait(lock, [this]() {
+                return stopping_ || (!paused_ && !queue_.empty());
+            });
             if (queue_.empty())
                 return; // stopping_ and drained
-            task = std::move(queue_.front());
-            queue_.pop_front();
+            auto node = queue_.extract(queue_.begin());
+            task = std::move(node.mapped());
         }
         // packaged_task routes exceptions into the future; a raw
         // submit()-wrapped callable does the same, so task() never

@@ -1,24 +1,29 @@
 /**
  * @file
- * Fixed-size worker thread pool with deterministic task seeding.
+ * Fixed-size worker thread pool with priority scheduling and
+ * deterministic task seeding.
  *
- * Tasks are queued FIFO and executed by a fixed set of workers; every
- * submission returns a std::future that carries the task's result or
- * exception. Seeded tasks additionally receive an exion::Rng whose
- * seed depends only on the pool seed and the task's submission index —
- * never on which worker picks the task up — so randomised work is
- * bit-identical across worker counts and scheduling orders.
+ * Tasks carry an i64 priority; workers always pull the
+ * highest-priority ready task, and tasks of equal priority run in
+ * submission (FIFO) order. Every submission returns a std::future that
+ * carries the task's result or exception. Seeded tasks additionally
+ * receive an exion::Rng whose seed depends only on the pool seed and
+ * the task's submission index — never on which worker picks the task
+ * up or in what order priorities drain — so randomised work is
+ * bit-identical across worker counts, priorities and scheduling
+ * orders.
  */
 
 #ifndef EXION_COMMON_THREADPOOL_H_
 #define EXION_COMMON_THREADPOOL_H_
 
 #include <condition_variable>
-#include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -30,11 +35,30 @@ namespace exion
 {
 
 /**
- * Fixed worker pool executing queued tasks.
+ * Thrown by submit()/submitSeeded() after shutdown() has begun.
+ *
+ * Submitting into a stopped pool can never complete the returned
+ * future (no worker will run the task), so it fails loudly at the
+ * submission site instead of deadlocking the first .get().
+ */
+class ThreadPoolStopped : public std::runtime_error
+{
+  public:
+    ThreadPoolStopped()
+        : std::runtime_error("ThreadPool: submit after shutdown")
+    {
+    }
+};
+
+/**
+ * Fixed worker pool executing queued tasks, highest priority first.
  */
 class ThreadPool
 {
   public:
+    /** Default task priority. Larger values run earlier. */
+    static constexpr i64 kDefaultPriority = 0;
+
     /**
      * Starts the workers.
      *
@@ -53,15 +77,20 @@ class ThreadPool
 
     /**
      * Enqueues a task; the future carries its result or exception.
+     *
+     * @param priority scheduling priority: larger runs earlier; equal
+     *                 priorities run FIFO
+     * @throws ThreadPoolStopped after shutdown() has begun
      */
     template <typename F>
-    auto submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    auto submit(F &&fn, i64 priority = kDefaultPriority)
+        -> std::future<std::invoke_result_t<F>>
     {
         using R = std::invoke_result_t<F>;
         auto task = std::make_shared<std::packaged_task<R()>>(
             std::forward<F>(fn));
         std::future<R> future = task->get_future();
-        post([task]() { (*task)(); });
+        post([task]() { (*task)(); }, priority);
         return future;
     }
 
@@ -70,10 +99,14 @@ class ThreadPool
      *
      * The Rng seed is derived from (pool seed, index of this seeded
      * submission), so a given submission sequence produces identical
-     * draws regardless of worker count.
+     * draws regardless of worker count or priority-driven execution
+     * order.
+     *
+     * @throws ThreadPoolStopped after shutdown() has begun
      */
     template <typename F>
-    auto submitSeeded(F &&fn) -> std::future<std::invoke_result_t<F, Rng &>>
+    auto submitSeeded(F &&fn, i64 priority = kDefaultPriority)
+        -> std::future<std::invoke_result_t<F, Rng &>>
     {
         using R = std::invoke_result_t<F, Rng &>;
         const u64 task_seed = nextTaskSeed();
@@ -83,13 +116,26 @@ class ThreadPool
                 return fn(rng);
             });
         std::future<R> future = task->get_future();
-        post([task]() { (*task)(); });
+        post([task]() { (*task)(); }, priority);
         return future;
     }
 
     /**
-     * Finishes all queued tasks and stops the workers. Subsequent
-     * submissions panic. Idempotent; also called by the destructor.
+     * Stops dispatching queued tasks: workers finish what they are
+     * running, then idle. Submissions are still accepted. Used to
+     * stage a burst of work so the priority order, not arrival order,
+     * decides execution; shutdown() overrides a pause and drains.
+     */
+    void pause();
+
+    /** Resumes dispatching after pause(). */
+    void resume();
+
+    /**
+     * Finishes all queued tasks and stops the workers. Tasks already
+     * in the queue when shutdown begins are run, never abandoned;
+     * subsequent submissions throw ThreadPoolStopped. Idempotent; also
+     * called by the destructor.
      */
     void shutdown();
 
@@ -99,19 +145,40 @@ class ThreadPool
     /** Tasks submitted so far (plain and seeded). */
     u64 submittedCount() const;
 
+    /** Tasks accepted but not yet started. */
+    u64 queuedCount() const;
+
   private:
-    void post(std::function<void()> fn);
+    /**
+     * Ready-queue key: highest priority first, FIFO (by submission
+     * sequence) within a priority level.
+     */
+    struct TaskKey
+    {
+        i64 priority;
+        u64 seq;
+
+        bool operator<(const TaskKey &other) const
+        {
+            if (priority != other.priority)
+                return priority > other.priority;
+            return seq < other.seq;
+        }
+    };
+
+    void post(std::function<void()> fn, i64 priority);
     u64 nextTaskSeed();
     void workerLoop();
 
     u64 seed_;
     mutable std::mutex mutex_;
     std::condition_variable cv_;
-    std::deque<std::function<void()>> queue_;
+    std::map<TaskKey, std::function<void()>> queue_;
     std::vector<std::thread> workers_;
     u64 submitted_ = 0;
     u64 seededSubmitted_ = 0;
     bool stopping_ = false;
+    bool paused_ = false;
 };
 
 } // namespace exion

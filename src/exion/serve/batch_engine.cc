@@ -1,6 +1,8 @@
 #include "exion/serve/batch_engine.h"
 
+#include <algorithm>
 #include <chrono>
+#include <exception>
 #include <utility>
 
 #include "exion/common/logging.h"
@@ -24,6 +26,29 @@ execModeName(ExecMode mode)
     return "?";
 }
 
+std::string
+priorityName(Priority p)
+{
+    switch (p) {
+      case Priority::Low:
+        return "low";
+      case Priority::Normal:
+        return "normal";
+      case Priority::High:
+        return "high";
+      case Priority::Critical:
+        return "critical";
+    }
+    return "?";
+}
+
+bool
+Ticket::ready() const
+{
+    return future_.wait_for(std::chrono::seconds(0))
+        == std::future_status::ready;
+}
+
 BatchEngine::BatchEngine() : BatchEngine(Options{})
 {
 }
@@ -32,6 +57,11 @@ BatchEngine::BatchEngine(const Options &opts)
     : opts_(opts), conmergePipe_(opts.conmerge),
       pool_(opts.workers, opts.poolSeed)
 {
+}
+
+BatchEngine::~BatchEngine()
+{
+    shutdown();
 }
 
 void
@@ -50,31 +80,173 @@ BatchEngine::pipeline(Benchmark b) const
     return *it->second;
 }
 
-std::future<RequestResult>
+i64
+BatchEngine::poolPriority(const ServeRequest &req) const
+{
+    // Class in the high bits; within a class, the earliest absolute
+    // deadline (submission time + deadlineSeconds, measured against
+    // the engine epoch) ranks highest — true EDF, so a long-queued
+    // request is not starved by a fresh arrival with a tighter
+    // relative deadline. "No deadline" ranks below every finite
+    // deadline; ties fall back to the pool's FIFO order. Clamping
+    // happens in the double domain: a huge/inf deadline must not
+    // overflow the i64 cast (NaN fails the > 0 test and counts as
+    // "no deadline").
+    constexpr i64 kDeadlineRange = i64{1} << 40; // ~12.7 days at 1 µs
+    i64 deadline_rank = 0;                       // no deadline: last
+    if (req.deadlineSeconds > 0.0) {
+        const double since_epoch_us =
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - epoch_)
+                .count();
+        const double absolute_us =
+            since_epoch_us + req.deadlineSeconds * 1e6;
+        const i64 us = static_cast<i64>(std::clamp(
+            absolute_us, 1.0,
+            static_cast<double>(kDeadlineRange - 2)));
+        deadline_rank = kDeadlineRange - 1 - us;
+    }
+    return static_cast<i64>(req.priority) * kDeadlineRange
+        + deadline_rank;
+}
+
+Ticket
 BatchEngine::submit(const ServeRequest &req)
+{
+    return submitImpl(req, /*to_queue=*/true);
+}
+
+void
+BatchEngine::setOnComplete(CompletionCallback cb)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    onComplete_ = std::move(cb);
+}
+
+u64
+BatchEngine::inFlight() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inFlight_;
+}
+
+void
+BatchEngine::waitIdle() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idleCv_.wait(lock, [this]() { return inFlight_ == 0; });
+}
+
+void
+BatchEngine::shutdown()
+{
+    pool_.shutdown(); // drains every accepted request, idempotent
+    results_.close();
+}
+
+Ticket
+BatchEngine::submitImpl(const ServeRequest &req, bool to_queue)
 {
     // Resolve the pipeline now so a missing model fails the submitter,
     // not a worker.
     pipeline(req.benchmark);
-    return pool_.submit([this, req]() { return runOne(req); });
+
+    auto promise = std::make_shared<std::promise<RequestResult>>();
+    u64 ticket_id;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ticket_id = nextTicket_++;
+        ++inFlight_;
+    }
+    Ticket ticket(ticket_id, promise->get_future().share());
+
+    try {
+        pool_.submit(
+            [this, req, promise, to_queue]() {
+                RequestResult result;
+                std::exception_ptr failure;
+                try {
+                    result = runOne(req);
+                } catch (const std::exception &e) {
+                    failure = std::current_exception();
+                    result = RequestResult{};
+                    result.id = req.id;
+                    result.error = e.what();
+                } catch (...) {
+                    failure = std::current_exception();
+                    result = RequestResult{};
+                    result.id = req.id;
+                    result.error = "unknown error";
+                }
+
+                CompletionCallback cb;
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    cb = onComplete_;
+                }
+                // A misbehaving delivery sink must not break the
+                // accounting below it: an escaped exception here
+                // would leave the Ticket promise unset (deadlocking
+                // get()) and inFlight_ stuck nonzero.
+                if (cb) {
+                    try {
+                        cb(result);
+                    } catch (...) {
+                        EXION_WARN("completion callback threw for "
+                                   "request ",
+                                   result.id, "; ignoring");
+                    }
+                }
+                if (to_queue && opts_.queueResults) {
+                    try {
+                        results_.push(result);
+                    } catch (...) {
+                        EXION_WARN("result queue push failed for "
+                                   "request ",
+                                   result.id, "; dropping");
+                    }
+                }
+                if (failure)
+                    promise->set_exception(failure);
+                else
+                    promise->set_value(std::move(result));
+
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    --inFlight_;
+                }
+                idleCv_.notify_all();
+            },
+            poolPriority(req));
+    } catch (...) {
+        // The pool refused the task (shutdown raced the submit): undo
+        // the in-flight accounting before failing the submitter.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --inFlight_;
+        }
+        idleCv_.notify_all();
+        throw;
+    }
+    return ticket;
 }
 
 std::vector<RequestResult>
 BatchEngine::runBatch(const std::vector<ServeRequest> &requests)
 {
-    std::vector<std::future<RequestResult>> futures;
-    futures.reserve(requests.size());
+    std::vector<Ticket> tickets;
+    tickets.reserve(requests.size());
     for (const ServeRequest &req : requests)
-        futures.push_back(submit(req));
+        tickets.push_back(submitImpl(req, /*to_queue=*/false));
     std::vector<RequestResult> results;
     results.reserve(requests.size());
-    // Drain every future even if one throws, so no in-flight work is
+    // Drain every ticket even if one throws, so no in-flight work is
     // abandoned; then report the first failure with its request id.
     std::exception_ptr first_error;
     u64 failed_id = 0;
-    for (Index i = 0; i < futures.size(); ++i) {
+    for (Index i = 0; i < tickets.size(); ++i) {
         try {
-            results.push_back(futures[i].get());
+            results.push_back(tickets[i].get());
         } catch (...) {
             if (!first_error) {
                 first_error = std::current_exception();

@@ -1,64 +1,43 @@
 /**
  * @file
- * Multi-request batched denoising engine.
+ * Multi-request batched denoising engine with asynchronous
+ * submit/complete scheduling.
  *
  * Registers immutable DiffusionPipelines once (weights shared across
- * every request for that benchmark) and schedules N concurrent
- * denoising requests across a ThreadPool. Each request owns a
+ * every request for that benchmark) and schedules concurrent
+ * denoising requests across a priority-ordered ThreadPool: submit()
+ * returns a Ticket immediately, workers always start the
+ * highest-priority ready request, and completed results are delivered
+ * through the Ticket future, an optional completion callback and the
+ * engine's pollable/blocking ResultQueue. Each request owns a
  * RequestContext bundling every piece of mutable state the run
  * produces — execution context, FFN-Reuse bundle, ConMerge accounting
  * — so results are bit-identical no matter how requests interleave
- * across workers.
+ * across workers or in which order the scheduler starts them.
  */
 
 #ifndef EXION_SERVE_BATCH_ENGINE_H_
 #define EXION_SERVE_BATCH_ENGINE_H_
 
+#include <chrono>
+#include <condition_variable>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "exion/common/threadpool.h"
 #include "exion/conmerge/pipeline.h"
 #include "exion/model/pipeline.h"
+#include "exion/serve/request.h"
+#include "exion/serve/result_queue.h"
 #include "exion/sparsity/sparse_executor.h"
 
 namespace exion
 {
-
-/** Block execution strategy of one request (the paper's ablations). */
-enum class ExecMode
-{
-    Dense,       //!< reference dense executor
-    FfnReuseOnly, //!< inter-iteration sparsity only
-    EpOnly,      //!< intra-iteration eager prediction only
-    Exion,       //!< FFN-Reuse + eager prediction
-};
-
-/** Short display name, e.g. "dense", "exion". */
-std::string execModeName(ExecMode mode);
-
-/** One denoising request. */
-struct ServeRequest
-{
-    /** Caller-chosen identifier, echoed in the result. */
-    u64 id = 0;
-    /** Which registered model serves the request. */
-    Benchmark benchmark = Benchmark::MLD;
-    /** Execution strategy. */
-    ExecMode mode = ExecMode::Exion;
-    /** INT12 operand quantisation. */
-    bool quantize = false;
-    /** Seed of the initial Gaussian latent. */
-    u64 noiseSeed = 7;
-    /**
-     * Accumulate ConMerge compaction statistics over every FFN
-     * recompute mask the request produces (sparse modes only).
-     */
-    bool trackConMerge = false;
-};
 
 /**
  * All mutable state of one in-flight request.
@@ -75,25 +54,61 @@ struct RequestContext
     ConMergeStats conmerge; //!< per-iteration mask compaction roll-up
 };
 
-/** Completed request: output latent plus all accounting. */
-struct RequestResult
+/**
+ * Handle to one submitted request.
+ *
+ * Cheap to copy (shares one future state). get() blocks until the
+ * request completes and rethrows its failure, if any; ready() polls
+ * without blocking.
+ */
+class Ticket
 {
-    u64 id = 0;
-    Matrix output;
-    ExecStats stats;
-    ConMergeStats conmerge;
-    /** Wall-clock seconds spent executing the request. */
-    double seconds = 0.0;
+  public:
+    /** Invalid ticket; get()/wait()/ready() must not be called. */
+    Ticket() = default;
+
+    /** Engine-assigned submission sequence number (1-based). */
+    u64 id() const { return id_; }
+
+    /** Whether this ticket refers to a submitted request. */
+    bool valid() const { return future_.valid(); }
+
+    /** Non-blocking: whether the result is available. */
+    bool ready() const;
+
+    /** Blocks until the request completes. */
+    void wait() const { future_.wait(); }
+
+    /**
+     * Blocks until completion, then returns the result (a copy; the
+     * shared state stays pollable). Rethrows the request's failure.
+     */
+    RequestResult get() const { return future_.get(); }
+
+  private:
+    friend class BatchEngine;
+
+    Ticket(u64 id, std::shared_future<RequestResult> future)
+        : id_(id), future_(std::move(future))
+    {
+    }
+
+    u64 id_ = 0;
+    std::shared_future<RequestResult> future_;
 };
 
 /**
- * Batched multi-request simulation engine.
+ * Batched multi-request serving engine.
  *
  * Usage: addModel() every benchmark the request mix needs (not
- * thread-safe; do it before submitting), then submit() individual
- * requests or runBatch() a whole mix. Request execution is
+ * thread-safe; do it before submitting), then submit() requests as
+ * they arrive and consume completions via Ticket::get(), the
+ * completion callback or results(). runBatch() remains as a
+ * synchronous compatibility wrapper (a submit-all barrier that blocks
+ * until the whole batch finishes). Request execution is
  * deterministic: a request's result depends only on the request and
- * the registered weights, never on worker count or scheduling order.
+ * the registered weights, never on worker count, priorities or
+ * scheduling order.
  */
 class BatchEngine
 {
@@ -110,12 +125,29 @@ class BatchEngine
         u64 poolSeed = 0x2545f4914f6cdd1dULL;
         /** ConMerge configuration for trackConMerge requests. */
         ConMergeConfig conmerge;
+        /**
+         * Deliver submit() completions to results(). Disable for
+         * long-lived services that consume only Tickets or the
+         * completion callback — the queue is unbounded, so unpopped
+         * results (output latents included) would otherwise
+         * accumulate for the engine's lifetime.
+         */
+        bool queueResults = true;
     };
+
+    /** Invoked on a worker thread as each request completes. */
+    using CompletionCallback = std::function<void(const RequestResult &)>;
 
     /** Engine with default options (hardware-concurrency workers). */
     BatchEngine();
 
     explicit BatchEngine(const Options &opts);
+
+    /** Drains in-flight requests, then stops (see shutdown()). */
+    ~BatchEngine();
+
+    BatchEngine(const BatchEngine &) = delete;
+    BatchEngine &operator=(const BatchEngine &) = delete;
 
     /**
      * Builds and registers the pipeline serving a benchmark at the
@@ -127,17 +159,70 @@ class BatchEngine
     const DiffusionPipeline &pipeline(Benchmark b) const;
 
     /**
-     * Enqueues one request; the future carries its result or
-     * exception.
+     * Enqueues one request and returns immediately.
+     *
+     * The request joins the ready queue at its priority class (with
+     * earliest-deadline-first ordering within the class) and runs as
+     * soon as a worker is free and nothing more urgent is waiting. On
+     * completion the result is delivered, in order, to the completion
+     * callback (if set), to results(), and to the Ticket future.
+     *
+     * @throws ThreadPoolStopped after shutdown() has begun
      */
-    std::future<RequestResult> submit(const ServeRequest &req);
+    Ticket submit(const ServeRequest &req);
 
     /**
-     * Runs a whole batch across the workers; results are returned in
-     * request order. All-or-nothing: if any request throws, every
-     * future is still drained (no abandoned work) and the first
-     * failure is rethrown. Callers needing per-request error handling
-     * use submit() and inspect each future.
+     * Installs the completion hook; pass nullptr to remove it. Takes
+     * effect for requests completing after the call. The callback
+     * runs on a worker thread and must not call back into submit
+     * paths that block on its own completion. It should not throw;
+     * an escaped exception is logged and swallowed (it cannot be
+     * attached to the already-delivered result).
+     */
+    void setOnComplete(CompletionCallback cb);
+
+    /**
+     * Completion queue fed by every submit() (unless
+     * Options::queueResults is off). runBatch() requests collect
+     * through their tickets instead and do not appear here.
+     */
+    ResultQueue &results() { return results_; }
+
+    /**
+     * Pauses scheduling: workers finish their current request, then
+     * idle; submissions still queue up. Lets a burst of submissions
+     * be ordered purely by priority before any of them starts.
+     * shutdown() overrides a pause and drains.
+     */
+    void pause() { pool_.pause(); }
+
+    /** Resumes scheduling after pause(). */
+    void resume() { pool_.resume(); }
+
+    /** Requests submitted but not yet completed. */
+    u64 inFlight() const;
+
+    /** Blocks until every submitted request has completed. */
+    void waitIdle() const;
+
+    /**
+     * Graceful shutdown: refuses new submissions, runs every request
+     * already accepted (pending work is drained, not abandoned),
+     * delivers all their results, then closes results() so blocked
+     * consumers wake with std::nullopt. Idempotent; also called by
+     * the destructor.
+     */
+    void shutdown();
+
+    /**
+     * Compatibility wrapper around submit(): enqueues the whole batch
+     * and blocks until every request finishes (a full barrier — a
+     * slow request holds the return, which is exactly what submit()
+     * avoids). Results are returned in request order. All-or-nothing:
+     * if any request throws, every ticket is still drained (no
+     * abandoned work) and the first failure is rethrown. Callers
+     * needing per-request error handling or streaming completion use
+     * submit() and the Ticket / callback / results() surfaces.
      */
     std::vector<RequestResult> runBatch(
         const std::vector<ServeRequest> &requests);
@@ -153,11 +238,33 @@ class BatchEngine
     int workerCount() const { return pool_.workerCount(); }
 
   private:
+    /**
+     * Encodes (priority class, absolute deadline) into one pool
+     * priority; the absolute deadline is taken against epoch_ at
+     * submission, so queued work ages correctly under EDF.
+     */
+    i64 poolPriority(const ServeRequest &req) const;
+
+    Ticket submitImpl(const ServeRequest &req, bool to_queue);
     RequestResult runOne(const ServeRequest &req) const;
 
+    const std::chrono::steady_clock::time_point epoch_ =
+        std::chrono::steady_clock::now();
     Options opts_;
     ConMergePipeline conmergePipe_;
     std::map<Benchmark, std::unique_ptr<const DiffusionPipeline>> models_;
+    ResultQueue results_;
+
+    mutable std::mutex mutex_;
+    mutable std::condition_variable idleCv_;
+    CompletionCallback onComplete_;
+    u64 nextTicket_ = 1;
+    u64 inFlight_ = 0;
+
+    /**
+     * Last member: destroyed (and therefore drained) first, while the
+     * engine state its tasks reference is still alive.
+     */
     ThreadPool pool_;
 };
 

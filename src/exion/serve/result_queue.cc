@@ -1,0 +1,83 @@
+#include "exion/serve/result_queue.h"
+
+#include <utility>
+
+#include "exion/common/logging.h"
+
+namespace exion
+{
+
+void
+ResultQueue::push(RequestResult result)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_) {
+            EXION_WARN("ResultQueue: dropping result of request ",
+                       result.id, " pushed after close");
+            return;
+        }
+        items_.push_back(std::move(result));
+    }
+    cv_.notify_one();
+}
+
+std::optional<RequestResult>
+ResultQueue::pop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this]() { return closed_ || !items_.empty(); });
+    return popLocked(lock);
+}
+
+std::optional<RequestResult>
+ResultQueue::tryPop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return popLocked(lock);
+}
+
+std::optional<RequestResult>
+ResultQueue::popFor(std::chrono::milliseconds timeout)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, timeout,
+                 [this]() { return closed_ || !items_.empty(); });
+    return popLocked(lock);
+}
+
+Index
+ResultQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+}
+
+bool
+ResultQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+void
+ResultQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+std::optional<RequestResult>
+ResultQueue::popLocked(std::unique_lock<std::mutex> &)
+{
+    if (items_.empty())
+        return std::nullopt;
+    RequestResult result = std::move(items_.front());
+    items_.pop_front();
+    return result;
+}
+
+} // namespace exion

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Thread-safe completion queue of the async serving path.
+ *
+ * Workers push finished RequestResults as they complete; consumers
+ * drain them in completion order with non-blocking, bounded-wait or
+ * fully blocking pops. close() wakes every blocked consumer — after
+ * close, pops keep returning the already-queued results and then
+ * report emptiness via std::nullopt, so a drain loop terminates
+ * naturally on engine shutdown.
+ */
+
+#ifndef EXION_SERVE_RESULT_QUEUE_H_
+#define EXION_SERVE_RESULT_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "exion/serve/request.h"
+
+namespace exion
+{
+
+/**
+ * Unbounded FIFO of completed requests.
+ */
+class ResultQueue
+{
+  public:
+    ResultQueue() = default;
+
+    ResultQueue(const ResultQueue &) = delete;
+    ResultQueue &operator=(const ResultQueue &) = delete;
+
+    /**
+     * Appends a completed result. Results pushed after close() are
+     * dropped with a warning (the producer lost the race against
+     * shutdown; consumers are already gone).
+     */
+    void push(RequestResult result);
+
+    /**
+     * Blocks until a result is available or the queue is closed.
+     *
+     * @return the oldest result, or std::nullopt once closed and
+     *         drained
+     */
+    std::optional<RequestResult> pop();
+
+    /** Non-blocking pop: nullopt when currently empty. */
+    std::optional<RequestResult> tryPop();
+
+    /**
+     * Bounded-wait pop: blocks up to the timeout.
+     *
+     * @return the oldest result; nullopt on timeout or when closed
+     *         and drained
+     */
+    std::optional<RequestResult> popFor(std::chrono::milliseconds timeout);
+
+    /** Results currently queued. */
+    Index size() const;
+
+    /** Whether close() has been called. */
+    bool closed() const;
+
+    /**
+     * Closes the queue: blocked and future pops return the remaining
+     * results, then std::nullopt. Idempotent.
+     */
+    void close();
+
+  private:
+    std::optional<RequestResult> popLocked(
+        std::unique_lock<std::mutex> &lock);
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<RequestResult> items_;
+    bool closed_ = false;
+};
+
+} // namespace exion
+
+#endif // EXION_SERVE_RESULT_QUEUE_H_

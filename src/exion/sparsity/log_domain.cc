@@ -18,6 +18,12 @@ ldProduct(i32 a, i32 b, LodMode mode)
     if (mode == LodMode::Single) {
         const int pa = leadingOne(ua);
         const int pb = leadingOne(ub);
+        // The zero-operand early return above makes the sentinel
+        // unreachable here, but a kNoLeadingOne (-1) position used as
+        // a shift amount would be UB — guard locally so the check
+        // does not depend on distant control flow.
+        if (pa == kNoLeadingOne || pb == kNoLeadingOne)
+            return 0;
         magnitude = i64{1} << (pa + pb);
     } else {
         const TsLod ta = twoStepLeadingOne(ua);

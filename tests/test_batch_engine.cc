@@ -1,12 +1,19 @@
 /**
  * @file
  * Tests for the batched serving engine: batched-vs-sequential
- * bit-identity under threading, per-request state isolation, mixed
- * request scheduling and ConMerge accounting.
+ * bit-identity under threading and priority scheduling, per-request
+ * state isolation, mixed request scheduling, async submit/complete
+ * delivery (tickets, callback, result queue), priority-inversion
+ * regression and ConMerge accounting.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
 #include <vector>
 
 #include "exion/serve/batch_engine.h"
@@ -101,6 +108,33 @@ TEST(BatchEngine, WorkerCountDoesNotChangeResults)
     engine8.addModel(cfg);
 
     expectBitIdentical(engine1.runBatch(batch), engine8.runBatch(batch));
+}
+
+TEST(BatchEngine, PrioritiesDoNotChangeResultsAtAnyWorkerCount)
+{
+    // The priority queue reorders execution, never numerics: a batch
+    // with adversarially mixed classes and deadlines must stay
+    // bit-identical to its sequential run at 1, 2 and 8 workers.
+    const ModelConfig cfg = tinyConfig();
+    auto batch = mixedBatch(cfg.benchmark, 12);
+    const Priority classes[] = {Priority::Low, Priority::Critical,
+                                Priority::Normal, Priority::High};
+    for (Index i = 0; i < batch.size(); ++i) {
+        batch[i].priority = classes[i % 4];
+        batch[i].deadlineSeconds =
+            i % 3 == 0 ? 0.0 : 0.5 * static_cast<double>(i);
+    }
+
+    std::vector<RequestResult> reference;
+    for (int workers : {1, 2, 8}) {
+        BatchEngine::Options opts;
+        opts.workers = workers;
+        BatchEngine engine(opts);
+        engine.addModel(cfg);
+        if (reference.empty())
+            reference = engine.runSequential(batch);
+        expectBitIdentical(reference, engine.runBatch(batch));
+    }
 }
 
 TEST(BatchEngine, MatchesDirectPipelineRun)
@@ -224,6 +258,280 @@ TEST(BatchEngine, ServesMultipleModels)
     const auto results = engine.runBatch(batch);
     EXPECT_EQ(results[0].output.rows(), tiny.latentTokens);
     EXPECT_EQ(results[1].output.rows(), other.latentTokens);
+}
+
+TEST(BatchEngine, TicketSurface)
+{
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 2;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    Ticket invalid;
+    EXPECT_FALSE(invalid.valid());
+
+    ServeRequest req;
+    req.benchmark = cfg.benchmark;
+    req.id = 77;
+    const Ticket a = engine.submit(req);
+    const Ticket b = engine.submit(req);
+    EXPECT_TRUE(a.valid());
+    EXPECT_LT(a.id(), b.id());
+
+    a.wait();
+    EXPECT_TRUE(a.ready());
+    // get() copies; the ticket stays consumable.
+    const RequestResult first = a.get();
+    const RequestResult again = a.get();
+    EXPECT_EQ(first.id, 77u);
+    EXPECT_TRUE(first.ok());
+    for (Index e = 0; e < first.output.size(); ++e)
+        EXPECT_EQ(first.output.data()[e], again.output.data()[e]);
+    b.wait();
+    engine.waitIdle();
+    EXPECT_EQ(engine.inFlight(), 0u);
+}
+
+TEST(BatchEngine, PriorityInversionRegression)
+{
+    // A burst of low-priority requests submitted first must not delay
+    // a high-priority request's completion: with one worker and the
+    // scheduler paused while the burst queues, the high-priority
+    // request must be the first completion delivered.
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    std::mutex order_mutex;
+    std::vector<u64> completion_order;
+    engine.setOnComplete([&](const RequestResult &r) {
+        std::lock_guard<std::mutex> lock(order_mutex);
+        completion_order.push_back(r.id);
+    });
+
+    engine.pause();
+    std::vector<Ticket> tickets;
+    for (int i = 0; i < 6; ++i) {
+        ServeRequest low;
+        low.benchmark = cfg.benchmark;
+        low.id = static_cast<u64>(i);
+        low.priority = Priority::Low;
+        low.noiseSeed = 10 + static_cast<u64>(i);
+        tickets.push_back(engine.submit(low));
+    }
+    ServeRequest high;
+    high.benchmark = cfg.benchmark;
+    high.id = 999;
+    high.priority = Priority::High;
+    tickets.push_back(engine.submit(high));
+    engine.resume();
+
+    engine.waitIdle();
+    ASSERT_EQ(completion_order.size(), 7u);
+    EXPECT_EQ(completion_order.front(), 999u)
+        << "high-priority request completed behind queued "
+           "low-priority work";
+}
+
+TEST(BatchEngine, EarlierDeadlineRunsFirstWithinClass)
+{
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    std::mutex order_mutex;
+    std::vector<u64> completion_order;
+    engine.setOnComplete([&](const RequestResult &r) {
+        std::lock_guard<std::mutex> lock(order_mutex);
+        completion_order.push_back(r.id);
+    });
+
+    // Same class; deadlines 30 s, 10 s, 20 s, none — EDF order is
+    // 10 s, 20 s, 30 s, then the deadline-free request.
+    const double deadlines[] = {30.0, 10.0, 20.0, 0.0};
+    engine.pause();
+    for (int i = 0; i < 4; ++i) {
+        ServeRequest req;
+        req.benchmark = cfg.benchmark;
+        req.id = static_cast<u64>(i);
+        req.deadlineSeconds = deadlines[i];
+        engine.submit(req);
+    }
+    engine.resume();
+    engine.waitIdle();
+
+    const std::vector<u64> expected = {1, 2, 0, 3};
+    EXPECT_EQ(completion_order, expected);
+}
+
+TEST(BatchEngine, CallbackAndQueueDeliveryAreEquivalent)
+{
+    // Every submit() delivers each completion to both the callback
+    // and the result queue; the two views must be bit-identical.
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 3;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    std::mutex cb_mutex;
+    std::vector<RequestResult> via_callback;
+    engine.setOnComplete([&](const RequestResult &r) {
+        std::lock_guard<std::mutex> lock(cb_mutex);
+        via_callback.push_back(r);
+    });
+
+    const auto batch = mixedBatch(cfg.benchmark, 9);
+    for (const ServeRequest &req : batch)
+        engine.submit(req);
+
+    std::vector<RequestResult> via_queue;
+    for (Index i = 0; i < batch.size(); ++i) {
+        auto r = engine.results().pop();
+        ASSERT_TRUE(r.has_value());
+        via_queue.push_back(std::move(*r));
+    }
+    EXPECT_FALSE(engine.results().tryPop().has_value());
+    engine.waitIdle();
+
+    const auto by_id = [](const RequestResult &a,
+                          const RequestResult &b) { return a.id < b.id; };
+    std::sort(via_callback.begin(), via_callback.end(), by_id);
+    std::sort(via_queue.begin(), via_queue.end(), by_id);
+    expectBitIdentical(via_callback, via_queue);
+    expectBitIdentical(via_queue, engine.runSequential(batch));
+}
+
+TEST(BatchEngine, ThrowingCallbackDoesNotBreakDelivery)
+{
+    // Regression: an exception escaping the completion callback must
+    // not leave the Ticket promise unset (deadlocking get()) or the
+    // in-flight counter stuck nonzero.
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 2;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+    engine.setOnComplete([](const RequestResult &) {
+        throw std::runtime_error("misbehaving sink");
+    });
+
+    ServeRequest req;
+    req.benchmark = cfg.benchmark;
+    req.id = 3;
+    const Ticket ticket = engine.submit(req);
+    const RequestResult result = ticket.get();
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.id, 3u);
+    engine.waitIdle();
+    EXPECT_EQ(engine.inFlight(), 0u);
+    // The queue still got its copy despite the callback throwing.
+    EXPECT_TRUE(engine.results().tryPop().has_value());
+}
+
+TEST(BatchEngine, QueueResultsOptionDisablesQueueDelivery)
+{
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 2;
+    opts.queueResults = false;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    ServeRequest req;
+    req.benchmark = cfg.benchmark;
+    EXPECT_TRUE(engine.submit(req).get().ok());
+    engine.waitIdle();
+    EXPECT_EQ(engine.results().size(), 0u);
+}
+
+TEST(BatchEngine, ExtremeDeadlinesAreSafe)
+{
+    // Huge / infinite / NaN deadlines must not overflow the priority
+    // encoding (UBSan-checked in CI); they clamp or count as "none"
+    // and the requests still complete correctly.
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 2;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    const double deadlines[] = {
+        1e18, std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN(), -5.0, 1e-9};
+    std::vector<Ticket> tickets;
+    for (Index i = 0; i < 5; ++i) {
+        ServeRequest req;
+        req.benchmark = cfg.benchmark;
+        req.id = i;
+        req.deadlineSeconds = deadlines[i];
+        tickets.push_back(engine.submit(req));
+    }
+    for (const Ticket &t : tickets)
+        EXPECT_TRUE(t.get().ok());
+}
+
+TEST(BatchEngine, RunBatchDoesNotFeedResultQueue)
+{
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 2;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    engine.runBatch(mixedBatch(cfg.benchmark, 4));
+    EXPECT_EQ(engine.results().size(), 0u);
+}
+
+TEST(BatchEngine, ShutdownDrainsPendingAndClosesQueue)
+{
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    engine.pause();
+    std::vector<Ticket> tickets;
+    for (int i = 0; i < 5; ++i) {
+        ServeRequest req;
+        req.benchmark = cfg.benchmark;
+        req.id = static_cast<u64>(i);
+        tickets.push_back(engine.submit(req));
+    }
+
+    // Graceful: every pending request still runs to completion.
+    engine.shutdown();
+    for (const Ticket &t : tickets) {
+        ASSERT_TRUE(t.ready());
+        EXPECT_TRUE(t.get().ok());
+    }
+
+    // The queue still serves the drained results, then reports
+    // closure instead of blocking forever.
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(engine.results().pop().has_value());
+    EXPECT_FALSE(engine.results().pop().has_value());
+    EXPECT_TRUE(engine.results().closed());
+
+    ServeRequest late;
+    late.benchmark = cfg.benchmark;
+    EXPECT_THROW(engine.submit(late), ThreadPoolStopped);
+}
+
+TEST(ServeNames, PriorityAndModeNames)
+{
+    EXPECT_EQ(priorityName(Priority::Low), "low");
+    EXPECT_EQ(priorityName(Priority::Normal), "normal");
+    EXPECT_EQ(priorityName(Priority::High), "high");
+    EXPECT_EQ(priorityName(Priority::Critical), "critical");
+    EXPECT_EQ(execModeName(ExecMode::Dense), "dense");
+    EXPECT_EQ(execModeName(ExecMode::Exion), "exion");
 }
 
 TEST(ExecContext, BindingIsolatesStatsAcrossContexts)

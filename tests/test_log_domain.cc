@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <limits>
 
 #include "exion/common/rng.h"
 #include "exion/metrics/metrics.h"
@@ -40,6 +41,70 @@ TEST(LdProduct, ZeroAndSigns)
     EXPECT_EQ(ldProduct(-3, 5, LodMode::TwoStep), -15);
     EXPECT_EQ(ldProduct(3, -5, LodMode::TwoStep), -15);
     EXPECT_EQ(ldProduct(-3, -5, LodMode::TwoStep), 15);
+}
+
+TEST(LdProduct, ZeroOperandsAreSafeInBothModes)
+{
+    // The kNoLeadingOne sentinel (-1) must never reach a shift: every
+    // zero-operand combination is exactly zero, in both LOD depths.
+    // (Run under UBSan in CI, this is the shift-by-negative guard.)
+    for (const LodMode mode : {LodMode::Single, LodMode::TwoStep}) {
+        EXPECT_EQ(ldProduct(0, 0, mode), 0);
+        EXPECT_EQ(ldProduct(0, 1, mode), 0);
+        EXPECT_EQ(ldProduct(1, 0, mode), 0);
+        EXPECT_EQ(ldProduct(0, -2048, mode), 0);
+        EXPECT_EQ(ldProduct(-2048, 0, mode), 0);
+    }
+}
+
+TEST(LdProduct, ExtremeMagnitudesDoNotOverflow)
+{
+    // Leading-one position 31 on both operands shifts by 62 — the
+    // widest shift the datapath can produce; it must stay in i64.
+    const i32 min32 = std::numeric_limits<i32>::min();
+    EXPECT_EQ(ldProduct(min32, 1, LodMode::Single),
+              -(i64{1} << 31));
+    EXPECT_EQ(ldProduct(min32, min32, LodMode::Single), i64{1} << 62);
+    EXPECT_GT(ldProduct(min32, min32, LodMode::TwoStep), 0);
+}
+
+TEST(LdMatmul, AllZeroOperandsYieldZeroOutput)
+{
+    // An all-zero tile quantises to scale 1.0 with every entry 0; the
+    // LD MMUL must propagate exact zeros (no sentinel leakage).
+    Rng rng(3);
+    Matrix zero(5, 7), dense(7, 4);
+    dense.fillNormal(rng, 0.0f, 1.0f);
+    for (const LodMode mode : {LodMode::Single, LodMode::TwoStep}) {
+        const Matrix za = ldMatmulFloat(zero, dense, mode);
+        for (Index i = 0; i < za.size(); ++i)
+            EXPECT_EQ(za.data()[i], 0.0f);
+        const Matrix zb =
+            ldMatmulFloat(transpose(dense), transpose(zero), mode);
+        for (Index i = 0; i < zb.size(); ++i)
+            EXPECT_EQ(zb.data()[i], 0.0f);
+    }
+}
+
+TEST(LdMatmul, SparseOperandRowsStayExactZero)
+{
+    // Rows zeroed by upstream skip decisions must contribute exact
+    // zeros through the log-domain path.
+    Rng rng(11);
+    Matrix a(6, 8), b(8, 5);
+    a.fillNormal(rng, 0.0f, 1.0f);
+    b.fillNormal(rng, 0.0f, 1.0f);
+    for (Index c = 0; c < a.cols(); ++c) {
+        a(0, c) = 0.0f;
+        a(3, c) = 0.0f;
+    }
+    for (const LodMode mode : {LodMode::Single, LodMode::TwoStep}) {
+        const Matrix out = ldMatmulFloat(a, b, mode);
+        for (Index j = 0; j < out.cols(); ++j) {
+            EXPECT_EQ(out(0, j), 0.0f);
+            EXPECT_EQ(out(3, j), 0.0f);
+        }
+    }
 }
 
 TEST(LdProduct, PowersOfTwoAreExact)

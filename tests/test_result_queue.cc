@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the ResultQueue: FIFO delivery, non-blocking /
+ * bounded / blocking pops, cross-thread handoff and close semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "exion/serve/result_queue.h"
+
+namespace exion
+{
+namespace
+{
+
+RequestResult
+makeResult(u64 id)
+{
+    RequestResult r;
+    r.id = id;
+    return r;
+}
+
+TEST(ResultQueue, DeliversInFifoOrder)
+{
+    ResultQueue q;
+    for (u64 id = 0; id < 5; ++id)
+        q.push(makeResult(id));
+    EXPECT_EQ(q.size(), 5u);
+    for (u64 id = 0; id < 5; ++id) {
+        const auto r = q.tryPop();
+        ASSERT_TRUE(r.has_value());
+        EXPECT_EQ(r->id, id);
+    }
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(ResultQueue, TryPopOnEmptyReturnsNullopt)
+{
+    ResultQueue q;
+    EXPECT_FALSE(q.tryPop().has_value());
+}
+
+TEST(ResultQueue, PopForTimesOutOnEmpty)
+{
+    ResultQueue q;
+    const auto r = q.popFor(std::chrono::milliseconds(1));
+    EXPECT_FALSE(r.has_value());
+}
+
+TEST(ResultQueue, BlockingPopReceivesCrossThreadPush)
+{
+    ResultQueue q;
+    std::thread producer([&q]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        q.push(makeResult(42));
+    });
+    const auto r = q.pop();
+    producer.join();
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->id, 42u);
+}
+
+TEST(ResultQueue, CloseWakesBlockedConsumer)
+{
+    ResultQueue q;
+    std::thread closer([&q]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        q.close();
+    });
+    // Would block forever without the close.
+    const auto r = q.pop();
+    closer.join();
+    EXPECT_FALSE(r.has_value());
+    EXPECT_TRUE(q.closed());
+}
+
+TEST(ResultQueue, CloseStillServesQueuedResults)
+{
+    ResultQueue q;
+    q.push(makeResult(1));
+    q.push(makeResult(2));
+    q.close();
+    EXPECT_EQ(q.pop()->id, 1u);
+    EXPECT_EQ(q.popFor(std::chrono::milliseconds(1))->id, 2u);
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(ResultQueue, PushAfterCloseIsDropped)
+{
+    ResultQueue q;
+    q.close();
+    q.push(makeResult(9));
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_FALSE(q.tryPop().has_value());
+}
+
+TEST(ResultQueue, CloseIsIdempotent)
+{
+    ResultQueue q;
+    q.close();
+    q.close();
+    EXPECT_TRUE(q.closed());
+}
+
+} // namespace
+} // namespace exion

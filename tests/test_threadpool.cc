@@ -1,13 +1,15 @@
 /**
  * @file
- * Unit tests for the ThreadPool: results, FIFO ordering, exception
- * propagation, deterministic seeded tasks and shutdown behaviour.
+ * Unit tests for the ThreadPool: results, priority scheduling, FIFO
+ * ordering within a priority, exception propagation, deterministic
+ * seeded tasks and shutdown behaviour.
  */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <future>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -52,6 +54,102 @@ TEST(ThreadPool, SingleWorkerPreservesFifoOrder)
         EXPECT_EQ(order[i], i);
 }
 
+/**
+ * Holds the pool's single worker inside a task until release() so
+ * tasks submitted meanwhile pile up in the ready queue and their
+ * execution order exposes the scheduler's choices.
+ */
+class WorkerGate
+{
+  public:
+    explicit WorkerGate(ThreadPool &pool)
+    {
+        blocker_ = pool.submit([this]() {
+            started_.set_value();
+            gate_.get_future().wait();
+        });
+        // Only return once the worker holds the blocker, so nothing
+        // submitted afterwards can start before release().
+        started_.get_future().wait();
+    }
+
+    void release() { gate_.set_value(); }
+    void wait() { blocker_.get(); }
+
+  private:
+    std::promise<void> started_;
+    std::promise<void> gate_;
+    std::future<void> blocker_;
+};
+
+TEST(ThreadPool, HigherPriorityRunsFirst)
+{
+    ThreadPool pool(1);
+    WorkerGate gate(pool);
+
+    std::vector<int> order;
+    std::vector<std::future<void>> futures;
+    const i64 priorities[] = {0, 5, -3, 9, 5, 1};
+    for (int i = 0; i < 6; ++i)
+        futures.push_back(pool.submit(
+            [i, &order]() { order.push_back(i); }, priorities[i]));
+
+    gate.release();
+    for (auto &f : futures)
+        f.get();
+
+    // Priority descending; the two priority-5 tasks keep FIFO order.
+    const std::vector<int> expected = {3, 1, 4, 5, 0, 2};
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, EqualPrioritiesKeepSubmissionOrder)
+{
+    ThreadPool pool(1);
+    WorkerGate gate(pool);
+
+    std::vector<int> order;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(pool.submit(
+            [i, &order]() { order.push_back(i); }, /*priority=*/7));
+
+    gate.release();
+    for (auto &f : futures)
+        f.get();
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, PriorityInversionRegression)
+{
+    // A low-priority long job submitted first must not delay a
+    // high-priority job that arrives while work is still queued.
+    ThreadPool pool(1);
+    WorkerGate gate(pool);
+
+    std::vector<int> order;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 8; ++i)
+        futures.push_back(pool.submit(
+            [i, &order]() {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                order.push_back(i);
+            },
+            /*priority=*/-1));
+    futures.push_back(
+        pool.submit([&order]() { order.push_back(100); },
+                    /*priority=*/10));
+
+    gate.release();
+    for (auto &f : futures)
+        f.get();
+    ASSERT_EQ(order.size(), 9u);
+    EXPECT_EQ(order.front(), 100)
+        << "high-priority task ran behind queued low-priority work";
+}
+
 TEST(ThreadPool, PropagatesExceptions)
 {
     ThreadPool pool(2);
@@ -77,6 +175,26 @@ TEST(ThreadPool, SeededTasksAreDeterministicAcrossWorkerCounts)
         return draws;
     };
     EXPECT_EQ(draw_all(1), draw_all(4));
+}
+
+TEST(ThreadPool, SeededTasksAreDeterministicUnderPriorities)
+{
+    // Seeds are keyed by submission index, so reordering execution
+    // with priorities must not change which task gets which draw.
+    const auto draw_all = [](bool reversed_priorities) {
+        ThreadPool pool(2, /*seed=*/1234);
+        std::vector<std::future<u64>> futures;
+        for (int i = 0; i < 16; ++i) {
+            const i64 prio = reversed_priorities ? -i : i;
+            futures.push_back(pool.submitSeeded(
+                [](Rng &rng) { return rng.next(); }, prio));
+        }
+        std::vector<u64> draws;
+        for (auto &f : futures)
+            draws.push_back(f.get());
+        return draws;
+    };
+    EXPECT_EQ(draw_all(false), draw_all(true));
 }
 
 TEST(ThreadPool, SeededTasksDifferByIndex)
@@ -117,6 +235,37 @@ TEST(ThreadPool, DestructorDrainsQueuedTasks)
     EXPECT_EQ(done.load(), 50);
 }
 
+TEST(ThreadPool, SubmitAfterShutdownFailsLoudly)
+{
+    // Regression: a task accepted after shutdown would never run and
+    // its future would deadlock on get(). It must throw instead.
+    ThreadPool pool(2);
+    pool.submit([]() {}).get();
+    pool.shutdown();
+    EXPECT_THROW(pool.submit([]() { return 1; }), ThreadPoolStopped);
+    EXPECT_THROW(pool.submitSeeded([](Rng &) { return 1; }),
+                 ThreadPoolStopped);
+    // shutdown stays idempotent after the refused submissions.
+    pool.shutdown();
+}
+
+TEST(ThreadPool, SubmitFromTaskDuringShutdownFailsViaFuture)
+{
+    // A task that tries to spawn follow-up work while the pool is
+    // draining must see the failure in its own future, not hang.
+    ThreadPool pool(1);
+    auto outer = pool.submit([&pool]() {
+        // Keeps spawning no-op work until shutdown() flips the pool
+        // to stopping, at which point the next submit throws.
+        for (;;) {
+            pool.submit([]() {});
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+    });
+    pool.shutdown();
+    EXPECT_THROW(outer.get(), ThreadPoolStopped);
+}
+
 TEST(ThreadPool, CountsSubmissions)
 {
     ThreadPool pool(2);
@@ -124,6 +273,18 @@ TEST(ThreadPool, CountsSubmissions)
     pool.submit([]() {}).get();
     pool.submitSeeded([](Rng &) { return 0; }).get();
     EXPECT_EQ(pool.submittedCount(), 2u);
+}
+
+TEST(ThreadPool, QueuedCountDrainsToZero)
+{
+    ThreadPool pool(1);
+    WorkerGate gate(pool);
+    for (int i = 0; i < 4; ++i)
+        pool.submit([]() {});
+    EXPECT_EQ(pool.queuedCount(), 4u);
+    gate.release();
+    pool.shutdown();
+    EXPECT_EQ(pool.queuedCount(), 0u);
 }
 
 } // namespace
