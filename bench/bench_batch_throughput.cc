@@ -16,13 +16,21 @@
  * numbers are reproducible run-to-run up to OS scheduling noise in
  * the wall-clock columns.
  *
- * Exits nonzero if any measured throughput is not positive, so CI can
- * use a quick run as a smoke check.
+ * A second scenario drives the engine into overload (offered load
+ * beyond worker capacity) under an AdmissionConfig with class-bounded
+ * queues and a Low-shedding watermark, and reports accept/shed rates
+ * and per-class deadline-miss percentages straight from
+ * EngineMetrics — the trajectory CI tracks for the serving layer.
+ *
+ * Exits nonzero if any measured throughput is not positive or the
+ * overload accounting does not reconcile, so CI can use a quick run
+ * as a smoke check.
  *
  *   ./build/bench/bench_batch_throughput [--quick]
  */
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <iomanip>
 #include <iostream>
@@ -152,6 +160,103 @@ runEngine(const ModelConfig &cfg,
     return run;
 }
 
+/**
+ * Overload scenario: a submission burst well beyond what the workers
+ * can start, pushed through trySubmit() under a shedding admission
+ * policy. Everything the policy admits runs; the report shows how the
+ * boundary behaved, per class, from the engine's own snapshot().
+ *
+ * @return whether the snapshot reconciled with the observed outcomes
+ */
+bool
+runOverload(const ModelConfig &cfg, bool quick)
+{
+    const int offered = quick ? 24 : 60;
+    BatchEngine::Options opts;
+    opts.workers = 2;
+    opts.poolSeed = kPoolSeed;
+    opts.queueResults = false;
+    opts.admission.maxQueuedPerClass = 8;
+    opts.admission.shedThreshold = 12;
+    opts.admission.shedBelow = Priority::Normal;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    std::cout << "\n== overload: " << offered
+              << " requests offered in one burst, 2 workers, "
+              << "class bound 8, shed watermark 12 ==\n";
+
+    // 2:1 Low:High mix; Low deadlines are tight enough that queueing
+    // behind the burst misses them, High generous enough to hold.
+    std::array<u64, kNumPriorityClasses> observed_accepted{};
+    std::array<u64, kNumPriorityClasses> observed_rejected{};
+    std::vector<Ticket> tickets;
+    for (int i = 0; i < offered; ++i) {
+        ServeRequest req;
+        req.id = static_cast<u64>(i);
+        req.benchmark = cfg.benchmark;
+        req.mode = ExecMode::Exion;
+        req.noiseSeed = kNoiseSeedBase + static_cast<u64>(i);
+        const bool low = i % 3 != 2;
+        req.priority = low ? Priority::Low : Priority::High;
+        req.deadlineSeconds = low ? 0.02 : 5.0;
+        const SubmitOutcome outcome = engine.trySubmit(req);
+        if (outcome.accepted()) {
+            ++observed_accepted[classIndex(req.priority)];
+            tickets.push_back(outcome.ticket);
+        } else {
+            ++observed_rejected[classIndex(req.priority)];
+        }
+    }
+    engine.waitIdle();
+
+    const EngineMetrics m = engine.snapshot();
+    std::cout << std::left << std::setw(10) << "class" << std::setw(9)
+              << "offered" << std::setw(10) << "accepted"
+              << std::setw(7) << "shed" << std::setw(12)
+              << "queue-full" << std::setw(11) << "completed"
+              << "deadline-miss\n";
+    bool reconciled = true;
+    for (int c = 0; c < kNumPriorityClasses; ++c) {
+        const ClassMetrics &cm = m.perClass[c];
+        const u64 class_offered =
+            observed_accepted[c] + observed_rejected[c];
+        if (class_offered == 0)
+            continue;
+        const double miss_pct = cm.completed == 0 ? 0.0
+            : 100.0 * static_cast<double>(cm.deadlineMisses)
+                / static_cast<double>(cm.completed);
+        std::ostringstream miss;
+        miss << std::fixed << std::setprecision(1) << miss_pct << " %";
+        std::cout << std::left << std::setw(10)
+                  << priorityName(static_cast<Priority>(c))
+                  << std::setw(9) << class_offered << std::setw(10)
+                  << cm.accepted << std::setw(7) << cm.shed
+                  << std::setw(12) << cm.rejectedQueueFull
+                  << std::setw(11) << cm.completed << miss.str()
+                  << "\n";
+        reconciled &= cm.accepted == observed_accepted[c];
+        reconciled &= cm.rejected() == observed_rejected[c];
+        reconciled &= cm.completed == cm.accepted;
+    }
+    const double accept_rate = 100.0
+        * static_cast<double>(m.accepted())
+        / static_cast<double>(offered);
+    std::cout << std::fixed << std::setprecision(1) << "accept rate "
+              << accept_rate << " %, shed rate "
+              << 100.0 * static_cast<double>(m.shed())
+            / static_cast<double>(offered)
+              << " %, queue wait p50/p99 " << std::setprecision(1)
+              << m.queueWaitP50 * 1e3 << "/" << m.queueWaitP99 * 1e3
+              << " ms\n";
+    for (Ticket &t : tickets)
+        reconciled &= t.get().ok();
+    if (!reconciled)
+        std::cerr << "error: snapshot does not reconcile with "
+                     "observed admission outcomes\n";
+    return reconciled;
+}
+
 } // namespace
 
 int
@@ -216,5 +321,7 @@ main(int argc, char **argv)
                  "a slow dense request\nstretches the makespan.\n";
     if (!healthy)
         std::cerr << "error: measured non-positive throughput\n";
+
+    healthy &= runOverload(cfg, quick);
     return healthy ? 0 : 1;
 }

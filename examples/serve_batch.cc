@@ -1,10 +1,12 @@
 /**
  * @file
- * Asynchronous serving of a mixed request stream: text-to-image
- * (StableDiffusion) and text-to-motion (MLD) requests with different
- * execution modes, seeds and priority classes, submitted continuously
- * to the BatchEngine and drained from its ResultQueue as they
- * complete — no batch barrier.
+ * Admission-controlled asynchronous serving of a mixed request
+ * stream: text-to-image (StableDiffusion) and text-to-motion (MLD)
+ * requests with different execution modes, seeds and priority
+ * classes, submitted through trySubmit() under an AdmissionConfig
+ * that sheds best-effort overload, drained from the engine's
+ * ResultQueue as they complete — no batch barrier — and summarised
+ * with an EngineMetrics snapshot.
  *
  * Build & run:
  *   cmake -B build -S . && cmake --build build
@@ -23,7 +25,10 @@ int
 main()
 {
     // 1. Register the models once; weights are shared by every
-    //    request for that benchmark.
+    //    request for that benchmark. The admission policy is part of
+    //    the engine options: per-class ready-queue bounds, and a shed
+    //    watermark that refuses Low-class work once the total backlog
+    //    reaches 12 requests.
     ModelConfig t2i = makeConfig(Benchmark::StableDiffusion,
                                  Scale::Reduced);
     t2i.iterations = 10;
@@ -32,6 +37,9 @@ main()
 
     BatchEngine::Options opts;
     opts.workers = 4;
+    opts.admission.maxQueuedPerClass = 16;
+    opts.admission.shedThreshold = 12;
+    opts.admission.shedBelow = Priority::Normal;
     BatchEngine engine(opts);
     engine.addModel(t2i);
     engine.addModel(t2m);
@@ -54,29 +62,66 @@ main()
         stream.push_back(req);
     }
 
-    // 3. Submit everything up front — submit() returns immediately —
-    //    then stream completions out of the ResultQueue in whatever
-    //    order the scheduler finishes them.
+    // 3. Submit through the admission boundary. The engine is paused
+    //    while the burst lands so the overload below is
+    //    deterministic; a live service would skip the pause and let
+    //    shedding track the real backlog.
+    engine.pause();
     std::map<u64, const ServeRequest *> by_id;
+    u64 accepted = 0;
     for (const ServeRequest &req : stream) {
-        engine.submit(req);
+        const SubmitOutcome outcome = engine.trySubmit(req);
+        if (!outcome.accepted()) {
+            std::cout << "request " << req.id << " rejected: "
+                      << rejectReasonName(*outcome.reason) << "\n";
+            continue;
+        }
+        ++accepted;
         by_id[req.id] = &req;
     }
 
-    std::cout << "streaming " << stream.size() << " requests over "
-              << engine.workerCount() << " workers\n\n";
+    // 4. Pile a burst of best-effort extras on top: once the total
+    //    backlog reaches the shed watermark, Low-class work is
+    //    refused with LoadShedLow instead of growing the queue.
+    u64 extras_accepted = 0, extras_shed = 0;
+    for (int i = 0; i < 12; ++i) {
+        ServeRequest extra;
+        extra.id = 100 + static_cast<u64>(i);
+        extra.benchmark = Benchmark::MLD;
+        extra.mode = ExecMode::Exion;
+        extra.noiseSeed = 2000 + static_cast<u64>(i);
+        extra.priority = Priority::Low;
+        const SubmitOutcome outcome = engine.trySubmit(extra);
+        if (outcome.accepted()) {
+            ++extras_accepted;
+            continue;
+        }
+        ++extras_shed;
+    }
+    engine.resume();
+
+    std::cout << "\nstreaming " << accepted << " stream + "
+              << extras_accepted << " extra requests over "
+              << engine.workerCount() << " workers ("
+              << extras_shed << " extras shed at the watermark)\n\n";
     std::cout << std::left << std::setw(4) << "id" << std::setw(16)
               << "model" << std::setw(8) << "mode" << std::setw(10)
               << "priority" << std::setw(12) << "ops saved"
               << std::setw(12) << "merged cols" << "seconds\n";
 
+    // 5. Drain completions in whatever order the scheduler finishes
+    //    them; only the labelled core stream is printed in detail.
     std::map<u64, RequestResult> results;
-    while (results.size() < stream.size()) {
+    const u64 expected = accepted + extras_accepted;
+    for (u64 drained = 0; drained < expected; ++drained) {
         auto popped = engine.results().pop();
         if (!popped.has_value())
             break; // queue closed (not expected here)
         const RequestResult &r = *popped;
-        const ServeRequest &req = *by_id.at(r.id);
+        const auto req_it = by_id.find(r.id);
+        if (req_it == by_id.end())
+            continue; // an extra: counted in the snapshot below
+        const ServeRequest &req = *req_it->second;
         const double saved = r.stats.totalDense() == 0 ? 0.0
             : 1.0
                 - static_cast<double>(r.stats.totalExecuted())
@@ -102,9 +147,34 @@ main()
         const u64 id = r.id;
         results.emplace(id, std::move(*popped));
     }
+    engine.waitIdle();
 
-    // 4. Every streamed result is bit-identical to its single-stream
-    //    run, regardless of the completion order above.
+    // 6. The engine's own accounting of the run: per-class admission
+    //    outcomes and queue behaviour, straight from snapshot().
+    const EngineMetrics m = engine.snapshot();
+    std::cout << "\n" << std::left << std::setw(10) << "class"
+              << std::setw(10) << "accepted" << std::setw(8) << "shed"
+              << std::setw(10) << "rejected" << std::setw(11)
+              << "completed" << "peak queue\n";
+    for (int c = 0; c < kNumPriorityClasses; ++c) {
+        const ClassMetrics &cm = m.perClass[c];
+        if (cm.accepted == 0 && cm.rejected() == 0)
+            continue;
+        std::cout << std::left << std::setw(10)
+                  << priorityName(static_cast<Priority>(c))
+                  << std::setw(10) << cm.accepted << std::setw(8)
+                  << cm.shed << std::setw(10)
+                  << (cm.rejected() - cm.shed) << std::setw(11)
+                  << cm.completed << cm.peakQueued << "\n";
+    }
+    std::cout << "queue wait p50/p99: " << std::fixed
+              << std::setprecision(1) << m.queueWaitP50 * 1e3 << "/"
+              << m.queueWaitP99 * 1e3 << " ms over "
+              << m.queueWaitSamples << " starts\n";
+
+    // 7. Every streamed result is bit-identical to its single-stream
+    //    run, regardless of the completion order above — and the
+    //    snapshot reconciles with what the submitter observed.
     const auto sequential = engine.runSequential(stream);
     bool identical = results.size() == stream.size();
     for (Index i = 0; identical && i < sequential.size(); ++i) {
@@ -116,7 +186,12 @@ main()
             identical &= streamed.output.data()[e]
                 == sequential[i].output.data()[e];
     }
+    const bool reconciled = m.accepted() == accepted + extras_accepted
+        && m.shed() == extras_shed
+        && m.completed() == accepted + extras_accepted;
     std::cout << "\nasync == sequential (bit-exact): "
-              << (identical ? "yes" : "NO") << "\n";
-    return identical ? 0 : 1;
+              << (identical ? "yes" : "NO")
+              << "\nsnapshot reconciles with observed outcomes: "
+              << (reconciled ? "yes" : "NO") << "\n";
+    return identical && reconciled ? 0 : 1;
 }

@@ -57,13 +57,33 @@ void informImpl(const std::string &msg);
     ::exion::detail::informImpl(                                           \
         ::exion::detail::concatMessage(__VA_ARGS__))
 
-/** Assert-with-message for simulator invariants; active in all builds. */
+/**
+ * Assert-with-message for simulator invariants. Active by default in
+ * every build type; a build configured with -DEXION_ASSERTIONS=OFF
+ * (which defines EXION_NO_ASSERT — the Release CI matrix entry)
+ * compiles the checks out entirely. The disabled form still
+ * odr-compiles the condition and message inside an if(false) so both
+ * variants accept exactly the same code and no operand is reported
+ * unused, but nothing is evaluated at runtime.
+ */
+#ifdef EXION_NO_ASSERT
+#define EXION_ASSERTS_ENABLED 0
+#define EXION_ASSERT(cond, ...)                                            \
+    do {                                                                   \
+        if (false) {                                                       \
+            (void)(cond);                                                  \
+            (void)::exion::detail::concatMessage(__VA_ARGS__);             \
+        }                                                                  \
+    } while (false)
+#else
+#define EXION_ASSERTS_ENABLED 1
 #define EXION_ASSERT(cond, ...)                                            \
     do {                                                                   \
         if (!(cond)) {                                                     \
             EXION_PANIC("assertion failed: " #cond " ", __VA_ARGS__);      \
         }                                                                  \
     } while (false)
+#endif
 
 } // namespace exion
 

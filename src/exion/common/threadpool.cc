@@ -1,5 +1,6 @@
 #include "exion/common/threadpool.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "exion/common/logging.h"
@@ -100,16 +101,85 @@ ThreadPool::queuedCount() const
 void
 ThreadPool::post(std::function<void()> fn, i64 priority)
 {
+    postTagged(std::move(fn), priority, /*level=*/0);
+}
+
+u64
+ThreadPool::postTagged(std::function<void()> fn, i64 priority, int level)
+{
+    u64 token;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        // Fail loudly: a task accepted here would never run (workers
-        // are exiting or gone) and its future would deadlock on get().
-        if (stopping_)
-            throw ThreadPoolStopped();
-        queue_.emplace(TaskKey{priority, submitted_}, std::move(fn));
-        ++submitted_;
+        std::unique_lock<std::mutex> lock(mutex_);
+        token = postLocked(std::move(fn), priority, level, lock);
     }
     cv_.notify_one();
+    return token;
+}
+
+u64
+ThreadPool::postLocked(std::function<void()> fn, i64 priority, int level,
+                       std::unique_lock<std::mutex> &)
+{
+    // Fail loudly: a task accepted here would never run (workers
+    // are exiting or gone) and its future would deadlock on get().
+    if (stopping_)
+        throw ThreadPoolStopped();
+    const u64 token = submitted_++;
+    queue_.emplace(TaskKey{priority, token},
+                   QueuedTask{std::move(fn), level});
+    tokenPriority_.emplace(token, priority);
+    LevelDepth &depth = levels_[level];
+    ++depth.current;
+    depth.peak = std::max(depth.peak, depth.current);
+    return token;
+}
+
+bool
+ThreadPool::cancel(u64 token)
+{
+    // Holding the pool mutex makes the dequeue atomic against the
+    // workers: either we extract the task here and it never runs, or
+    // a worker already popped it and we report failure.
+    std::function<void()> victim; // destroyed outside the lock
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = tokenPriority_.find(token);
+        if (it == tokenPriority_.end())
+            return false;
+        auto node = queue_.extract(TaskKey{it->second, token});
+        EXION_ASSERT(!node.empty(), "ThreadPool: token ", token,
+                     " indexed but not queued");
+        --levels_[node.mapped().level].current;
+        tokenPriority_.erase(it);
+        victim = std::move(node.mapped().fn);
+    }
+    return true;
+}
+
+u64
+ThreadPool::queuedAtLevel(int level) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = levels_.find(level);
+    return it == levels_.end() ? 0 : it->second.current;
+}
+
+void
+ThreadPool::queuedAtLevels(int count, u64 *out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int level = 0; level < count; ++level) {
+        const auto it = levels_.find(level);
+        out[level] = it == levels_.end() ? 0 : it->second.current;
+    }
+}
+
+u64
+ThreadPool::peakQueuedAtLevel(int level) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = levels_.find(level);
+    return it == levels_.end() ? 0 : it->second.peak;
 }
 
 u64
@@ -134,7 +204,9 @@ ThreadPool::workerLoop()
             if (queue_.empty())
                 return; // stopping_ and drained
             auto node = queue_.extract(queue_.begin());
-            task = std::move(node.mapped());
+            --levels_[node.mapped().level].current;
+            tokenPriority_.erase(node.key().seq);
+            task = std::move(node.mapped().fn);
         }
         // packaged_task routes exceptions into the future; a raw
         // submit()-wrapped callable does the same, so task() never

@@ -12,6 +12,12 @@
  * up or in what order priorities drain — so randomised work is
  * bit-identical across worker counts, priorities and scheduling
  * orders.
+ *
+ * For serving layers that need admission control on top of the pool,
+ * postTagged() additionally tags a task with a small integer level and
+ * returns a token: the pool keeps exact per-level ready-depth
+ * accounting (current and peak, queryable while submitting), and
+ * cancel(token) removes a not-yet-started task from the ready queue.
  */
 
 #ifndef EXION_COMMON_THREADPOOL_H_
@@ -121,6 +127,49 @@ class ThreadPool
     }
 
     /**
+     * Enqueues a raw task tagged with an accounting level and returns
+     * a token for cancel().
+     *
+     * The level is an arbitrary caller-chosen small integer (a
+     * serving engine maps its priority classes onto levels); the pool
+     * tracks how many ready tasks sit at each level so admission
+     * decisions can bound per-level queue depth exactly. Plain
+     * submit()/submitSeeded() tasks land on level 0.
+     *
+     * @return token identifying the queued task (unique for the
+     *         pool's lifetime)
+     * @throws ThreadPoolStopped after shutdown() has begun
+     */
+    u64 postTagged(std::function<void()> fn,
+                   i64 priority = kDefaultPriority, int level = 0);
+
+    /**
+     * Best-effort dequeue of a not-yet-started task.
+     *
+     * Atomic against the workers: when this returns true the task was
+     * removed from the ready queue and will never run (its level depth
+     * is released); when it returns false the task already started,
+     * already finished, or the token is unknown. The caller owns any
+     * completion promise the task would have settled.
+     */
+    bool cancel(u64 token);
+
+    /** Ready (queued, not started) tasks currently at a level. */
+    u64 queuedAtLevel(int level) const;
+
+    /**
+     * Ready depths of levels [0, count) in one lock acquisition —
+     * the admission-decision fast path, which needs every class's
+     * depth coherently and is re-evaluated on each block-mode wake.
+     *
+     * @param out receives count entries
+     */
+    void queuedAtLevels(int count, u64 *out) const;
+
+    /** High-water mark of queuedAtLevel() over the pool's lifetime. */
+    u64 peakQueuedAtLevel(int level) const;
+
+    /**
      * Stops dispatching queued tasks: workers finish what they are
      * running, then idle. Submissions are still accepted. Used to
      * stage a burst of work so the priority order, not arrival order,
@@ -166,14 +215,34 @@ class ThreadPool
         }
     };
 
+    /** A queued task plus the accounting level it was tagged with. */
+    struct QueuedTask
+    {
+        std::function<void()> fn;
+        int level = 0;
+    };
+
+    /** Per-level ready-depth accounting. */
+    struct LevelDepth
+    {
+        u64 current = 0;
+        u64 peak = 0;
+    };
+
     void post(std::function<void()> fn, i64 priority);
+    u64 postLocked(std::function<void()> fn, i64 priority, int level,
+                   std::unique_lock<std::mutex> &lock);
     u64 nextTaskSeed();
     void workerLoop();
 
     u64 seed_;
     mutable std::mutex mutex_;
     std::condition_variable cv_;
-    std::map<TaskKey, std::function<void()>> queue_;
+    std::map<TaskKey, QueuedTask> queue_;
+    /** Queued (cancellable) tokens -> their priority, to rebuild the
+        TaskKey for an O(log n) extraction in cancel(). */
+    std::map<u64, i64> tokenPriority_;
+    std::map<int, LevelDepth> levels_;
     std::vector<std::thread> workers_;
     u64 submitted_ = 0;
     u64 seededSubmitted_ = 0;

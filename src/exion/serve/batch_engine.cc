@@ -45,8 +45,28 @@ priorityName(Priority p)
 bool
 Ticket::ready() const
 {
+    // An invalid (default-constructed) ticket has no shared state;
+    // wait_for on it would be UB, so report "not ready" instead.
+    if (!valid())
+        return false;
     return future_.wait_for(std::chrono::seconds(0))
         == std::future_status::ready;
+}
+
+void
+Ticket::wait() const
+{
+    if (!valid())
+        return;
+    future_.wait();
+}
+
+bool
+Ticket::cancel()
+{
+    if (engine_ == nullptr || !valid())
+        return false;
+    return engine_->cancelTicket(id_);
 }
 
 BatchEngine::BatchEngine() : BatchEngine(Options{})
@@ -54,8 +74,8 @@ BatchEngine::BatchEngine() : BatchEngine(Options{})
 }
 
 BatchEngine::BatchEngine(const Options &opts)
-    : opts_(opts), conmergePipe_(opts.conmerge),
-      pool_(opts.workers, opts.poolSeed)
+    : opts_(opts), admission_(opts.admission), conmergePipe_(opts.conmerge),
+      results_(opts.resultQueueCapacity), pool_(opts.workers, opts.poolSeed)
 {
 }
 
@@ -75,8 +95,9 @@ const DiffusionPipeline &
 BatchEngine::pipeline(Benchmark b) const
 {
     const auto it = models_.find(b);
-    EXION_ASSERT(it != models_.end(), "benchmark ", benchmarkName(b),
-                 " not registered with the engine");
+    if (it == models_.end())
+        throw UnknownModelError("benchmark " + benchmarkName(b)
+                                + " not registered with the engine");
     return *it->second;
 }
 
@@ -110,10 +131,230 @@ BatchEngine::poolPriority(const ServeRequest &req) const
         + deadline_rank;
 }
 
+ClassDepths
+BatchEngine::readyDepths() const
+{
+    ClassDepths depths{};
+    pool_.queuedAtLevels(kNumPriorityClasses, depths.data());
+    return depths;
+}
+
 Ticket
 BatchEngine::submit(const ServeRequest &req)
 {
     return submitImpl(req, /*to_queue=*/true);
+}
+
+SubmitOutcome
+BatchEngine::trySubmit(const ServeRequest &req)
+{
+    return submitOutcome(req, /*to_queue=*/true);
+}
+
+Ticket
+BatchEngine::submitImpl(const ServeRequest &req, bool to_queue)
+{
+    SubmitOutcome outcome = submitOutcome(req, to_queue);
+    if (outcome.accepted())
+        return std::move(outcome.ticket);
+    switch (*outcome.reason) {
+      case RejectReason::UnknownModel:
+        throw UnknownModelError("benchmark "
+                                + benchmarkName(req.benchmark)
+                                + " not registered with the engine");
+      case RejectReason::Stopped:
+        throw ThreadPoolStopped();
+      case RejectReason::QueueFull:
+      case RejectReason::LoadShedLow:
+        break;
+    }
+    throw AdmissionRejected(*outcome.reason,
+                            "request " + std::to_string(req.id)
+                                + " rejected: "
+                                + rejectReasonName(*outcome.reason));
+}
+
+SubmitOutcome
+BatchEngine::submitOutcome(const ServeRequest &req, bool to_queue)
+{
+    const Priority cls = req.priority;
+    std::unique_lock<std::mutex> lock(mutex_);
+
+    // Validate at the API boundary: a bad request fails the
+    // submitter, never a worker thread mid-run.
+    if (models_.find(req.benchmark) == models_.end()) {
+        metrics_.onRejected(cls, RejectReason::UnknownModel);
+        return SubmitOutcome{Ticket{}, RejectReason::UnknownModel};
+    }
+    if (stopped_) {
+        metrics_.onRejected(cls, RejectReason::Stopped);
+        return SubmitOutcome{Ticket{}, RejectReason::Stopped};
+    }
+
+    std::optional<RejectReason> verdict =
+        admission_.decide(cls, readyDepths());
+    if (verdict == RejectReason::QueueFull && admission_.blocking()) {
+        // Block-with-timeout mode: wait for a ready-queue slot (a
+        // worker starting a queued request, or a cancellation). The
+        // verdict is re-evaluated on every wake — it may flip to
+        // LoadShedLow if the overall queue kept growing meanwhile.
+        const auto deadline =
+            std::chrono::steady_clock::now() + admission_.blockTimeout();
+        while (!stopped_) {
+            const bool timed_out =
+                admissionCv_.wait_until(lock, deadline)
+                == std::cv_status::timeout;
+            verdict = admission_.decide(cls, readyDepths());
+            if (timed_out || verdict != RejectReason::QueueFull)
+                break;
+        }
+        if (stopped_)
+            verdict = RejectReason::Stopped;
+    }
+    if (verdict.has_value()) {
+        metrics_.onRejected(cls, *verdict);
+        return SubmitOutcome{Ticket{}, *verdict};
+    }
+
+    // Admitted: account, register for cancellation, post to the pool
+    // at the class's level — all under one lock, so a concurrent
+    // admission check can never overshoot the class bound and the
+    // worker (whose first action locks this mutex) can never observe
+    // a half-registered request.
+    auto promise = std::make_shared<std::promise<RequestResult>>();
+    const u64 ticket_id = nextTicket_++;
+    ++inFlight_;
+    const auto enqueued = std::chrono::steady_clock::now();
+    const auto pending_it =
+        pending_.emplace(ticket_id, Pending{promise, req.id, cls, 0})
+            .first;
+
+    u64 token = 0;
+    try {
+        token = pool_.postTagged(
+            [this, req, promise, to_queue, ticket_id, enqueued]() {
+                {
+                    std::lock_guard<std::mutex> inner(mutex_);
+                    pending_.erase(ticket_id);
+                }
+                // A ready-queue slot freed: admit a block-mode waiter.
+                admissionCv_.notify_all();
+                const auto started_at = std::chrono::steady_clock::now();
+                metrics_.onStarted(
+                    req.priority,
+                    std::chrono::duration<double>(started_at - enqueued)
+                        .count());
+
+                RequestResult result;
+                std::exception_ptr failure;
+                try {
+                    result = runOne(req);
+                } catch (const std::exception &e) {
+                    failure = std::current_exception();
+                    result = RequestResult{};
+                    result.id = req.id;
+                    result.error = e.what();
+                } catch (...) {
+                    failure = std::current_exception();
+                    result = RequestResult{};
+                    result.id = req.id;
+                    result.error = "unknown error";
+                }
+                // Deadline verdict taken as execution finishes: the
+                // delivery below may block on a bounded results()
+                // (intended backpressure), and consumer lag must not
+                // masquerade as the request missing its deadline.
+                const bool missed = req.deadlineSeconds > 0.0
+                    && std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - enqueued)
+                            .count()
+                        > req.deadlineSeconds;
+
+                CompletionCallback cb;
+                {
+                    std::lock_guard<std::mutex> inner(mutex_);
+                    cb = onComplete_;
+                }
+                // A misbehaving delivery sink must not break the
+                // accounting below it: an escaped exception here
+                // would leave the Ticket promise unset (deadlocking
+                // get()) and inFlight_ stuck nonzero.
+                if (cb) {
+                    try {
+                        cb(result);
+                    } catch (...) {
+                        EXION_WARN("completion callback threw for "
+                                   "request ",
+                                   result.id, "; ignoring");
+                    }
+                }
+                if (to_queue && opts_.queueResults) {
+                    try {
+                        // Blocks on a bounded queue until a consumer
+                        // pops: unpopped results throttle the workers.
+                        results_.push(result);
+                    } catch (...) {
+                        EXION_WARN("result queue push failed for "
+                                   "request ",
+                                   result.id, "; dropping");
+                    }
+                }
+                if (failure)
+                    promise->set_exception(failure);
+                else
+                    promise->set_value(std::move(result));
+
+                metrics_.onCompleted(req.priority,
+                                     failure != nullptr, missed);
+                {
+                    std::lock_guard<std::mutex> inner(mutex_);
+                    --inFlight_;
+                }
+                idleCv_.notify_all();
+            },
+            poolPriority(req), classIndex(cls));
+    } catch (...) {
+        // The pool refused the task. Today shutdown() always flips
+        // stopped_ (checked above) before stopping the pool, so this
+        // is unreachable — but undo the accounting rather than rely
+        // on that.
+        pending_.erase(pending_it);
+        --inFlight_;
+        metrics_.onRejected(cls, RejectReason::Stopped);
+        lock.unlock();
+        idleCv_.notify_all();
+        return SubmitOutcome{Ticket{}, RejectReason::Stopped};
+    }
+    pending_it->second.poolToken = token;
+    metrics_.onAccepted(cls);
+    Ticket ticket(ticket_id, promise->get_future().share(), this);
+    return SubmitOutcome{std::move(ticket), std::nullopt};
+}
+
+bool
+BatchEngine::cancelTicket(u64 ticket_id)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = pending_.find(ticket_id);
+    if (it == pending_.end())
+        return false; // already started, completed or cancelled
+    if (!pool_.cancel(it->second.poolToken))
+        return false; // a worker is dequeuing it right now
+    const Pending pending = std::move(it->second);
+    pending_.erase(it);
+    metrics_.onCancelled(pending.cls);
+    RequestResult result;
+    result.id = pending.requestId;
+    result.cancelled = true;
+    result.error = "cancelled";
+    // Only the ticket sees a cancelled request: it never ran, so the
+    // completion callback and results() are not fed.
+    pending.promise->set_value(std::move(result));
+    --inFlight_;
+    lock.unlock();
+    idleCv_.notify_all();
+    admissionCv_.notify_all();
+    return true;
 }
 
 void
@@ -121,6 +362,17 @@ BatchEngine::setOnComplete(CompletionCallback cb)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     onComplete_ = std::move(cb);
+}
+
+EngineMetrics
+BatchEngine::snapshot() const
+{
+    EngineMetrics m = metrics_.snapshot();
+    for (int c = 0; c < kNumPriorityClasses; ++c) {
+        m.perClass[c].queued = pool_.queuedAtLevel(c);
+        m.perClass[c].peakQueued = pool_.peakQueuedAtLevel(c);
+    }
+    return m;
 }
 
 u64
@@ -140,95 +392,13 @@ BatchEngine::waitIdle() const
 void
 BatchEngine::shutdown()
 {
-    pool_.shutdown(); // drains every accepted request, idempotent
-    results_.close();
-}
-
-Ticket
-BatchEngine::submitImpl(const ServeRequest &req, bool to_queue)
-{
-    // Resolve the pipeline now so a missing model fails the submitter,
-    // not a worker.
-    pipeline(req.benchmark);
-
-    auto promise = std::make_shared<std::promise<RequestResult>>();
-    u64 ticket_id;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        ticket_id = nextTicket_++;
-        ++inFlight_;
+        stopped_ = true;
     }
-    Ticket ticket(ticket_id, promise->get_future().share());
-
-    try {
-        pool_.submit(
-            [this, req, promise, to_queue]() {
-                RequestResult result;
-                std::exception_ptr failure;
-                try {
-                    result = runOne(req);
-                } catch (const std::exception &e) {
-                    failure = std::current_exception();
-                    result = RequestResult{};
-                    result.id = req.id;
-                    result.error = e.what();
-                } catch (...) {
-                    failure = std::current_exception();
-                    result = RequestResult{};
-                    result.id = req.id;
-                    result.error = "unknown error";
-                }
-
-                CompletionCallback cb;
-                {
-                    std::lock_guard<std::mutex> lock(mutex_);
-                    cb = onComplete_;
-                }
-                // A misbehaving delivery sink must not break the
-                // accounting below it: an escaped exception here
-                // would leave the Ticket promise unset (deadlocking
-                // get()) and inFlight_ stuck nonzero.
-                if (cb) {
-                    try {
-                        cb(result);
-                    } catch (...) {
-                        EXION_WARN("completion callback threw for "
-                                   "request ",
-                                   result.id, "; ignoring");
-                    }
-                }
-                if (to_queue && opts_.queueResults) {
-                    try {
-                        results_.push(result);
-                    } catch (...) {
-                        EXION_WARN("result queue push failed for "
-                                   "request ",
-                                   result.id, "; dropping");
-                    }
-                }
-                if (failure)
-                    promise->set_exception(failure);
-                else
-                    promise->set_value(std::move(result));
-
-                {
-                    std::lock_guard<std::mutex> lock(mutex_);
-                    --inFlight_;
-                }
-                idleCv_.notify_all();
-            },
-            poolPriority(req));
-    } catch (...) {
-        // The pool refused the task (shutdown raced the submit): undo
-        // the in-flight accounting before failing the submitter.
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            --inFlight_;
-        }
-        idleCv_.notify_all();
-        throw;
-    }
-    return ticket;
+    admissionCv_.notify_all(); // block-mode waiters fail with Stopped
+    pool_.shutdown(); // drains every accepted request, idempotent
+    results_.close();
 }
 
 std::vector<RequestResult>
@@ -236,8 +406,21 @@ BatchEngine::runBatch(const std::vector<ServeRequest> &requests)
 {
     std::vector<Ticket> tickets;
     tickets.reserve(requests.size());
-    for (const ServeRequest &req : requests)
-        tickets.push_back(submitImpl(req, /*to_queue=*/false));
+    try {
+        for (const ServeRequest &req : requests)
+            tickets.push_back(submitImpl(req, /*to_queue=*/false));
+    } catch (...) {
+        // Admission (or shutdown) refused a request mid-batch: the
+        // already-admitted prefix still runs, so drain it — no work
+        // or result delivery abandoned — then surface the refusal.
+        for (Ticket &t : tickets) {
+            try {
+                t.get();
+            } catch (...) {
+            }
+        }
+        throw;
+    }
     std::vector<RequestResult> results;
     results.reserve(requests.size());
     // Drain every ticket even if one throws, so no in-flight work is

@@ -1,15 +1,22 @@
 /**
  * @file
  * Multi-request batched denoising engine with asynchronous
- * submit/complete scheduling.
+ * submit/complete scheduling, explicit admission control and
+ * per-class observability.
  *
  * Registers immutable DiffusionPipelines once (weights shared across
  * every request for that benchmark) and schedules concurrent
- * denoising requests across a priority-ordered ThreadPool: submit()
- * returns a Ticket immediately, workers always start the
- * highest-priority ready request, and completed results are delivered
+ * denoising requests across a priority-ordered ThreadPool. Two
+ * submission surfaces: submit() keeps the throwing fast path (typed
+ * exceptions at the API boundary), trySubmit() returns a
+ * SubmitOutcome — a Ticket on acceptance or a RejectReason (QueueFull
+ * / LoadShedLow / UnknownModel / Stopped) when the AdmissionConfig in
+ * Options refuses the request. Completed results are delivered
  * through the Ticket future, an optional completion callback and the
- * engine's pollable/blocking ResultQueue. Each request owns a
+ * engine's pollable/blocking (and optionally bounded) ResultQueue;
+ * Ticket::cancel() dequeues not-yet-started work; snapshot() reports
+ * per-class accepted/rejected/shed/cancelled counts, ready-queue
+ * depths and queue-wait percentiles. Each request owns a
  * RequestContext bundling every piece of mutable state the run
  * produces — execution context, FFN-Reuse bundle, ConMerge accounting
  * — so results are bit-identical no matter how requests interleave
@@ -26,18 +33,23 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "exion/common/threadpool.h"
 #include "exion/conmerge/pipeline.h"
 #include "exion/model/pipeline.h"
+#include "exion/serve/admission.h"
+#include "exion/serve/metrics.h"
 #include "exion/serve/request.h"
 #include "exion/serve/result_queue.h"
 #include "exion/sparsity/sparse_executor.h"
 
 namespace exion
 {
+
+class BatchEngine;
 
 /**
  * All mutable state of one in-flight request.
@@ -59,12 +71,18 @@ struct RequestContext
  *
  * Cheap to copy (shares one future state). get() blocks until the
  * request completes and rethrows its failure, if any; ready() polls
- * without blocking.
+ * without blocking; cancel() best-effort dequeues work that no worker
+ * has started yet. On a default-constructed (invalid) ticket every
+ * member is a safe no-op: ready() and cancel() return false, wait()
+ * returns immediately; only get() requires valid().
+ *
+ * A ticket must not outlive its engine — it holds a reference back
+ * into it for cancel().
  */
 class Ticket
 {
   public:
-    /** Invalid ticket; get()/wait()/ready() must not be called. */
+    /** Invalid ticket; every member but get() is a safe no-op. */
     Ticket() = default;
 
     /** Engine-assigned submission sequence number (1-based). */
@@ -73,42 +91,76 @@ class Ticket
     /** Whether this ticket refers to a submitted request. */
     bool valid() const { return future_.valid(); }
 
-    /** Non-blocking: whether the result is available. */
+    /** Non-blocking: whether the result is available. false when
+        invalid. */
     bool ready() const;
 
-    /** Blocks until the request completes. */
-    void wait() const { future_.wait(); }
+    /** Blocks until the request completes. No-op when invalid. */
+    void wait() const;
 
     /**
      * Blocks until completion, then returns the result (a copy; the
      * shared state stays pollable). Rethrows the request's failure.
+     * A cancelled request yields a result with `cancelled` set.
+     * @pre valid()
      */
     RequestResult get() const { return future_.get(); }
+
+    /**
+     * Best-effort cancellation: dequeues the request if no worker has
+     * started it, settling the ticket with a result marked
+     * `cancelled` (error = "cancelled"; the completion callback and
+     * the result queue are not fed — the request never ran).
+     *
+     * @return true when the request was dequeued; false when it
+     *         already started, already completed, was already
+     *         cancelled, or the ticket is invalid
+     */
+    bool cancel();
 
   private:
     friend class BatchEngine;
 
-    Ticket(u64 id, std::shared_future<RequestResult> future)
-        : id_(id), future_(std::move(future))
+    Ticket(u64 id, std::shared_future<RequestResult> future,
+           BatchEngine *engine)
+        : id_(id), future_(std::move(future)), engine_(engine)
     {
     }
 
     u64 id_ = 0;
     std::shared_future<RequestResult> future_;
+    BatchEngine *engine_ = nullptr;
+};
+
+/**
+ * Result of a trySubmit(): an accepted request carries a valid
+ * Ticket; a refused one carries the RejectReason instead.
+ */
+struct SubmitOutcome
+{
+    /** Valid iff accepted(). */
+    Ticket ticket;
+    /** Set iff the request was refused. */
+    std::optional<RejectReason> reason;
+
+    bool accepted() const { return !reason.has_value(); }
 };
 
 /**
  * Batched multi-request serving engine.
  *
  * Usage: addModel() every benchmark the request mix needs (not
- * thread-safe; do it before submitting), then submit() requests as
- * they arrive and consume completions via Ticket::get(), the
- * completion callback or results(). runBatch() remains as a
- * synchronous compatibility wrapper (a submit-all barrier that blocks
- * until the whole batch finishes). Request execution is
- * deterministic: a request's result depends only on the request and
- * the registered weights, never on worker count, priorities or
- * scheduling order.
+ * thread-safe; do it before submitting), then submit()/trySubmit()
+ * requests as they arrive and consume completions via Ticket::get(),
+ * the completion callback or results(). Overload behaviour is
+ * explicit: Options::admission bounds the ready queue per priority
+ * class and sheds low classes under load, trySubmit() reports the
+ * decision as a value, and snapshot() exposes the counters the
+ * decisions feed. runBatch() remains as a synchronous compatibility
+ * wrapper (a submit-all barrier that blocks until the whole batch
+ * finishes). Request execution is deterministic: a request's result
+ * depends only on the request and the registered weights, never on
+ * worker count, priorities, scheduling order or admission policy.
  */
 class BatchEngine
 {
@@ -128,11 +180,22 @@ class BatchEngine
         /**
          * Deliver submit() completions to results(). Disable for
          * long-lived services that consume only Tickets or the
-         * completion callback — the queue is unbounded, so unpopped
-         * results (output latents included) would otherwise
-         * accumulate for the engine's lifetime.
+         * completion callback.
          */
         bool queueResults = true;
+        /**
+         * Bound on results() (0 = unbounded). When bounded, a full
+         * queue blocks the completing worker until a consumer pops —
+         * unpopped results exert backpressure on execution instead of
+         * accumulating. Consumers must then keep draining results()
+         * until shutdown() returns.
+         */
+        Index resultQueueCapacity = 0;
+        /**
+         * Admission policy of submit()/trySubmit(). The default
+         * admits everything.
+         */
+        AdmissionConfig admission;
     };
 
     /** Invoked on a worker thread as each request completes. */
@@ -155,21 +218,42 @@ class BatchEngine
      */
     void addModel(const ModelConfig &cfg);
 
-    /** Registered pipeline for a benchmark. @pre addModel'ed. */
+    /**
+     * Registered pipeline for a benchmark.
+     * @throws UnknownModelError when the benchmark is not registered
+     */
     const DiffusionPipeline &pipeline(Benchmark b) const;
 
     /**
-     * Enqueues one request and returns immediately.
+     * Enqueues one request — the throwing fast path.
      *
-     * The request joins the ready queue at its priority class (with
+     * The request passes admission (see trySubmit() for the policy),
+     * joins the ready queue at its priority class (with
      * earliest-deadline-first ordering within the class) and runs as
      * soon as a worker is free and nothing more urgent is waiting. On
      * completion the result is delivered, in order, to the completion
      * callback (if set), to results(), and to the Ticket future.
      *
-     * @throws ThreadPoolStopped after shutdown() has begun
+     * @throws UnknownModelError  for an unregistered benchmark
+     * @throws ThreadPoolStopped  after shutdown() has begun
+     * @throws AdmissionRejected  when admission policy refuses the
+     *                            request (QueueFull / LoadShedLow)
      */
     Ticket submit(const ServeRequest &req);
+
+    /**
+     * Admission-checked submission — the non-throwing path.
+     *
+     * Validates the request at the API boundary (an unregistered
+     * benchmark is UnknownModel here, not a worker-thread failure
+     * mid-run), then applies Options::admission: a class at its
+     * ready-depth bound is QueueFull (optionally blocking up to the
+     * configured timeout for a slot), low classes are LoadShedLow
+     * once total depth crosses the shed watermark, and an engine
+     * whose shutdown() has begun is Stopped. Every decision is
+     * counted in snapshot().
+     */
+    SubmitOutcome trySubmit(const ServeRequest &req);
 
     /**
      * Installs the completion hook; pass nullptr to remove it. Takes
@@ -183,10 +267,20 @@ class BatchEngine
 
     /**
      * Completion queue fed by every submit() (unless
-     * Options::queueResults is off). runBatch() requests collect
-     * through their tickets instead and do not appear here.
+     * Options::queueResults is off). runBatch() requests and
+     * cancelled requests do not appear here.
      */
     ResultQueue &results() { return results_; }
+
+    /**
+     * Point-in-time serving metrics: per-class
+     * accepted/rejected/shed/cancelled/completed counts and deadline
+     * misses, current and peak ready-queue depth (from the pool's
+     * per-level accounting), and p50/p99 queue-wait over the recent
+     * window. Counters reconcile exactly with the outcomes callers
+     * observed.
+     */
+    EngineMetrics snapshot() const;
 
     /**
      * Pauses scheduling: workers finish their current request, then
@@ -199,18 +293,19 @@ class BatchEngine
     /** Resumes scheduling after pause(). */
     void resume() { pool_.resume(); }
 
-    /** Requests submitted but not yet completed. */
+    /** Requests admitted but not yet completed or cancelled. */
     u64 inFlight() const;
 
-    /** Blocks until every submitted request has completed. */
+    /** Blocks until every admitted request has completed. */
     void waitIdle() const;
 
     /**
      * Graceful shutdown: refuses new submissions, runs every request
      * already accepted (pending work is drained, not abandoned),
      * delivers all their results, then closes results() so blocked
-     * consumers wake with std::nullopt. Idempotent; also called by
-     * the destructor.
+     * consumers wake with std::nullopt. If results() is bounded, keep
+     * draining it until this returns — a full queue blocks the
+     * draining workers. Idempotent; also called by the destructor.
      */
     void shutdown();
 
@@ -220,9 +315,13 @@ class BatchEngine
      * slow request holds the return, which is exactly what submit()
      * avoids). Results are returned in request order. All-or-nothing:
      * if any request throws, every ticket is still drained (no
-     * abandoned work) and the first failure is rethrown. Callers
-     * needing per-request error handling or streaming completion use
-     * submit() and the Ticket / callback / results() surfaces.
+     * abandoned work) and the first failure is rethrown; likewise, if
+     * admission refuses a request mid-batch (a bounded engine under
+     * load), the already-admitted prefix is drained before the
+     * refusal propagates. Callers needing per-request error handling,
+     * per-request admission outcomes or streaming completion use
+     * submit()/trySubmit() and the Ticket / callback / results()
+     * surfaces.
      */
     std::vector<RequestResult> runBatch(
         const std::vector<ServeRequest> &requests);
@@ -238,6 +337,18 @@ class BatchEngine
     int workerCount() const { return pool_.workerCount(); }
 
   private:
+    friend class Ticket;
+
+    /** Cancellation bookkeeping of one admitted-but-unstarted
+        request. */
+    struct Pending
+    {
+        std::shared_ptr<std::promise<RequestResult>> promise;
+        u64 requestId = 0;
+        Priority cls = Priority::Normal;
+        u64 poolToken = 0;
+    };
+
     /**
      * Encodes (priority class, absolute deadline) into one pool
      * priority; the absolute deadline is taken against epoch_ at
@@ -245,21 +356,34 @@ class BatchEngine
      */
     i64 poolPriority(const ServeRequest &req) const;
 
+    /** Ready depth of each class, from the pool's level accounting. */
+    ClassDepths readyDepths() const;
+
+    SubmitOutcome submitOutcome(const ServeRequest &req, bool to_queue);
     Ticket submitImpl(const ServeRequest &req, bool to_queue);
+    bool cancelTicket(u64 ticket_id);
     RequestResult runOne(const ServeRequest &req) const;
 
     const std::chrono::steady_clock::time_point epoch_ =
         std::chrono::steady_clock::now();
     Options opts_;
+    AdmissionController admission_;
     ConMergePipeline conmergePipe_;
     std::map<Benchmark, std::unique_ptr<const DiffusionPipeline>> models_;
     ResultQueue results_;
+    MetricsCollector metrics_;
 
     mutable std::mutex mutex_;
     mutable std::condition_variable idleCv_;
+    /** Signalled when a ready-queue slot frees (a worker started a
+        request, a cancellation, or shutdown) for block-mode
+        admission waits. */
+    std::condition_variable admissionCv_;
     CompletionCallback onComplete_;
+    std::map<u64, Pending> pending_;
     u64 nextTicket_ = 1;
     u64 inFlight_ = 0;
+    bool stopped_ = false;
 
     /**
      * Last member: destroyed (and therefore drained) first, while the

@@ -1,0 +1,103 @@
+#include "exion/serve/metrics.h"
+
+#include <algorithm>
+
+namespace exion
+{
+
+namespace
+{
+
+/** Value at a percentile (0..100) of an ascending-sorted sample. */
+double
+percentileOfSorted(const std::vector<double> &sorted, double pct)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank =
+        pct / 100.0 * static_cast<double>(sorted.size() - 1);
+    const Index lo = static_cast<Index>(rank);
+    const Index hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+} // namespace
+
+void
+MetricsCollector::onAccepted(Priority p)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_[classIndex(p)].accepted;
+}
+
+void
+MetricsCollector::onRejected(Priority p, RejectReason r)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ClassMetrics &c = counters_[classIndex(p)];
+    switch (r) {
+      case RejectReason::QueueFull:
+        ++c.rejectedQueueFull;
+        break;
+      case RejectReason::LoadShedLow:
+        ++c.shed;
+        break;
+      case RejectReason::UnknownModel:
+        ++c.rejectedUnknownModel;
+        break;
+      case RejectReason::Stopped:
+        ++c.rejectedStopped;
+        break;
+    }
+}
+
+void
+MetricsCollector::onStarted(Priority p, double waitSeconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_[classIndex(p)].started;
+    waits_[waitCount_ % kWaitWindow] = waitSeconds;
+    ++waitCount_;
+}
+
+void
+MetricsCollector::onCancelled(Priority p)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_[classIndex(p)].cancelled;
+}
+
+void
+MetricsCollector::onCompleted(Priority p, bool failed,
+                              bool missedDeadline)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ClassMetrics &c = counters_[classIndex(p)];
+    ++c.completed;
+    if (failed)
+        ++c.failed;
+    if (missedDeadline)
+        ++c.deadlineMisses;
+}
+
+EngineMetrics
+MetricsCollector::snapshot() const
+{
+    EngineMetrics m;
+    std::vector<double> waits;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        m.perClass = counters_;
+        const Index n = static_cast<Index>(
+            std::min<u64>(waitCount_, kWaitWindow));
+        waits.assign(waits_.begin(), waits_.begin() + n);
+        m.queueWaitSamples = n;
+    }
+    std::sort(waits.begin(), waits.end());
+    m.queueWaitP50 = percentileOfSorted(waits, 50.0);
+    m.queueWaitP99 = percentileOfSorted(waits, 99.0);
+    return m;
+}
+
+} // namespace exion

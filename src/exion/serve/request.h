@@ -49,6 +49,16 @@ enum class Priority
 /** Short display name, e.g. "low", "critical". */
 std::string priorityName(Priority p);
 
+/** Number of scheduling classes (for per-class tables/metrics). */
+inline constexpr int kNumPriorityClasses = 4;
+
+/** Dense 0-based index of a class (Low = 0 … Critical = 3). */
+constexpr int
+classIndex(Priority p)
+{
+    return static_cast<int>(p);
+}
+
 /** One denoising request. */
 struct ServeRequest
 {
@@ -87,7 +97,9 @@ struct ServeRequest
  * When a request fails, `error` is non-empty, the other payload
  * fields are default-constructed, and only `id` is meaningful. The
  * Ticket future for a failed request rethrows the original exception
- * instead.
+ * instead. A request cancelled before it started sets `cancelled`
+ * (and `error` = "cancelled"): it never ran, so the payload fields
+ * are default-constructed too.
  */
 struct RequestResult
 {
@@ -99,6 +111,8 @@ struct RequestResult
     double seconds = 0.0;
     /** Failure description; empty on success. */
     std::string error;
+    /** Dequeued by Ticket::cancel() before a worker started it. */
+    bool cancelled = false;
 
     /** Whether the request completed successfully. */
     bool ok() const { return error.empty(); }

@@ -7,26 +7,41 @@
 namespace exion
 {
 
-void
+ResultQueue::PushResult
 ResultQueue::push(RequestResult result)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (closed_) {
-            EXION_WARN("ResultQueue: dropping result of request ",
-                       result.id, " pushed after close");
-            return;
-        }
+        std::unique_lock<std::mutex> lock(mutex_);
+        spaceCv_.wait(lock,
+                      [this]() { return closed_ || !fullLocked(); });
+        if (closed_)
+            return dropClosedLocked(result);
         items_.push_back(std::move(result));
     }
-    cv_.notify_one();
+    readyCv_.notify_one();
+    return PushResult::Ok;
+}
+
+ResultQueue::PushResult
+ResultQueue::tryPush(RequestResult &&result)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_)
+            return dropClosedLocked(result);
+        if (fullLocked())
+            return PushResult::Full;
+        items_.push_back(std::move(result));
+    }
+    readyCv_.notify_one();
+    return PushResult::Ok;
 }
 
 std::optional<RequestResult>
 ResultQueue::pop()
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this]() { return closed_ || !items_.empty(); });
+    readyCv_.wait(lock, [this]() { return closed_ || !items_.empty(); });
     return popLocked(lock);
 }
 
@@ -41,8 +56,8 @@ std::optional<RequestResult>
 ResultQueue::popFor(std::chrono::milliseconds timeout)
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait_for(lock, timeout,
-                 [this]() { return closed_ || !items_.empty(); });
+    readyCv_.wait_for(lock, timeout,
+                      [this]() { return closed_ || !items_.empty(); });
     return popLocked(lock);
 }
 
@@ -67,17 +82,29 @@ ResultQueue::close()
         std::lock_guard<std::mutex> lock(mutex_);
         closed_ = true;
     }
-    cv_.notify_all();
+    readyCv_.notify_all();
+    spaceCv_.notify_all();
 }
 
 std::optional<RequestResult>
-ResultQueue::popLocked(std::unique_lock<std::mutex> &)
+ResultQueue::popLocked(std::unique_lock<std::mutex> &lock)
 {
     if (items_.empty())
         return std::nullopt;
     RequestResult result = std::move(items_.front());
     items_.pop_front();
+    lock.unlock();
+    // A slot freed: wake one producer blocked on a full queue.
+    spaceCv_.notify_one();
     return result;
+}
+
+ResultQueue::PushResult
+ResultQueue::dropClosedLocked(const RequestResult &result)
+{
+    EXION_WARN("ResultQueue: dropping result of request ", result.id,
+               " pushed after close");
+    return PushResult::Closed;
 }
 
 } // namespace exion

@@ -4,10 +4,14 @@
  *
  * Workers push finished RequestResults as they complete; consumers
  * drain them in completion order with non-blocking, bounded-wait or
- * fully blocking pops. close() wakes every blocked consumer — after
- * close, pops keep returning the already-queued results and then
- * report emptiness via std::nullopt, so a drain loop terminates
- * naturally on engine shutdown.
+ * fully blocking pops. The queue is optionally bounded: a full queue
+ * makes tryPush() report PushResult::Full and push() block until a
+ * consumer pops, so unpopped results exert backpressure on the
+ * producers instead of accumulating for the engine's lifetime.
+ * close() wakes every blocked consumer *and* producer — after close,
+ * pops keep returning the already-queued results and then report
+ * emptiness via std::nullopt, so a drain loop terminates naturally on
+ * engine shutdown, and pushes are dropped.
  */
 
 #ifndef EXION_SERVE_RESULT_QUEUE_H_
@@ -25,22 +29,43 @@ namespace exion
 {
 
 /**
- * Unbounded FIFO of completed requests.
+ * FIFO of completed requests, optionally bounded.
  */
 class ResultQueue
 {
   public:
-    ResultQueue() = default;
+    /** Outcome of a push attempt. */
+    enum class PushResult
+    {
+        Ok,     //!< enqueued
+        Full,   //!< at capacity (tryPush only; push blocks instead)
+        Closed, //!< queue closed; the result was dropped
+    };
+
+    /**
+     * @param capacity most results held at once; 0 = unbounded
+     */
+    explicit ResultQueue(Index capacity = 0) : capacity_(capacity) {}
 
     ResultQueue(const ResultQueue &) = delete;
     ResultQueue &operator=(const ResultQueue &) = delete;
 
     /**
-     * Appends a completed result. Results pushed after close() are
-     * dropped with a warning (the producer lost the race against
-     * shutdown; consumers are already gone).
+     * Appends a completed result, blocking while the queue is at
+     * capacity until a consumer pops or close() is called. Results
+     * pushed after close() are dropped with a warning (the producer
+     * lost the race against shutdown; consumers are already gone).
+     *
+     * @return Ok, or Closed when the result was dropped
      */
-    void push(RequestResult result);
+    PushResult push(RequestResult result);
+
+    /**
+     * Non-blocking push. On Ok the result is moved from; on Full it
+     * is left untouched so the caller can retry or fall back to the
+     * blocking push(); on Closed it is dropped with a warning.
+     */
+    PushResult tryPush(RequestResult &&result);
 
     /**
      * Blocks until a result is available or the queue is closed.
@@ -64,21 +89,33 @@ class ResultQueue
     /** Results currently queued. */
     Index size() const;
 
+    /** Configured capacity (0 = unbounded). */
+    Index capacity() const { return capacity_; }
+
     /** Whether close() has been called. */
     bool closed() const;
 
     /**
      * Closes the queue: blocked and future pops return the remaining
-     * results, then std::nullopt. Idempotent.
+     * results, then std::nullopt; blocked and future pushes drop
+     * their result and report Closed. Idempotent.
      */
     void close();
 
   private:
+    bool fullLocked() const
+    {
+        return capacity_ != 0 && items_.size() >= capacity_;
+    }
+
     std::optional<RequestResult> popLocked(
         std::unique_lock<std::mutex> &lock);
+    PushResult dropClosedLocked(const RequestResult &result);
 
+    const Index capacity_;
     mutable std::mutex mutex_;
-    std::condition_variable cv_;
+    std::condition_variable readyCv_; //!< signalled on push and close
+    std::condition_variable spaceCv_; //!< signalled on pop and close
     std::deque<RequestResult> items_;
     bool closed_ = false;
 };

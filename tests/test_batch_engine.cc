@@ -1,19 +1,23 @@
 /**
  * @file
  * Tests for the batched serving engine: batched-vs-sequential
- * bit-identity under threading and priority scheduling, per-request
- * state isolation, mixed request scheduling, async submit/complete
- * delivery (tickets, callback, result queue), priority-inversion
- * regression and ConMerge accounting.
+ * bit-identity under threading, priority scheduling, admission
+ * control and cancellation; per-request state isolation; mixed
+ * request scheduling; async submit/complete delivery (tickets,
+ * callback, result queue); admission policies (class bounds, load
+ * shedding, block-with-timeout); EngineMetrics reconciliation;
+ * priority-inversion regression and ConMerge accounting.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <limits>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "exion/serve/batch_engine.h"
@@ -522,6 +526,501 @@ TEST(BatchEngine, ShutdownDrainsPendingAndClosesQueue)
     ServeRequest late;
     late.benchmark = cfg.benchmark;
     EXPECT_THROW(engine.submit(late), ThreadPoolStopped);
+}
+
+TEST(Ticket, DefaultConstructedIsInert)
+{
+    // Regression: ready()/wait()/cancel() on a default-constructed
+    // ticket were UB on the invalid std::shared_future; they must be
+    // safe no-ops instead.
+    Ticket ticket;
+    EXPECT_FALSE(ticket.valid());
+    EXPECT_FALSE(ticket.ready());
+    ticket.wait(); // must return immediately, not crash or block
+    EXPECT_FALSE(ticket.cancel());
+    EXPECT_EQ(ticket.id(), 0u);
+}
+
+TEST(BatchEngine, UnknownModelRejectedAtSubmitBoundary)
+{
+    // The bad request fails the submitter, not a worker mid-run:
+    // trySubmit reports UnknownModel, submit throws a typed error.
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    BatchEngine engine(opts);
+    engine.addModel(tinyConfig());
+
+    ServeRequest req;
+    req.benchmark = Benchmark::DiT; // not registered
+    req.priority = Priority::High;
+    const SubmitOutcome outcome = engine.trySubmit(req);
+    EXPECT_FALSE(outcome.accepted());
+    EXPECT_EQ(outcome.reason, RejectReason::UnknownModel);
+    EXPECT_FALSE(outcome.ticket.valid());
+    EXPECT_THROW(engine.submit(req), UnknownModelError);
+
+    const EngineMetrics m = engine.snapshot();
+    EXPECT_EQ(m.at(Priority::High).rejectedUnknownModel, 2u);
+    EXPECT_EQ(m.accepted(), 0u);
+}
+
+TEST(BatchEngine, TrySubmitAcceptsAndCompletes)
+{
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 2;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    ServeRequest req;
+    req.benchmark = cfg.benchmark;
+    req.id = 11;
+    const SubmitOutcome outcome = engine.trySubmit(req);
+    ASSERT_TRUE(outcome.accepted());
+    EXPECT_FALSE(outcome.reason.has_value());
+    const RequestResult result = outcome.ticket.get();
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.id, 11u);
+    engine.waitIdle();
+
+    const EngineMetrics m = engine.snapshot();
+    EXPECT_EQ(m.at(Priority::Normal).accepted, 1u);
+    EXPECT_EQ(m.at(Priority::Normal).completed, 1u);
+    EXPECT_EQ(m.rejected(), 0u);
+    EXPECT_EQ(m.queueWaitSamples, 1u);
+}
+
+TEST(BatchEngine, ClassBoundRejectsQueueFull)
+{
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    opts.admission.maxQueuedPerClass = 2;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    engine.pause(); // hold the ready queue still
+    ServeRequest req;
+    req.benchmark = cfg.benchmark;
+    std::vector<Ticket> accepted;
+    for (int i = 0; i < 2; ++i) {
+        const SubmitOutcome outcome = engine.trySubmit(req);
+        ASSERT_TRUE(outcome.accepted()) << "submission " << i;
+        accepted.push_back(outcome.ticket);
+    }
+    const SubmitOutcome refused = engine.trySubmit(req);
+    EXPECT_EQ(refused.reason, RejectReason::QueueFull);
+    // The throwing fast path reports the same decision as a typed
+    // exception carrying the reason.
+    try {
+        engine.submit(req);
+        FAIL() << "submit over the class bound did not throw";
+    } catch (const AdmissionRejected &e) {
+        EXPECT_EQ(e.reason(), RejectReason::QueueFull);
+    }
+
+    engine.resume();
+    engine.waitIdle();
+    for (Ticket &t : accepted)
+        EXPECT_TRUE(t.get().ok());
+
+    const EngineMetrics m = engine.snapshot();
+    EXPECT_EQ(m.at(Priority::Normal).accepted, 2u);
+    EXPECT_EQ(m.at(Priority::Normal).rejectedQueueFull, 2u);
+    EXPECT_EQ(m.at(Priority::Normal).completed, 2u);
+    EXPECT_EQ(m.at(Priority::Normal).peakQueued, 2u);
+    EXPECT_EQ(m.queueDepth(), 0u);
+}
+
+TEST(BatchEngine, OverloadShedsLowWhileHighCompletes)
+{
+    // Acceptance scenario: with a class-bounded queue and saturating
+    // Low-priority offered load, High-priority trySubmit still
+    // accepts and completes, Low is shed with LoadShedLow, and
+    // snapshot() reconciles exactly with the observed outcomes.
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    opts.admission.maxQueuedPerClass = 8;
+    opts.admission.shedThreshold = 4;
+    opts.admission.shedBelow = Priority::Normal;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    std::mutex order_mutex;
+    std::vector<u64> completion_order;
+    engine.setOnComplete([&](const RequestResult &r) {
+        std::lock_guard<std::mutex> lock(order_mutex);
+        completion_order.push_back(r.id);
+    });
+
+    engine.pause(); // make the offered load saturate deterministically
+    u64 low_accepted = 0, low_shed = 0;
+    std::vector<Ticket> low_tickets;
+    for (int i = 0; i < 10; ++i) {
+        ServeRequest low;
+        low.benchmark = cfg.benchmark;
+        low.id = static_cast<u64>(i);
+        low.priority = Priority::Low;
+        low.noiseSeed = 50 + static_cast<u64>(i);
+        const SubmitOutcome outcome = engine.trySubmit(low);
+        if (outcome.accepted()) {
+            ++low_accepted;
+            low_tickets.push_back(outcome.ticket);
+        } else {
+            EXPECT_EQ(outcome.reason, RejectReason::LoadShedLow);
+            ++low_shed;
+        }
+    }
+    // Depth 0..3 admits, then the watermark (4) sheds the rest.
+    EXPECT_EQ(low_accepted, 4u);
+    EXPECT_EQ(low_shed, 6u);
+
+    // High-priority traffic still gets through the saturated queue.
+    ServeRequest high;
+    high.benchmark = cfg.benchmark;
+    high.id = 999;
+    high.priority = Priority::High;
+    const SubmitOutcome high_outcome = engine.trySubmit(high);
+    ASSERT_TRUE(high_outcome.accepted());
+
+    engine.resume();
+    Ticket high_ticket = high_outcome.ticket;
+    EXPECT_TRUE(high_ticket.get().ok());
+    engine.waitIdle();
+
+    // High completed ahead of every queued Low request.
+    ASSERT_EQ(completion_order.size(), low_accepted + 1);
+    EXPECT_EQ(completion_order.front(), 999u);
+
+    // The snapshot reconciles exactly with what the caller observed.
+    const EngineMetrics m = engine.snapshot();
+    const ClassMetrics &low_m = m.at(Priority::Low);
+    EXPECT_EQ(low_m.accepted, low_accepted);
+    EXPECT_EQ(low_m.shed, low_shed);
+    EXPECT_EQ(low_m.rejectedQueueFull, 0u);
+    EXPECT_EQ(low_m.completed, low_accepted);
+    EXPECT_EQ(low_m.cancelled, 0u);
+    EXPECT_EQ(low_m.peakQueued, 4u);
+    EXPECT_EQ(low_m.queued, 0u);
+    const ClassMetrics &high_m = m.at(Priority::High);
+    EXPECT_EQ(high_m.accepted, 1u);
+    EXPECT_EQ(high_m.completed, 1u);
+    EXPECT_EQ(high_m.rejected(), 0u);
+    EXPECT_EQ(m.accepted(), low_accepted + 1);
+    EXPECT_EQ(m.rejected(), low_shed);
+    EXPECT_EQ(m.shed(), low_shed);
+    EXPECT_EQ(m.completed(), m.accepted());
+    EXPECT_EQ(m.queueDepth(), 0u);
+    EXPECT_EQ(m.queueWaitSamples, m.completed());
+    EXPECT_GE(m.queueWaitP99, m.queueWaitP50);
+    for (Ticket &t : low_tickets)
+        EXPECT_TRUE(t.get().ok());
+}
+
+TEST(BatchEngine, BlockModeAdmitsWhenSlotFrees)
+{
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    opts.admission.maxQueuedPerClass = 1;
+    opts.admission.blockTimeoutSeconds = 30.0; // far beyond the stall
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    engine.pause();
+    ServeRequest req;
+    req.benchmark = cfg.benchmark;
+    req.id = 1;
+    ASSERT_TRUE(engine.trySubmit(req).accepted()); // fills the class
+
+    std::atomic<bool> admitted{false};
+    std::thread submitter([&]() {
+        ServeRequest blocked = req;
+        blocked.id = 2;
+        const SubmitOutcome outcome = engine.trySubmit(blocked);
+        EXPECT_TRUE(outcome.accepted());
+        admitted = true;
+    });
+    // The submitter must be blocked while the class is full.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(admitted.load());
+    engine.resume(); // the worker starts request 1, freeing the slot
+    submitter.join();
+    EXPECT_TRUE(admitted.load());
+    engine.waitIdle();
+
+    const EngineMetrics m = engine.snapshot();
+    EXPECT_EQ(m.at(Priority::Normal).accepted, 2u);
+    EXPECT_EQ(m.at(Priority::Normal).completed, 2u);
+    EXPECT_EQ(m.rejected(), 0u);
+}
+
+TEST(BatchEngine, BlockModeTimesOutToQueueFull)
+{
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    opts.admission.maxQueuedPerClass = 1;
+    opts.admission.blockTimeoutSeconds = 0.02;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    engine.pause();
+    ServeRequest req;
+    req.benchmark = cfg.benchmark;
+    ASSERT_TRUE(engine.trySubmit(req).accepted());
+    // No slot ever frees while paused: the wait expires to QueueFull.
+    const SubmitOutcome outcome = engine.trySubmit(req);
+    EXPECT_EQ(outcome.reason, RejectReason::QueueFull);
+    engine.resume();
+    engine.waitIdle();
+
+    const EngineMetrics m = engine.snapshot();
+    EXPECT_EQ(m.at(Priority::Normal).accepted, 1u);
+    EXPECT_EQ(m.at(Priority::Normal).rejectedQueueFull, 1u);
+}
+
+TEST(BatchEngine, CancelDequeuesNotStartedWork)
+{
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    engine.pause();
+    ServeRequest req;
+    req.benchmark = cfg.benchmark;
+    req.id = 1;
+    Ticket keep = engine.submit(req);
+    req.id = 2;
+    Ticket victim = engine.submit(req);
+    EXPECT_EQ(engine.inFlight(), 2u);
+
+    ASSERT_TRUE(victim.cancel());
+    EXPECT_FALSE(victim.cancel()) << "double cancel reported success";
+    EXPECT_EQ(engine.inFlight(), 1u);
+    // The cancelled ticket settles immediately with a marked result.
+    ASSERT_TRUE(victim.ready());
+    const RequestResult cancelled = victim.get();
+    EXPECT_TRUE(cancelled.cancelled);
+    EXPECT_FALSE(cancelled.ok());
+    EXPECT_EQ(cancelled.error, "cancelled");
+    EXPECT_EQ(cancelled.id, 2u);
+
+    engine.resume();
+    engine.waitIdle();
+    EXPECT_TRUE(keep.get().ok());
+    // A completed request is no longer cancellable.
+    EXPECT_FALSE(keep.cancel());
+
+    // Cancelled work never ran: only request 1 reached the queue.
+    auto popped = engine.results().tryPop();
+    ASSERT_TRUE(popped.has_value());
+    EXPECT_EQ(popped->id, 1u);
+    EXPECT_FALSE(engine.results().tryPop().has_value());
+
+    const EngineMetrics m = engine.snapshot();
+    EXPECT_EQ(m.at(Priority::Normal).accepted, 2u);
+    EXPECT_EQ(m.at(Priority::Normal).cancelled, 1u);
+    EXPECT_EQ(m.at(Priority::Normal).completed, 1u);
+    EXPECT_EQ(m.at(Priority::Normal).started, 1u);
+}
+
+TEST(BatchEngine, CancelFreesAdmissionSlot)
+{
+    // A cancellation must release the class-bound slot it held.
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    opts.admission.maxQueuedPerClass = 1;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    engine.pause();
+    ServeRequest req;
+    req.benchmark = cfg.benchmark;
+    Ticket first = engine.submit(req);
+    EXPECT_EQ(engine.trySubmit(req).reason, RejectReason::QueueFull);
+    ASSERT_TRUE(first.cancel());
+    const SubmitOutcome retry = engine.trySubmit(req);
+    EXPECT_TRUE(retry.accepted());
+    engine.resume();
+    engine.waitIdle();
+}
+
+TEST(BatchEngine, DeadlineMissIsCounted)
+{
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    engine.pause();
+    ServeRequest req;
+    req.benchmark = cfg.benchmark;
+    req.priority = Priority::High;
+    req.deadlineSeconds = 1e-4; // will expire during the stall
+    Ticket ticket = engine.submit(req);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    engine.resume();
+    EXPECT_TRUE(ticket.get().ok()); // advisory: the request still runs
+    engine.waitIdle();
+
+    const EngineMetrics m = engine.snapshot();
+    EXPECT_EQ(m.at(Priority::High).deadlineMisses, 1u);
+    EXPECT_EQ(m.deadlineMisses(), 1u);
+}
+
+TEST(BatchEngine, BitIdentityUnderAdmissionAndCancellation)
+{
+    // Admission control and cancellation reorder and remove work;
+    // they must never perturb numerics. A mixed batch submitted
+    // through the admission path alongside cancelled decoys stays
+    // bit-identical to its sequential run at 1, 2 and 8 workers.
+    const ModelConfig cfg = tinyConfig();
+    auto batch = mixedBatch(cfg.benchmark, 8);
+    const Priority classes[] = {Priority::Low, Priority::High,
+                                Priority::Normal, Priority::Critical};
+    for (Index i = 0; i < batch.size(); ++i)
+        batch[i].priority = classes[i % 4];
+
+    std::vector<RequestResult> reference;
+    for (int workers : {1, 2, 8}) {
+        BatchEngine::Options opts;
+        opts.workers = workers;
+        opts.admission.maxQueuedPerClass = 64; // active but generous
+        opts.admission.shedThreshold = 64;
+        BatchEngine engine(opts);
+        engine.addModel(cfg);
+        if (reference.empty())
+            reference = engine.runSequential(batch);
+
+        engine.pause();
+        std::vector<Ticket> tickets;
+        std::vector<Ticket> decoys;
+        for (const ServeRequest &req : batch) {
+            const SubmitOutcome outcome = engine.trySubmit(req);
+            ASSERT_TRUE(outcome.accepted());
+            tickets.push_back(outcome.ticket);
+
+            ServeRequest decoy = req;
+            decoy.id = 1000 + req.id;
+            decoy.noiseSeed = 9999; // would change numerics if run
+            const SubmitOutcome decoy_outcome = engine.trySubmit(decoy);
+            ASSERT_TRUE(decoy_outcome.accepted());
+            decoys.push_back(decoy_outcome.ticket);
+        }
+        for (Ticket &d : decoys)
+            ASSERT_TRUE(d.cancel());
+        engine.resume();
+
+        std::vector<RequestResult> admitted;
+        for (Ticket &t : tickets)
+            admitted.push_back(t.get());
+        expectBitIdentical(reference, admitted);
+        for (Ticket &d : decoys)
+            EXPECT_TRUE(d.get().cancelled);
+        engine.waitIdle();
+
+        const EngineMetrics m = engine.snapshot();
+        EXPECT_EQ(m.accepted(), 2 * batch.size());
+        EXPECT_EQ(m.cancelled(), batch.size());
+        EXPECT_EQ(m.completed(), batch.size());
+    }
+}
+
+TEST(BatchEngine, BoundedResultQueueDeliversEverything)
+{
+    // A results() bound far below the traffic throttles the workers
+    // instead of dropping completions.
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 2;
+    opts.resultQueueCapacity = 2;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    const auto batch = mixedBatch(cfg.benchmark, 8);
+    for (const ServeRequest &req : batch)
+        engine.submit(req);
+
+    std::vector<u64> seen;
+    for (Index i = 0; i < batch.size(); ++i) {
+        auto r = engine.results().pop();
+        ASSERT_TRUE(r.has_value());
+        EXPECT_LE(engine.results().size(), 2u);
+        seen.push_back(r->id);
+    }
+    engine.waitIdle();
+    std::sort(seen.begin(), seen.end());
+    for (Index i = 0; i < batch.size(); ++i)
+        EXPECT_EQ(seen[i], static_cast<u64>(i));
+}
+
+TEST(BatchEngine, RunBatchOverAdmissionBoundFailsCleanly)
+{
+    // Regression: when admission refuses a request mid-batch,
+    // runBatch must drain the already-admitted prefix (no abandoned
+    // work, no lost delivery) before rethrowing — and the engine
+    // stays fully serviceable afterwards.
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    opts.admission.maxQueuedPerClass = 1;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    engine.pause(); // guarantees the second submission hits the bound
+    const auto batch = mixedBatch(cfg.benchmark, 4);
+    std::thread batcher([&]() {
+        EXPECT_THROW(engine.runBatch(batch), AdmissionRejected);
+    });
+    // Wait for the refusal: the admitted prefix (1 request) is in
+    // flight, the thread is draining it, blocked on the paused pool.
+    while (engine.snapshot().rejected() == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    engine.resume();
+    batcher.join();
+    engine.waitIdle();
+
+    const EngineMetrics m = engine.snapshot();
+    EXPECT_EQ(m.accepted(), 1u);
+    EXPECT_EQ(m.completed(), 1u);
+
+    // Still serviceable: a whole batch fits once the queue drains.
+    ServeRequest req;
+    req.benchmark = cfg.benchmark;
+    EXPECT_TRUE(engine.submit(req).get().ok());
+}
+
+TEST(BatchEngine, TrySubmitAfterShutdownReportsStopped)
+{
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+    engine.shutdown();
+
+    ServeRequest req;
+    req.benchmark = cfg.benchmark;
+    const SubmitOutcome outcome = engine.trySubmit(req);
+    EXPECT_EQ(outcome.reason, RejectReason::Stopped);
+    const EngineMetrics m = engine.snapshot();
+    EXPECT_EQ(m.at(Priority::Normal).rejectedStopped, 1u);
+}
+
+TEST(ServeNames, RejectReasonNames)
+{
+    EXPECT_EQ(rejectReasonName(RejectReason::QueueFull), "queue-full");
+    EXPECT_EQ(rejectReasonName(RejectReason::LoadShedLow),
+              "load-shed-low");
+    EXPECT_EQ(rejectReasonName(RejectReason::UnknownModel),
+              "unknown-model");
+    EXPECT_EQ(rejectReasonName(RejectReason::Stopped), "stopped");
 }
 
 TEST(ServeNames, PriorityAndModeNames)

@@ -146,6 +146,9 @@ TEST(BitOps, MaxValueEdgeCases)
 
 TEST(BitOps, CeilDivZeroDenominatorPanics)
 {
+#if !EXION_ASSERTS_ENABLED
+    GTEST_SKIP() << "EXION_ASSERT compiled out (EXION_ASSERTIONS=OFF)";
+#endif
     EXPECT_DEATH(ceilDiv(5, 0), "ceilDiv by zero");
 }
 

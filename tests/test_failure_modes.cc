@@ -21,20 +21,33 @@ namespace
 
 using FailureDeathTest = ::testing::Test;
 
+// These tests need the invariant checks to actually fire; a build
+// configured with EXION_ASSERTIONS=OFF (the Release CI matrix entry)
+// compiles EXION_ASSERT out, so they skip there.
+#if EXION_ASSERTS_ENABLED
+#define REQUIRE_ASSERTS() static_assert(true)
+#else
+#define REQUIRE_ASSERTS()                                                  \
+    GTEST_SKIP() << "EXION_ASSERT compiled out (EXION_ASSERTIONS=OFF)"
+#endif
+
 TEST(FailureDeathTest, MatmulShapeMismatchPanics)
 {
+    REQUIRE_ASSERTS();
     Matrix a(2, 3), b(4, 2);
     EXPECT_DEATH(matmul(a, b), "matmul shape");
 }
 
 TEST(FailureDeathTest, BitmaskOutOfRangePanics)
 {
+    REQUIRE_ASSERTS();
     Bitmask2D mask(4, 4);
     EXPECT_DEATH(mask.set(4, 0, true), "out of range");
 }
 
 TEST(FailureDeathTest, DoubleOccupancyPanics)
 {
+    REQUIRE_ASSERTS();
     // Placing two elements into one DPU cell is a control-map bug the
     // tile must reject.
     MergedTile tile;
@@ -44,6 +57,7 @@ TEST(FailureDeathTest, DoubleOccupancyPanics)
 
 TEST(FailureDeathTest, CvConflictPanics)
 {
+    REQUIRE_ASSERTS();
     // Routing two different source rows over one lane's CV violates
     // the single-slot constraint.
     MergedTile tile;
@@ -54,6 +68,7 @@ TEST(FailureDeathTest, CvConflictPanics)
 
 TEST(FailureDeathTest, CorruptedTileFailsInvariantCheck)
 {
+    REQUIRE_ASSERTS();
     // An element claiming an unregistered origin must be caught.
     MergedTile tile;
     tile.initBase({ColumnEntry{0, 0x0001}});
@@ -63,6 +78,7 @@ TEST(FailureDeathTest, CorruptedTileFailsInvariantCheck)
 
 TEST(FailureDeathTest, SortBufferExhaustionPanics)
 {
+    REQUIRE_ASSERTS();
     SortBuffer buf(1);
     // Fill one entry per class (high-dense through extra) ...
     buf.push(ColumnEntry{0, 0xffff});
@@ -76,6 +92,7 @@ TEST(FailureDeathTest, SortBufferExhaustionPanics)
 
 TEST(FailureDeathTest, SdueRejectsShapeMismatch)
 {
+    REQUIRE_ASSERTS();
     Sdue sdue{DscParams{}};
     MergedTile tile;
     tile.initBase({ColumnEntry{0, 0x0001}});
@@ -87,6 +104,7 @@ TEST(FailureDeathTest, SdueRejectsShapeMismatch)
 
 TEST(FailureDeathTest, SaturatingAddRejectsSillyWidths)
 {
+    REQUIRE_ASSERTS();
     EXPECT_DEATH(saturatingAdd(1, 1, 1), "accumulator width");
 }
 

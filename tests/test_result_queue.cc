@@ -1,12 +1,19 @@
 /**
  * @file
  * Unit tests for the ResultQueue: FIFO delivery, non-blocking /
- * bounded / blocking pops, cross-thread handoff and close semantics.
+ * bounded / blocking pops, cross-thread handoff, close semantics,
+ * bounded-capacity backpressure (tryPush / blocking push), close
+ * while a producer is blocked, and multi-producer/multi-consumer
+ * stress.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <mutex>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -105,6 +112,125 @@ TEST(ResultQueue, CloseIsIdempotent)
     q.close();
     q.close();
     EXPECT_TRUE(q.closed());
+}
+
+TEST(ResultQueue, BoundedCapacityKeepsFifoOrder)
+{
+    ResultQueue q(/*capacity=*/3);
+    EXPECT_EQ(q.capacity(), 3u);
+    for (u64 id = 0; id < 3; ++id)
+        EXPECT_EQ(q.tryPush(makeResult(id)), ResultQueue::PushResult::Ok);
+    EXPECT_EQ(q.tryPush(makeResult(99)), ResultQueue::PushResult::Full);
+    EXPECT_EQ(q.size(), 3u);
+
+    // Draining and refilling interleaved stays FIFO.
+    EXPECT_EQ(q.tryPop()->id, 0u);
+    EXPECT_EQ(q.tryPush(makeResult(3)), ResultQueue::PushResult::Ok);
+    for (u64 id = 1; id <= 3; ++id)
+        EXPECT_EQ(q.tryPop()->id, id);
+    EXPECT_FALSE(q.tryPop().has_value());
+}
+
+TEST(ResultQueue, TryPushOnFullLeavesResultIntact)
+{
+    ResultQueue q(/*capacity=*/1);
+    EXPECT_EQ(q.tryPush(makeResult(1)), ResultQueue::PushResult::Ok);
+    RequestResult spare = makeResult(7);
+    spare.error = "still mine";
+    EXPECT_EQ(q.tryPush(std::move(spare)), ResultQueue::PushResult::Full);
+    // Not moved from: the caller can retry or fall back to push().
+    EXPECT_EQ(spare.id, 7u);
+    EXPECT_EQ(spare.error, "still mine");
+}
+
+TEST(ResultQueue, TryPushOnClosedReportsClosed)
+{
+    ResultQueue q(/*capacity=*/2);
+    q.close();
+    EXPECT_EQ(q.tryPush(makeResult(1)), ResultQueue::PushResult::Closed);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(ResultQueue, BlockingPushWaitsForSpace)
+{
+    ResultQueue q(/*capacity=*/1);
+    EXPECT_EQ(q.push(makeResult(1)), ResultQueue::PushResult::Ok);
+
+    std::atomic<bool> pushed{false};
+    std::thread producer([&]() {
+        EXPECT_EQ(q.push(makeResult(2)), ResultQueue::PushResult::Ok);
+        pushed = true;
+    });
+    // The producer must be blocked while the queue is full.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_FALSE(pushed.load());
+    EXPECT_EQ(q.pop()->id, 1u); // frees the slot
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+    EXPECT_EQ(q.pop()->id, 2u);
+}
+
+TEST(ResultQueue, CloseWakesBlockedPusher)
+{
+    ResultQueue q(/*capacity=*/1);
+    EXPECT_EQ(q.push(makeResult(1)), ResultQueue::PushResult::Ok);
+
+    std::atomic<bool> returned{false};
+    std::thread producer([&]() {
+        // Blocked on the full queue; close() must wake it and the
+        // result is dropped, not enqueued over capacity.
+        EXPECT_EQ(q.push(makeResult(2)), ResultQueue::PushResult::Closed);
+        returned = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_FALSE(returned.load());
+    q.close();
+    producer.join();
+    EXPECT_TRUE(returned.load());
+    // Only the pre-close result remains, then the closed signal.
+    EXPECT_EQ(q.pop()->id, 1u);
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(ResultQueue, MultiProducerMultiConsumerStress)
+{
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 4;
+    constexpr u64 kPerProducer = 64;
+    ResultQueue q(/*capacity=*/8); // far smaller than the traffic
+
+    std::mutex seen_mutex;
+    std::vector<u64> seen;
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c)
+        consumers.emplace_back([&]() {
+            while (auto r = q.pop()) {
+                std::lock_guard<std::mutex> lock(seen_mutex);
+                seen.push_back(r->id);
+            }
+        });
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p)
+        producers.emplace_back([&q, p]() {
+            for (u64 i = 0; i < kPerProducer; ++i) {
+                const u64 id = static_cast<u64>(p) * kPerProducer + i;
+                EXPECT_EQ(q.push(makeResult(id)),
+                          ResultQueue::PushResult::Ok);
+            }
+        });
+
+    for (auto &t : producers)
+        t.join();
+    q.close(); // consumers drain the leftovers, then exit on nullopt
+    for (auto &t : consumers)
+        t.join();
+
+    // Every result delivered exactly once, none lost to the bound.
+    ASSERT_EQ(seen.size(), kProducers * kPerProducer);
+    std::sort(seen.begin(), seen.end());
+    for (u64 id = 0; id < kProducers * kPerProducer; ++id)
+        EXPECT_EQ(seen[id], id);
 }
 
 } // namespace

@@ -266,6 +266,87 @@ TEST(ThreadPool, SubmitFromTaskDuringShutdownFailsViaFuture)
     EXPECT_THROW(outer.get(), ThreadPoolStopped);
 }
 
+TEST(ThreadPool, TracksPerLevelDepths)
+{
+    ThreadPool pool(1);
+    WorkerGate gate(pool);
+
+    EXPECT_EQ(pool.queuedAtLevel(0), 0u);
+    EXPECT_EQ(pool.peakQueuedAtLevel(3), 0u);
+
+    pool.postTagged([]() {}, /*priority=*/0, /*level=*/3);
+    pool.postTagged([]() {}, /*priority=*/0, /*level=*/3);
+    pool.postTagged([]() {}, /*priority=*/0, /*level=*/1);
+    EXPECT_EQ(pool.queuedAtLevel(3), 2u);
+    EXPECT_EQ(pool.queuedAtLevel(1), 1u);
+    EXPECT_EQ(pool.queuedAtLevel(0), 0u);
+    EXPECT_EQ(pool.peakQueuedAtLevel(3), 2u);
+
+    // The bulk query sees the same depths in one lock acquisition.
+    u64 depths[4] = {};
+    pool.queuedAtLevels(4, depths);
+    EXPECT_EQ(depths[0], 0u);
+    EXPECT_EQ(depths[1], 1u);
+    EXPECT_EQ(depths[2], 0u);
+    EXPECT_EQ(depths[3], 2u);
+
+    gate.release();
+    pool.shutdown();
+    // Depths drain to zero; the high-water marks survive.
+    EXPECT_EQ(pool.queuedAtLevel(3), 0u);
+    EXPECT_EQ(pool.queuedAtLevel(1), 0u);
+    EXPECT_EQ(pool.peakQueuedAtLevel(3), 2u);
+    EXPECT_EQ(pool.peakQueuedAtLevel(1), 1u);
+}
+
+TEST(ThreadPool, PlainSubmitLandsOnLevelZero)
+{
+    ThreadPool pool(1);
+    WorkerGate gate(pool);
+    pool.submit([]() {});
+    EXPECT_EQ(pool.queuedAtLevel(0), 1u);
+    gate.release();
+    pool.shutdown();
+    EXPECT_EQ(pool.peakQueuedAtLevel(0), 1u);
+}
+
+TEST(ThreadPool, CancelRemovesQueuedTask)
+{
+    std::atomic<bool> ran{false};
+    ThreadPool pool(1);
+    {
+        WorkerGate gate(pool);
+        const u64 token = pool.postTagged([&ran]() { ran = true; },
+                                          /*priority=*/0, /*level=*/2);
+        EXPECT_EQ(pool.queuedAtLevel(2), 1u);
+        EXPECT_TRUE(pool.cancel(token));
+        EXPECT_EQ(pool.queuedAtLevel(2), 0u);
+        // A second cancel of the same token reports failure.
+        EXPECT_FALSE(pool.cancel(token));
+        gate.release();
+    }
+    pool.shutdown();
+    EXPECT_FALSE(ran.load()) << "cancelled task still ran";
+}
+
+TEST(ThreadPool, CancelStartedOrFinishedTaskFails)
+{
+    ThreadPool pool(1);
+    std::promise<void> entered;
+    std::promise<void> release;
+    const u64 running = pool.postTagged([&]() {
+        entered.set_value();
+        release.get_future().wait();
+    });
+    entered.get_future().wait();
+    // The worker holds the task: it is no longer cancellable.
+    EXPECT_FALSE(pool.cancel(running));
+    release.set_value();
+    pool.shutdown();
+    EXPECT_FALSE(pool.cancel(running));
+    EXPECT_FALSE(pool.cancel(/*token=*/987654));
+}
+
 TEST(ThreadPool, CountsSubmissions)
 {
     ThreadPool pool(2);
