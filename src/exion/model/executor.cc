@@ -40,17 +40,33 @@ execMatmul(const Matrix &a, const Matrix &b, bool quantize)
     return matmulQuant(qa, qb);
 }
 
-namespace
+void
+denseAttentionCoreInto(const TransformerBlock &blk, const Matrix &q,
+                       const Matrix &k, const Matrix &v, Index r0,
+                       Index rows, bool quantize, ExecStats &stats,
+                       Matrix &concat)
 {
+    const Index t = rows;
+    const Index dh = blk.headDim();
+    const float inv_sqrt = static_cast<float>(blk.scoreTemp())
+        / std::sqrt(static_cast<float>(dh));
 
-/** MACs-as-2-ops for an (m x k) * (k x n) MMUL. */
-OpCount
-mmulOps(Index m, Index k, Index n)
-{
-    return static_cast<OpCount>(2) * m * k * n;
+    for (Index h = 0; h < blk.nHeads(); ++h) {
+        const Matrix qh = sliceBlock(q, r0, t, h * dh, dh);
+        const Matrix kh = sliceBlock(k, r0, t, h * dh, dh);
+        const Matrix vh = sliceBlock(v, r0, t, h * dh, dh);
+
+        Matrix scores = scale(matmulTransposed(qh, kh), inv_sqrt);
+        const Matrix probs = softmax(scores);
+        const Matrix out_h = execMatmul(probs, vh, quantize);
+        for (Index r = 0; r < t; ++r)
+            for (Index c = 0; c < dh; ++c)
+                concat(r0 + r, h * dh + c) = out_h(r, c);
+
+        stats.attnOpsDense += mmulOps(t, dh, t) + mmulOps(t, t, dh);
+        stats.attnOpsExecuted += mmulOps(t, dh, t) + mmulOps(t, t, dh);
+    }
 }
-
-} // namespace
 
 Matrix
 denseAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
@@ -60,9 +76,6 @@ denseAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
     (void)observers;
     const Index t = x_norm.rows();
     const Index d = blk.dModel();
-    const Index dh = blk.headDim();
-    const float inv_sqrt = static_cast<float>(blk.scoreTemp())
-        / std::sqrt(static_cast<float>(dh));
 
     Matrix q = execMatmul(x_norm, blk.wq().weight(), quantize);
     addRowVector(q, blk.wq().bias());
@@ -78,21 +91,8 @@ denseAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
     stats.vColsTotal += t;
 
     Matrix concat(t, d);
-    for (Index h = 0; h < blk.nHeads(); ++h) {
-        const Matrix qh = sliceCols(q, h * dh, dh);
-        const Matrix kh = sliceCols(k, h * dh, dh);
-        const Matrix vh = sliceCols(v, h * dh, dh);
-
-        Matrix scores = scale(matmulTransposed(qh, kh), inv_sqrt);
-        const Matrix probs = softmax(scores);
-        const Matrix out_h = execMatmul(probs, vh, quantize);
-        for (Index r = 0; r < t; ++r)
-            for (Index c = 0; c < dh; ++c)
-                concat(r, h * dh + c) = out_h(r, c);
-
-        stats.attnOpsDense += mmulOps(t, dh, t) + mmulOps(t, t, dh);
-        stats.attnOpsExecuted += mmulOps(t, dh, t) + mmulOps(t, t, dh);
-    }
+    denseAttentionCoreInto(blk, q, k, v, 0, t, quantize, stats,
+                           concat);
 
     Matrix out = execMatmul(concat, blk.wo().weight(), quantize);
     addRowVector(out, blk.wo().bias());

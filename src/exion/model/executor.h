@@ -14,6 +14,7 @@
 #define EXION_MODEL_EXECUTOR_H_
 
 #include <functional>
+#include <vector>
 
 #include "exion/tensor/bitmask.h"
 #include "exion/tensor/matrix.h"
@@ -214,8 +215,44 @@ class DenseExecutor : public BlockExecutor
     bool quantize_;
 };
 
+/**
+ * Executor interface for cohort (stacked multi-request) stepping.
+ *
+ * A cohort executor computes a block whose activation matrix carries
+ * one row-segment per cohort member, stacked in slot order. Before
+ * every network forward the driver (CohortRun) announces the stacked
+ * order and each member's denoising iteration; implementations keep
+ * all mutable state — op accounting, sparsity masks, inter-iteration
+ * caches — partitioned per slot so every member's rows are
+ * bit-identical to a solo run of that member.
+ */
+class CohortBlockExecutor : public BlockExecutor
+{
+  public:
+    /**
+     * Announces the stacked segment order for the next forward.
+     *
+     * @param slots      member slot ids, one per stacked segment
+     * @param iterations each member's current denoising iteration
+     */
+    virtual void beginCohortStep(const std::vector<Index> &slots,
+                                 const std::vector<int> &iterations) = 0;
+};
+
 /** A*B with optional INT12 operand quantisation. */
 Matrix execMatmul(const Matrix &a, const Matrix &b, bool quantize);
+
+/**
+ * MACs-as-2-ops for an (m x k) * (k x n) MMUL — the paper's TOPS
+ * convention. The single accounting formula every executor path
+ * (dense, EP, FFN-Reuse, cohort) shares, so their ExecStats stay
+ * comparable element for element.
+ */
+constexpr OpCount
+mmulOps(Index m, Index k, Index n)
+{
+    return static_cast<OpCount>(2) * m * k * n;
+}
 
 /**
  * Dense multi-head attention implementation shared by executors.
@@ -226,6 +263,22 @@ Matrix execMatmul(const Matrix &a, const Matrix &b, bool quantize);
 Matrix denseAttentionImpl(const TransformerBlock &blk,
                           const Matrix &x_norm, bool quantize,
                           ExecStats &stats, ExecObservers &observers);
+
+/**
+ * Per-head score/softmax/AV core of dense attention on rows
+ * [r0, r0+rows) of projected q/k/v, writing the concatenated head
+ * outputs (pre output-projection) into the same rows of concat and
+ * accumulating the per-head attn op counts. Split out — and
+ * row-ranged — so cohort executors can run the token-mixing core per
+ * member segment of one tall projection GEMM without slicing or
+ * re-pasting activations; with r0 = 0 and rows = q.rows() it is the
+ * solo dense path.
+ */
+void denseAttentionCoreInto(const TransformerBlock &blk,
+                            const Matrix &q, const Matrix &k,
+                            const Matrix &v, Index r0, Index rows,
+                            bool quantize, ExecStats &stats,
+                            Matrix &concat);
 
 /** Dense FFN implementation shared by executors. */
 Matrix denseFfnImpl(const TransformerBlock &blk, const Matrix &x_norm,

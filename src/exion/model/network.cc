@@ -75,10 +75,40 @@ DenoisingNetwork::forward(const Matrix &x, int timestep,
     EXION_ASSERT(x.rows() == cfg_.latentTokens
                      && x.cols() == cfg_.latentDim,
                  "latent shape (", x.rows(), ",", x.cols(), ") vs config");
+    return forwardImpl(x, &timestep, /*segments=*/1, exec);
+}
 
+Matrix
+DenoisingNetwork::forward(const Matrix &x,
+                          const std::vector<int> &timesteps,
+                          CohortBlockExecutor &exec) const
+{
+    const Index segments = timesteps.size();
+    EXION_ASSERT(segments > 0, "cohort forward needs >= 1 segment");
+    EXION_ASSERT(x.rows() == segments * cfg_.latentTokens
+                     && x.cols() == cfg_.latentDim,
+                 "stacked latent shape (", x.rows(), ",", x.cols(),
+                 ") vs ", segments, " segments of config");
+    return forwardImpl(x, timesteps.data(), segments, exec);
+}
+
+Matrix
+DenoisingNetwork::forwardImpl(const Matrix &x, const int *timesteps,
+                              Index segments, BlockExecutor &exec) const
+{
     Matrix h = inProj_.forward(x);
     addRowVector(h, condEmbed_);
-    const Matrix t_emb = timestepEmbedding(timestep, kTimeEmbedDim);
+
+    // Per-segment timestep embeddings. Cohort members usually step in
+    // lockstep, so consecutive equal timesteps share one embedding —
+    // bit-identical to recomputing it (the function is
+    // deterministic), but computed once per distinct value.
+    std::vector<Matrix> t_embs(segments);
+    for (Index m = 0; m < segments; ++m) {
+        t_embs[m] = m > 0 && timesteps[m] == timesteps[m - 1]
+            ? t_embs[m - 1]
+            : timestepEmbedding(timesteps[m], kTimeEmbedDim);
+    }
 
     const bool unet = cfg_.type != NetworkType::TransformerOnly
         && stages_.size() >= 3;
@@ -95,7 +125,13 @@ DenoisingNetwork::forward(const Matrix &x, int timestep,
         if (want < cur_tokens) {
             if (unet)
                 skips.push_back(h);
-            h = poolTokens(h, cur_tokens / want);
+            const Index factor = cur_tokens / want;
+            // Pool groups must not straddle segment boundaries, or a
+            // stacked pool would mix members' tokens.
+            EXION_ASSERT(cur_tokens % factor == 0,
+                         "pool factor ", factor, " straddles segments "
+                         "of ", cur_tokens, " tokens");
+            h = poolTokens(h, factor);
         } else if (want > cur_tokens) {
             h = upsampleTokens(h, want / cur_tokens);
         }
@@ -112,8 +148,14 @@ DenoisingNetwork::forward(const Matrix &x, int timestep,
             }
         }
 
-        Matrix t_proj = stage.timeProj.forward(t_emb);
-        addRowVector(h, t_proj);
+        // Time conditioning per segment; lockstep members share one
+        // projection (amortised weight traversal, identical bits).
+        Matrix t_proj;
+        for (Index m = 0; m < segments; ++m) {
+            if (m == 0 || timesteps[m] != timesteps[m - 1])
+                t_proj = stage.timeProj.forward(t_embs[m]);
+            addRowVectorToRows(h, t_proj, m * cur_tokens, cur_tokens);
+        }
 
         for (const auto &res : stage.resBlocks)
             h = res.forward(h);

@@ -47,6 +47,24 @@ class DenoisingNetwork
     Matrix forward(const Matrix &x, int timestep,
                    BlockExecutor &exec) const;
 
+    /**
+     * Cohort forward: predicts noise for a stack of latents in one
+     * pass over the weights.
+     *
+     * x carries timesteps.size() row-segments of latentTokens rows
+     * each, one per cohort member, and timesteps[m] conditions
+     * segment m — members may sit at different denoising iterations.
+     * All row-independent layers (projections, norms, FFN linears,
+     * pooling) run on the tall matrix directly; token-mixing
+     * (attention) and per-request sparsity state are the executor's
+     * responsibility — the parameter type requires a segment-aware
+     * executor, because a plain BlockExecutor would silently attend
+     * across member boundaries. Every output row-segment is
+     * bit-identical to a solo forward() of that segment.
+     */
+    Matrix forward(const Matrix &x, const std::vector<int> &timesteps,
+                   CohortBlockExecutor &exec) const;
+
     /** Model configuration. */
     const ModelConfig &config() const { return cfg_; }
 
@@ -57,6 +75,9 @@ class DenoisingNetwork
     const TransformerBlock &block(Index i) const { return *blockPtrs_[i]; }
 
   private:
+    Matrix forwardImpl(const Matrix &x, const int *timesteps,
+                       Index segments, BlockExecutor &exec) const;
+
     struct Stage
     {
         StageConfig cfg;

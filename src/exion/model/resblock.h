@@ -26,7 +26,13 @@ class ResBlock
     /** d x d block with random weights from rng. */
     ResBlock(Index d_model, Rng &rng);
 
-    /** Applies the block to x (tokens x d_model). */
+    /**
+     * Applies the block to x (tokens x d_model). Every op here
+     * (norm, channel-mixing linears, GELU, residual) is
+     * row-independent, so a cohort stack of several members' tokens
+     * passes through unchanged — each member's rows equal a solo
+     * forward bit for bit.
+     */
     Matrix forward(const Matrix &x) const;
 
     /** Channel width. */

@@ -71,4 +71,40 @@ DdimScheduler::step(const Matrix &x_t, const Matrix &eps_hat, int i) const
     return add(scale(x0, sqrt_ab_next), scale(eps_hat, sqrt_1m_ab_next));
 }
 
+void
+DdimScheduler::stepRowsInPlace(Matrix &x, const Matrix &eps_hat, int i,
+                               Index r0, Index rows) const
+{
+    EXION_ASSERT(x.rows() == eps_hat.rows()
+                     && x.cols() == eps_hat.cols()
+                     && r0 + rows <= x.rows(),
+                 "stepRowsInPlace shape/range mismatch");
+    const int t = timestep(i);
+    const bool last = (i + 1 >= inferenceSteps());
+    const double ab_t = alphaBar(t);
+    const double ab_next = last ? 1.0 : alphaBar(timestep(i + 1));
+
+    const float sqrt_ab_t = static_cast<float>(std::sqrt(ab_t));
+    const float sqrt_1m_ab_t =
+        static_cast<float>(std::sqrt(1.0 - ab_t));
+    const float sqrt_ab_next = static_cast<float>(std::sqrt(ab_next));
+    const float sqrt_1m_ab_next =
+        static_cast<float>(std::sqrt(1.0 - ab_next));
+    // The same float operation sequence as step(): eps*s, subtract,
+    // multiply by the precomputed reciprocal, then the two scaled
+    // terms added — fused per element, allocation-free.
+    const float inv_sqrt_ab_t = 1.0f / sqrt_ab_t;
+
+    for (Index r = r0; r < r0 + rows; ++r) {
+        float *xrow = x.rowPtr(r);
+        const float *erow = eps_hat.rowPtr(r);
+        for (Index c = 0; c < x.cols(); ++c) {
+            const float e = erow[c];
+            const float x0 = (xrow[c] - e * sqrt_1m_ab_t)
+                * inv_sqrt_ab_t;
+            xrow[c] = x0 * sqrt_ab_next + e * sqrt_1m_ab_next;
+        }
+    }
+}
+
 } // namespace exion

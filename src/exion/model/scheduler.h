@@ -45,6 +45,17 @@ class DdimScheduler
      */
     Matrix step(const Matrix &x_t, const Matrix &eps_hat, int i) const;
 
+    /**
+     * In-place reverse step on rows [r0, r0+rows) of a stacked
+     * latent, reading the same rows of eps_hat. The per-element
+     * arithmetic is identical to step(), so stepping one member's
+     * row-segment of a cohort stack is bit-identical to step() on
+     * that member's solo latent — without materialising the five
+     * temporaries step() allocates.
+     */
+    void stepRowsInPlace(Matrix &x, const Matrix &eps_hat, int i,
+                         Index r0, Index rows) const;
+
     /** Cumulative alpha-bar at a training timestep. */
     double alphaBar(int t) const;
 

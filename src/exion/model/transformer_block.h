@@ -33,7 +33,14 @@ class TransformerBlock
                      Index ffn_mult, bool geglu, Rng &rng,
                      double score_temp = 1.0);
 
-    /** Runs the block on x (tokens x d_model) via the executor. */
+    /**
+     * Runs the block on x (tokens x d_model) via the executor.
+     *
+     * x may also be a cohort stack (members x tokens rows): the
+     * norms and residual adds here are row-independent, and a
+     * segment-aware executor keeps the token-mixing sub-layers
+     * per-member, so each member's rows equal a solo forward.
+     */
     Matrix forward(const Matrix &x, BlockExecutor &exec) const;
 
     /** Unique block index. */

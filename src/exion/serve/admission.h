@@ -58,15 +58,22 @@ class UnknownModelError : public std::invalid_argument
 class AdmissionRejected : public std::runtime_error
 {
   public:
-    AdmissionRejected(RejectReason reason, const std::string &what)
-        : std::runtime_error(what), reason_(reason)
+    AdmissionRejected(RejectReason reason, const std::string &what,
+                      double suggested_backoff_seconds = 0.0)
+        : std::runtime_error(what), reason_(reason),
+          suggestedBackoff_(suggested_backoff_seconds)
     {
     }
 
     RejectReason reason() const { return reason_; }
 
+    /** Retry-after hint, seconds (see
+        SubmitOutcome::suggestedBackoffSeconds). */
+    double suggestedBackoffSeconds() const { return suggestedBackoff_; }
+
   private:
     RejectReason reason_;
+    double suggestedBackoff_ = 0.0;
 };
 
 /**

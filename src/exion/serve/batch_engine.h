@@ -26,6 +26,7 @@
 #ifndef EXION_SERVE_BATCH_ENGINE_H_
 #define EXION_SERVE_BATCH_ENGINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <functional>
@@ -107,14 +108,19 @@ class Ticket
     RequestResult get() const { return future_.get(); }
 
     /**
-     * Best-effort cancellation: dequeues the request if no worker has
-     * started it, settling the ticket with a result marked
-     * `cancelled` (error = "cancelled"; the completion callback and
-     * the result queue are not fed — the request never ran).
+     * Best-effort cancellation. A request no worker has started yet
+     * is dequeued and its ticket settles immediately with a result
+     * marked `cancelled` (error = "cancelled"; the completion
+     * callback and the result queue are not fed — the request never
+     * ran). A request that already started is cancelled
+     * cooperatively: the executing worker (or its cohort leader)
+     * polls the flag at every iteration boundary and stops the run at
+     * the next one, settling the ticket with a `cancelled` result; a
+     * request past its last boundary completes normally.
      *
-     * @return true when the request was dequeued; false when it
-     *         already started, already completed, was already
-     *         cancelled, or the ticket is invalid
+     * @return true when the request was dequeued or the running
+     *         request was signalled; false when it already completed,
+     *         was already cancelled, or the ticket is invalid
      */
     bool cancel();
 
@@ -134,7 +140,8 @@ class Ticket
 
 /**
  * Result of a trySubmit(): an accepted request carries a valid
- * Ticket; a refused one carries the RejectReason instead.
+ * Ticket; a refused one carries the RejectReason instead, plus a
+ * retry-after hint for load-driven refusals.
  */
 struct SubmitOutcome
 {
@@ -142,6 +149,16 @@ struct SubmitOutcome
     Ticket ticket;
     /** Set iff the request was refused. */
     std::optional<RejectReason> reason;
+    /**
+     * Retry-after hint on QueueFull / LoadShedLow refusals, in
+     * seconds: derived from the class's median queue wait over the
+     * recent window (how long a ready slot typically takes to free),
+     * clamped to a sane range, so callers back off proportionally to
+     * actual congestion instead of hammering a fixed interval in a
+     * thundering herd. 0 when accepted or refused for a non-load
+     * reason (UnknownModel / Stopped).
+     */
+    double suggestedBackoffSeconds = 0.0;
 
     bool accepted() const { return !reason.has_value(); }
 };
@@ -196,6 +213,40 @@ class BatchEngine
          * admits everything.
          */
         AdmissionConfig admission;
+        /**
+         * Cohort batching: when a worker starts a request, it pulls
+         * queued requests with the same (benchmark, mode, quantize)
+         * out of the ready queue — at start and again at every
+         * iteration boundary — and steps them together with their
+         * latents stacked into one tall matrix per iteration, so the
+         * MMULs traverse each weight matrix once per cohort instead
+         * of once per request. Results stay bit-identical to solo
+         * runs (per-request sparsity state and accounting are row-
+         * partitioned); admission and priority semantics are
+         * unchanged — the pool still starts the highest-priority
+         * ready request, which therefore leads the cohort, later
+         * joiners attach at the next iteration boundary, and a
+         * cohort only ever absorbs requests the scheduler would have
+         * started next anyway (a queued non-matching request that
+         * ranks ahead stops the refill, so sustained same-key load
+         * cannot starve it). Off by default.
+         */
+        bool cohortBatching = false;
+        /**
+         * Most requests stepping together in one cohort (>= 1).
+         * Bounds how long one worker is tied up per iteration — the
+         * latency cost a queued non-matching request can see.
+         */
+        Index cohortMaxRows = 8;
+        /**
+         * How long a cohort leader with spare rows lingers before its
+         * first step, waiting for same-key submissions to arrive
+         * (0 = start immediately). Boundary absorption usually makes
+         * the window unnecessary — joiners attach while the cohort
+         * runs — but a window helps when requests arrive in bursts
+         * slightly slower than one iteration.
+         */
+        double cohortWindowSeconds = 0.0;
     };
 
     /** Invoked on a worker thread as each request completes. */
@@ -284,14 +335,15 @@ class BatchEngine
 
     /**
      * Pauses scheduling: workers finish their current request, then
-     * idle; submissions still queue up. Lets a burst of submissions
-     * be ordered purely by priority before any of them starts.
-     * shutdown() overrides a pause and drains.
+     * idle, and running cohort leaders stop absorbing queued
+     * requests; submissions still queue up. Lets a burst of
+     * submissions be ordered purely by priority before any of them
+     * starts. shutdown() overrides a pause and drains.
      */
-    void pause() { pool_.pause(); }
+    void pause();
 
     /** Resumes scheduling after pause(). */
-    void resume() { pool_.resume(); }
+    void resume();
 
     /** Requests admitted but not yet completed or cancelled. */
     u64 inFlight() const;
@@ -339,14 +391,42 @@ class BatchEngine
   private:
     friend class Ticket;
 
-    /** Cancellation bookkeeping of one admitted-but-unstarted
-        request. */
+    /**
+     * Bookkeeping of one admitted-but-unstarted request: enough for
+     * Ticket::cancel() to dequeue it, and for a cohort leader to
+     * absorb it out of the ready queue and run it itself.
+     */
     struct Pending
     {
         std::shared_ptr<std::promise<RequestResult>> promise;
-        u64 requestId = 0;
+        ServeRequest req;
         Priority cls = Priority::Normal;
         u64 poolToken = 0;
+        i64 poolPrio = 0;
+        bool toQueue = true;
+        std::chrono::steady_clock::time_point enqueued;
+        /**
+         * Created at submission and carried into execution, so a
+         * cancel() racing the worker's dequeue (pool cancel fails,
+         * worker hasn't registered in running_ yet) can still signal
+         * the run cooperatively instead of being dropped.
+         */
+        std::shared_ptr<std::atomic<bool>> cancelFlag;
+    };
+
+    /** One request a cohort leader is stepping (or about to). */
+    struct CohortMember
+    {
+        ServeRequest req;
+        std::shared_ptr<std::promise<RequestResult>> promise;
+        std::chrono::steady_clock::time_point enqueued;
+        bool toQueue = true;
+        u64 ticketId = 0;
+        std::shared_ptr<std::atomic<bool>> cancelFlag;
+        std::chrono::steady_clock::time_point startedAt;
+        Index slot = 0;
+        std::unique_ptr<RequestContext> ctx;
+        bool delivered = false;
     };
 
     /**
@@ -359,10 +439,34 @@ class BatchEngine
     /** Ready depth of each class, from the pool's level accounting. */
     ClassDepths readyDepths() const;
 
+    /** Retry-after hint for a load-driven refusal of class cls. */
+    double suggestedBackoff(Priority cls) const;
+
     SubmitOutcome submitOutcome(const ServeRequest &req, bool to_queue);
     Ticket submitImpl(const ServeRequest &req, bool to_queue);
     bool cancelTicket(u64 ticket_id);
-    RequestResult runOne(const ServeRequest &req) const;
+    RequestResult runOne(const ServeRequest &req,
+                         const std::atomic<bool> *cancel) const;
+
+    /**
+     * Delivers one finished request: completion callback, results()
+     * (both skipped for cancelled requests, which have no valid
+     * output), the ticket promise, metrics and in-flight accounting.
+     */
+    void deliver(const CohortMember &member, RequestResult result,
+                 std::exception_ptr failure);
+
+    /**
+     * Pulls up to max_take queued requests compatible with key out of
+     * the ready queue (highest pool priority first), marking them
+     * started. Compatible = same benchmark, mode and quantize flag.
+     */
+    std::vector<CohortMember> absorbCohortPeers(const ServeRequest &key,
+                                                Index max_take);
+
+    /** Leads a cohort seeded with first; returns when all members
+        it ever absorbed are delivered. */
+    void runCohort(CohortMember first);
 
     const std::chrono::steady_clock::time_point epoch_ =
         std::chrono::steady_clock::now();
@@ -379,11 +483,18 @@ class BatchEngine
         request, a cancellation, or shutdown) for block-mode
         admission waits. */
     std::condition_variable admissionCv_;
+    /** Signalled on every accepted submission, for cohort leaders
+        lingering in their formation window. */
+    std::condition_variable cohortCv_;
     CompletionCallback onComplete_;
     std::map<u64, Pending> pending_;
+    /** Cancel flags of started (running) requests, by ticket id. */
+    std::map<u64, std::shared_ptr<std::atomic<bool>>> running_;
     u64 nextTicket_ = 1;
     u64 inFlight_ = 0;
     bool stopped_ = false;
+    /** Mirrors pool_.pause() so cohort leaders stop absorbing. */
+    bool paused_ = false;
 
     /**
      * Last member: destroyed (and therefore drained) first, while the

@@ -1,6 +1,8 @@
 #include "exion/serve/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <sstream>
 
 namespace exion
 {
@@ -59,6 +61,9 @@ MetricsCollector::onStarted(Priority p, double waitSeconds)
     ++counters_[classIndex(p)].started;
     waits_[waitCount_ % kWaitWindow] = waitSeconds;
     ++waitCount_;
+    ClassWaits &cw = classWaits_[classIndex(p)];
+    cw.ring[cw.count % kClassWaitWindow] = waitSeconds;
+    ++cw.count;
 }
 
 void
@@ -86,6 +91,7 @@ MetricsCollector::snapshot() const
 {
     EngineMetrics m;
     std::vector<double> waits;
+    std::array<std::vector<double>, kNumPriorityClasses> class_waits;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         m.perClass = counters_;
@@ -93,11 +99,146 @@ MetricsCollector::snapshot() const
             std::min<u64>(waitCount_, kWaitWindow));
         waits.assign(waits_.begin(), waits_.begin() + n);
         m.queueWaitSamples = n;
+        for (int c = 0; c < kNumPriorityClasses; ++c) {
+            const ClassWaits &cw = classWaits_[c];
+            const Index cn = static_cast<Index>(
+                std::min<u64>(cw.count, kClassWaitWindow));
+            class_waits[c].assign(cw.ring.begin(),
+                                  cw.ring.begin() + cn);
+            m.perClass[c].queueWaitSamples = cn;
+        }
     }
     std::sort(waits.begin(), waits.end());
     m.queueWaitP50 = percentileOfSorted(waits, 50.0);
     m.queueWaitP99 = percentileOfSorted(waits, 99.0);
+    for (int c = 0; c < kNumPriorityClasses; ++c) {
+        std::sort(class_waits[c].begin(), class_waits[c].end());
+        m.perClass[c].queueWaitP50 =
+            percentileOfSorted(class_waits[c], 50.0);
+    }
     return m;
+}
+
+double
+MetricsCollector::classQueueWaitP50(Priority p) const
+{
+    std::vector<double> waits;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const ClassWaits &cw = classWaits_[classIndex(p)];
+        const Index n = static_cast<Index>(
+            std::min<u64>(cw.count, kClassWaitWindow));
+        waits.assign(cw.ring.begin(), cw.ring.begin() + n);
+    }
+    if (waits.empty())
+        return 0.0;
+    // This runs once per load-driven rejection — the overload hot
+    // path — so select the two order statistics the interpolated
+    // median needs instead of fully sorting the window.
+    const double rank = 0.5 * static_cast<double>(waits.size() - 1);
+    const Index lo = static_cast<Index>(rank);
+    const Index hi = std::min(lo + 1, waits.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    std::nth_element(waits.begin(), waits.begin() + lo, waits.end());
+    const double v_lo = waits[lo];
+    const double v_hi = hi == lo
+        ? v_lo
+        : *std::min_element(waits.begin() + lo + 1, waits.end());
+    return v_lo * (1.0 - frac) + v_hi * frac;
+}
+
+namespace
+{
+
+/** %g rendering shared with common Prometheus client libraries. */
+std::string
+promValue(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+/** One counter family: HELP/TYPE header plus a sample per class. */
+void
+emitClassFamily(std::ostringstream &out, const char *name,
+                const char *help, const char *type,
+                const std::array<ClassMetrics, kNumPriorityClasses> &per,
+                u64 ClassMetrics::*field)
+{
+    out << "# HELP " << name << " " << help << "\n";
+    out << "# TYPE " << name << " " << type << "\n";
+    for (int c = 0; c < kNumPriorityClasses; ++c) {
+        out << name << "{class=\""
+            << priorityName(static_cast<Priority>(c)) << "\"} "
+            << per[c].*field << "\n";
+    }
+}
+
+} // namespace
+
+std::string
+EngineMetrics::toPrometheusText() const
+{
+    std::ostringstream out;
+    emitClassFamily(out, "exion_serve_accepted_total",
+                    "Requests admitted into the ready queue.",
+                    "counter", perClass, &ClassMetrics::accepted);
+    emitClassFamily(out, "exion_serve_rejected_queue_full_total",
+                    "Requests refused because their class was at its "
+                    "ready-depth bound.",
+                    "counter", perClass,
+                    &ClassMetrics::rejectedQueueFull);
+    emitClassFamily(out, "exion_serve_shed_total",
+                    "Requests refused by load shedding.", "counter",
+                    perClass, &ClassMetrics::shed);
+    emitClassFamily(out, "exion_serve_rejected_unknown_model_total",
+                    "Requests naming an unregistered model.", "counter",
+                    perClass, &ClassMetrics::rejectedUnknownModel);
+    emitClassFamily(out, "exion_serve_rejected_stopped_total",
+                    "Requests refused after shutdown began.", "counter",
+                    perClass, &ClassMetrics::rejectedStopped);
+    emitClassFamily(out, "exion_serve_started_total",
+                    "Requests picked up by a worker.", "counter",
+                    perClass, &ClassMetrics::started);
+    emitClassFamily(out, "exion_serve_completed_total",
+                    "Requests finished (success or failure).",
+                    "counter", perClass, &ClassMetrics::completed);
+    emitClassFamily(out, "exion_serve_failed_total",
+                    "Requests completed with an error.", "counter",
+                    perClass, &ClassMetrics::failed);
+    emitClassFamily(out, "exion_serve_cancelled_total",
+                    "Requests cancelled before or during execution.",
+                    "counter", perClass, &ClassMetrics::cancelled);
+    emitClassFamily(out, "exion_serve_deadline_misses_total",
+                    "Requests completed after their deadline.",
+                    "counter", perClass, &ClassMetrics::deadlineMisses);
+    emitClassFamily(out, "exion_serve_ready_queue_depth",
+                    "Ready (queued, not started) requests.", "gauge",
+                    perClass, &ClassMetrics::queued);
+    emitClassFamily(out, "exion_serve_ready_queue_depth_peak",
+                    "High-water ready-queue depth.", "gauge", perClass,
+                    &ClassMetrics::peakQueued);
+
+    out << "# HELP exion_serve_queue_wait_seconds Queue wait from "
+           "acceptance to worker start, over the recent window.\n";
+    out << "# TYPE exion_serve_queue_wait_seconds summary\n";
+    out << "exion_serve_queue_wait_seconds{quantile=\"0.5\"} "
+        << promValue(queueWaitP50) << "\n";
+    out << "exion_serve_queue_wait_seconds{quantile=\"0.99\"} "
+        << promValue(queueWaitP99) << "\n";
+    out << "exion_serve_queue_wait_seconds_count " << queueWaitSamples
+        << "\n";
+
+    out << "# HELP exion_serve_class_queue_wait_p50_seconds Median "
+           "queue wait per class over its recent window.\n";
+    out << "# TYPE exion_serve_class_queue_wait_p50_seconds gauge\n";
+    for (int c = 0; c < kNumPriorityClasses; ++c) {
+        out << "exion_serve_class_queue_wait_p50_seconds{class=\""
+            << priorityName(static_cast<Priority>(c)) << "\"} "
+            << promValue(perClass[c].queueWaitP50) << "\n";
+    }
+    return out.str();
 }
 
 } // namespace exion

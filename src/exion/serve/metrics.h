@@ -18,6 +18,7 @@
 
 #include <array>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "exion/serve/admission.h"
@@ -41,6 +42,10 @@ struct ClassMetrics
     u64 deadlineMisses = 0; //!< completed after its deadline
     u64 queued = 0;         //!< current ready depth (from the pool)
     u64 peakQueued = 0;     //!< high-water ready depth (from the pool)
+    /** Median queue wait of this class over the recent window (s). */
+    double queueWaitP50 = 0.0;
+    /** Waits the class median was computed over (windowed). */
+    u64 queueWaitSamples = 0;
 
     /** All refusals, shedding included. */
     u64 rejected() const
@@ -84,6 +89,15 @@ struct EngineMetrics
     u64 queueDepth() const { return sum(&ClassMetrics::queued); }
     u64 peakQueueDepth() const { return sum(&ClassMetrics::peakQueued); }
 
+    /**
+     * Renders the snapshot as a Prometheus text exposition
+     * (version 0.0.4): per-class lifecycle counters
+     * (`exion_serve_*_total{class="..."}`), ready-depth gauges, and
+     * the queue-wait summary quantiles. Values print with up to six
+     * significant digits (`%g`), matching common exporters.
+     */
+    std::string toPrometheusText() const;
+
   private:
     u64 sum(u64 ClassMetrics::*field) const
     {
@@ -106,6 +120,9 @@ class MetricsCollector
     /** Waits retained for the percentile window. */
     static constexpr Index kWaitWindow = 4096;
 
+    /** Waits retained per class (for the class-median window). */
+    static constexpr Index kClassWaitWindow = 512;
+
     void onAccepted(Priority p);
     void onRejected(Priority p, RejectReason r);
     void onStarted(Priority p, double waitSeconds);
@@ -119,11 +136,26 @@ class MetricsCollector
      */
     EngineMetrics snapshot() const;
 
+    /**
+     * Median queue wait of one class over its retained window, in
+     * seconds (0 with no samples yet). Feeds the retry-after hint on
+     * QueueFull rejections: the class median approximates how long a
+     * ready-queue slot takes to free.
+     */
+    double classQueueWaitP50(Priority p) const;
+
   private:
+    struct ClassWaits
+    {
+        std::array<double, kClassWaitWindow> ring{};
+        u64 count = 0;
+    };
+
     mutable std::mutex mutex_;
     std::array<ClassMetrics, kNumPriorityClasses> counters_{};
     std::array<double, kWaitWindow> waits_{};
     u64 waitCount_ = 0;
+    std::array<ClassWaits, kNumPriorityClasses> classWaits_{};
 };
 
 } // namespace exion

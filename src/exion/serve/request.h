@@ -11,6 +11,7 @@
 #ifndef EXION_SERVE_REQUEST_H_
 #define EXION_SERVE_REQUEST_H_
 
+#include <functional>
 #include <string>
 
 #include "exion/conmerge/pipeline.h"
@@ -89,6 +90,15 @@ struct ServeRequest
      * request that misses its deadline.
      */
     double deadlineSeconds = 0.0;
+    /**
+     * Optional progress hook, fired on a worker thread after each
+     * completed denoising iteration with its 0-based index. Useful
+     * for streaming previews or for cancelling a started request
+     * (Ticket::cancel() from inside the hook stops the run at the
+     * next iteration boundary). Must not block; it runs on the hot
+     * path of the executing worker.
+     */
+    std::function<void(int iteration)> onProgress;
 };
 
 /**

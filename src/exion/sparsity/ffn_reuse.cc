@@ -67,12 +67,6 @@ FfnReuse::run(const TransformerBlock &blk, const Matrix &x_norm,
 namespace
 {
 
-OpCount
-mmulOps(Index m, Index k, Index n)
-{
-    return static_cast<OpCount>(2) * m * k * n;
-}
-
 /** Computes the non-linear hidden activation densely. */
 Matrix
 denseHidden(const TransformerBlock &blk, const Matrix &x_norm,

@@ -49,12 +49,6 @@ SparseExecutor::attention(const TransformerBlock &blk,
 namespace
 {
 
-OpCount
-mmulOps(Index m, Index k, Index n)
-{
-    return static_cast<OpCount>(2) * m * k * n;
-}
-
 /** Row-masked projection: rows with needed == 0 stay zero. */
 Matrix
 projectNeededRows(const Matrix &x, const Linear &proj,
@@ -97,6 +91,15 @@ Matrix
 SparseExecutor::epAttention(const TransformerBlock &blk,
                             const Matrix &x_norm)
 {
+    return epAttentionImpl(blk, x_norm, opt_.ep, opt_.lodMode,
+                           opt_.quantize, stats(), observers);
+}
+
+Matrix
+epAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
+                const EpConfig &ep, LodMode lod_mode, bool quantize,
+                ExecStats &stats, ExecObservers &observers)
+{
     const Index t = x_norm.rows();
     const Index d = blk.dModel();
     const Index dh = blk.headDim();
@@ -114,16 +117,16 @@ SparseExecutor::epAttention(const TransformerBlock &blk,
         const QuantMatrix qwk = QuantMatrix::fromFloat(
             sliceCols(blk.wk().weight(), h * dh, dh), IntWidth::Int12);
         Matrix predicted =
-            predictHeadScore(qx, qwq, qwk, opt_.lodMode);
+            predictHeadScore(qx, qwq, qwk, lod_mode);
         for (Index i = 0; i < predicted.size(); ++i)
             predicted.data()[i] *=
                 static_cast<float>(blk.scoreTemp());
-        HeadDecision dec = decideFromPrediction(predicted, opt_.ep);
+        HeadDecision dec = decideFromPrediction(predicted, ep);
         if (observers.onScoreMask)
             observers.onScoreMask(blk.id(), static_cast<int>(h),
                                   dec.keep);
-        stats().scoreSparsitySum += dec.scoreSparsity();
-        ++stats().scoreSparsitySamples;
+        stats.scoreSparsitySum += dec.scoreSparsity();
+        ++stats.scoreSparsitySamples;
         decisions.push_back(std::move(dec));
     }
     const ProjectionNeeds needs = combineNeeds(decisions, t);
@@ -131,22 +134,22 @@ SparseExecutor::epAttention(const TransformerBlock &blk,
     const Index nq = ProjectionNeeds::countNeeded(needs.qRowNeeded);
     const Index nk = ProjectionNeeds::countNeeded(needs.kRowNeeded);
     const Index nv = ProjectionNeeds::countNeeded(needs.vRowNeeded);
-    stats().qRowsTotal += t;
-    stats().kColsTotal += t;
-    stats().vColsTotal += t;
-    stats().qRowsSkipped += t - nq;
-    stats().kColsSkipped += t - nk;
-    stats().vColsSkipped += t - nv;
+    stats.qRowsTotal += t;
+    stats.kColsTotal += t;
+    stats.vColsTotal += t;
+    stats.qRowsSkipped += t - nq;
+    stats.kColsSkipped += t - nk;
+    stats.vColsSkipped += t - nv;
 
     // --- Real projections, only for needed tokens (SDUE, INT12). ---
     const Matrix q = projectNeededRows(x_norm, blk.wq(),
-                                       needs.qRowNeeded, opt_.quantize);
+                                       needs.qRowNeeded, quantize);
     const Matrix k = projectNeededRows(x_norm, blk.wk(),
-                                       needs.kRowNeeded, opt_.quantize);
+                                       needs.kRowNeeded, quantize);
     const Matrix v = projectNeededRows(x_norm, blk.wv(),
-                                       needs.vRowNeeded, opt_.quantize);
-    stats().qkvOpsDense += 3 * mmulOps(t, d, d);
-    stats().qkvOpsExecuted += mmulOps(nq, d, d) + mmulOps(nk, d, d)
+                                       needs.vRowNeeded, quantize);
+    stats.qkvOpsDense += 3 * mmulOps(t, d, d);
+    stats.qkvOpsExecuted += mmulOps(nq, d, d) + mmulOps(nk, d, d)
         + mmulOps(nv, d, d);
 
     // --- Real attention at kept positions only. ---
@@ -202,15 +205,15 @@ SparseExecutor::epAttention(const TransformerBlock &blk,
                 concat(r, h * dh + e) = acc;
             }
         }
-        stats().attnOpsDense += mmulOps(t, dh, t) + mmulOps(t, t, dh);
-        stats().attnOpsExecuted += 2 * 2 * kept_total * dh;
+        stats.attnOpsDense += mmulOps(t, dh, t) + mmulOps(t, t, dh);
+        stats.attnOpsExecuted += 2 * 2 * kept_total * dh;
     }
 
     // Output projection stays dense (all rows have outputs).
-    Matrix out = execMatmul(concat, blk.wo().weight(), opt_.quantize);
+    Matrix out = execMatmul(concat, blk.wo().weight(), quantize);
     addRowVector(out, blk.wo().bias());
-    stats().attnOpsDense += mmulOps(t, d, d);
-    stats().attnOpsExecuted += mmulOps(t, d, d);
+    stats.attnOpsDense += mmulOps(t, d, d);
+    stats.attnOpsExecuted += mmulOps(t, d, d);
     return out;
 }
 

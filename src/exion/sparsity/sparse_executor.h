@@ -69,6 +69,23 @@ class SparseExecutor : public BlockExecutor
     FfnReuse ffnReuse_;
 };
 
+/**
+ * Eager-prediction attention on one request's activation rows.
+ *
+ * Stateless across iterations (all skip decisions derive from x_norm
+ * alone), so cohort executors run it per member segment with that
+ * member's stats/observers — bit-identical to a solo SparseExecutor.
+ *
+ * @param x_norm    normalised block input (tokens x dModel)
+ * @param ep        q_th / top-k configuration
+ * @param lod_mode  LOD depth of the score prediction
+ * @param quantize  route real MMULs through INT12 operands
+ */
+Matrix epAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
+                       const EpConfig &ep, LodMode lod_mode,
+                       bool quantize, ExecStats &stats,
+                       ExecObservers &observers);
+
 } // namespace exion
 
 #endif // EXION_SPARSITY_SPARSE_EXECUTOR_H_

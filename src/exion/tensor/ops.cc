@@ -101,6 +101,21 @@ addRowVector(Matrix &a, const Matrix &row)
     }
 }
 
+void
+addRowVectorToRows(Matrix &a, const Matrix &row, Index r0, Index n)
+{
+    EXION_ASSERT(row.rows() == 1 && row.cols() == a.cols(),
+                 "row vector shape mismatch");
+    EXION_ASSERT(r0 + n <= a.rows(), "row range [", r0, ",", r0 + n,
+                 ") out of ", a.rows(), " rows");
+    for (Index i = r0; i < r0 + n; ++i) {
+        float *arow = a.rowPtr(i);
+        const float *r = row.rowPtr(0);
+        for (Index j = 0; j < a.cols(); ++j)
+            arow[j] += r[j];
+    }
+}
+
 Matrix
 matmulQuant(const QuantMatrix &a, const QuantMatrix &b)
 {
@@ -160,6 +175,18 @@ sliceCols(const Matrix &a, Index c0, Index n)
     for (Index i = 0; i < a.rows(); ++i)
         for (Index j = 0; j < n; ++j)
             out(i, j) = a(i, c0 + j);
+    return out;
+}
+
+Matrix
+sliceBlock(const Matrix &a, Index r0, Index nr, Index c0, Index nc)
+{
+    EXION_ASSERT(r0 + nr <= a.rows() && c0 + nc <= a.cols(),
+                 "sliceBlock out of range");
+    Matrix out(nr, nc);
+    for (Index i = 0; i < nr; ++i)
+        for (Index j = 0; j < nc; ++j)
+            out(i, j) = a(r0 + i, c0 + j);
     return out;
 }
 

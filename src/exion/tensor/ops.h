@@ -36,6 +36,15 @@ Matrix scale(const Matrix &a, float s);
 /** Adds a row vector (1 x cols) to every row of A in place. */
 void addRowVector(Matrix &a, const Matrix &row);
 
+/**
+ * Adds a row vector (1 x cols) to rows [r0, r0+n) of A in place.
+ *
+ * The per-row arithmetic is identical to addRowVector(), so applying
+ * it segment-by-segment over a stacked matrix is bit-identical to
+ * applying addRowVector() to each segment separately.
+ */
+void addRowVectorToRows(Matrix &a, const Matrix &row, Index r0, Index n);
+
 /** Integer matmul on quantised operands, float accumulator output. */
 Matrix matmulQuant(const QuantMatrix &a, const QuantMatrix &b);
 
@@ -50,6 +59,14 @@ Matrix sliceRows(const Matrix &a, Index r0, Index n);
 
 /** Returns columns [c0, c0+n) of A as a rows x n matrix. */
 Matrix sliceCols(const Matrix &a, Index c0, Index n);
+
+/**
+ * Returns the nr x nc block of A at (r0, c0). Equals
+ * sliceCols(sliceRows(a, r0, nr), c0, nc) without the intermediate
+ * copy.
+ */
+Matrix sliceBlock(const Matrix &a, Index r0, Index nr, Index c0,
+                  Index nc);
 
 /** Writes the rows of src into A starting at row r0. */
 void pasteRows(Matrix &a, const Matrix &src, Index r0);

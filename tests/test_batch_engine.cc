@@ -1033,6 +1033,456 @@ TEST(ServeNames, PriorityAndModeNames)
     EXPECT_EQ(execModeName(ExecMode::Exion), "exion");
 }
 
+TEST(BatchEngine, CohortBatchingKeepsBitIdentity)
+{
+    // With cohort batching on, a mixed batch (modes, seeds,
+    // quantisation, priorities) must still match its sequential run
+    // bit for bit at several worker counts: cohorts only regroup
+    // execution, never numerics.
+    const ModelConfig cfg = tinyConfig();
+    auto batch = mixedBatch(cfg.benchmark, 12);
+    const Priority classes[] = {Priority::Low, Priority::Critical,
+                                Priority::Normal, Priority::High};
+    for (Index i = 0; i < batch.size(); ++i)
+        batch[i].priority = classes[i % 4];
+
+    std::vector<RequestResult> reference;
+    for (int workers : {1, 2, 4}) {
+        BatchEngine::Options opts;
+        opts.workers = workers;
+        opts.cohortBatching = true;
+        opts.cohortMaxRows = 5;
+        BatchEngine engine(opts);
+        engine.addModel(cfg);
+        if (reference.empty())
+            reference = engine.runSequential(batch);
+        expectBitIdentical(reference, engine.runBatch(batch));
+    }
+}
+
+TEST(BatchEngine, CohortOfOneMatchesSoloEngine)
+{
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    opts.cohortBatching = true;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    ServeRequest req;
+    req.benchmark = cfg.benchmark;
+    req.mode = ExecMode::Exion;
+    req.noiseSeed = 21;
+    const RequestResult result = engine.submit(req).get();
+
+    BatchEngine plain;
+    plain.addModel(cfg);
+    const auto solo = plain.runSequential({req});
+    ASSERT_EQ(solo.size(), 1u);
+    for (Index e = 0; e < solo[0].output.size(); ++e)
+        EXPECT_EQ(result.output.data()[e], solo[0].output.data()[e]);
+    EXPECT_EQ(result.stats.totalExecuted(),
+              solo[0].stats.totalExecuted());
+}
+
+TEST(BatchEngine, CohortLeaderIsHighestPriorityMember)
+{
+    // With one worker and the scheduler paused while a mixed-priority
+    // same-key burst queues, the worker starts the highest-priority
+    // request — which therefore leads the cohort and absorbs the
+    // rest; delivery follows absorption order, i.e. scheduling order.
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    opts.cohortBatching = true;
+    opts.cohortMaxRows = 8;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    std::mutex order_mutex;
+    std::vector<u64> completion_order;
+    engine.setOnComplete([&](const RequestResult &r) {
+        std::lock_guard<std::mutex> lock(order_mutex);
+        completion_order.push_back(r.id);
+    });
+
+    engine.pause();
+    const Priority classes[] = {Priority::Low, Priority::High,
+                                Priority::Normal, Priority::Critical};
+    for (int i = 0; i < 4; ++i) {
+        ServeRequest req;
+        req.benchmark = cfg.benchmark;
+        req.id = static_cast<u64>(i);
+        req.noiseSeed = 30 + static_cast<u64>(i);
+        req.priority = classes[i];
+        engine.submit(req);
+    }
+    engine.resume();
+    engine.waitIdle();
+
+    // Critical (id 3) led; absorption follows class order.
+    const std::vector<u64> expected = {3, 1, 2, 0};
+    EXPECT_EQ(completion_order, expected);
+
+    const EngineMetrics m = engine.snapshot();
+    EXPECT_EQ(m.completed(), 4u);
+    EXPECT_EQ(m.accepted(), 4u);
+}
+
+TEST(BatchEngine, CancelMidCohortRemovesOnlyThatRow)
+{
+    // One member cancels itself from its progress hook mid-flight;
+    // its row leaves the cohort at the next boundary while the other
+    // members complete bit-identically to their solo runs.
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    opts.cohortBatching = true;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    std::vector<ServeRequest> batch(3);
+    for (int i = 0; i < 3; ++i) {
+        batch[i].benchmark = cfg.benchmark;
+        batch[i].id = static_cast<u64>(i);
+        batch[i].mode = ExecMode::Exion;
+        batch[i].noiseSeed = 60 + static_cast<u64>(i);
+    }
+
+    engine.pause();
+    Ticket keep_a = engine.submit(batch[0]);
+    Ticket victim;
+    ServeRequest victim_req = batch[1];
+    victim_req.onProgress = [&victim](int iteration) {
+        if (iteration == 1)
+            victim.cancel();
+    };
+    victim = engine.submit(victim_req);
+    Ticket keep_b = engine.submit(batch[2]);
+    engine.resume();
+    engine.waitIdle();
+
+    const RequestResult cancelled = victim.get();
+    EXPECT_TRUE(cancelled.cancelled);
+    EXPECT_EQ(cancelled.error, "cancelled");
+    EXPECT_EQ(cancelled.output.size(), 0u);
+
+    BatchEngine plain;
+    plain.addModel(cfg);
+    const auto solo =
+        plain.runSequential({batch[0], batch[2]});
+    const RequestResult a = keep_a.get();
+    const RequestResult b = keep_b.get();
+    ASSERT_EQ(a.output.size(), solo[0].output.size());
+    for (Index e = 0; e < a.output.size(); ++e)
+        EXPECT_EQ(a.output.data()[e], solo[0].output.data()[e]);
+    ASSERT_EQ(b.output.size(), solo[1].output.size());
+    for (Index e = 0; e < b.output.size(); ++e)
+        EXPECT_EQ(b.output.data()[e], solo[1].output.data()[e]);
+
+    const EngineMetrics m = engine.snapshot();
+    EXPECT_EQ(m.cancelled(), 1u);
+    EXPECT_EQ(m.completed(), 2u);
+    EXPECT_EQ(m.accepted(), 3u);
+}
+
+TEST(BatchEngine, DeadlineMissedMemberDoesNotStallCohort)
+{
+    // A member whose deadline expired while queued still completes
+    // with the cohort (deadlines are advisory); the miss is counted
+    // and no other member is affected.
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    opts.cohortBatching = true;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    engine.pause();
+    std::vector<Ticket> tickets;
+    for (int i = 0; i < 3; ++i) {
+        ServeRequest req;
+        req.benchmark = cfg.benchmark;
+        req.id = static_cast<u64>(i);
+        req.noiseSeed = 80 + static_cast<u64>(i);
+        req.deadlineSeconds = i == 1 ? 1e-4 : 0.0;
+        tickets.push_back(engine.submit(req));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    engine.resume();
+    for (Ticket &t : tickets)
+        EXPECT_TRUE(t.get().ok());
+    engine.waitIdle();
+
+    const EngineMetrics m = engine.snapshot();
+    EXPECT_EQ(m.completed(), 3u);
+    EXPECT_EQ(m.deadlineMisses(), 1u);
+}
+
+TEST(BatchEngine, CohortAbsorbsOnlyCompatibleRequests)
+{
+    // Different (mode, quantize) keys never share a cohort — results
+    // must match the sequential reference even when incompatible
+    // requests interleave in the queue.
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    opts.cohortBatching = true;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    const auto batch = mixedBatch(cfg.benchmark, 8);
+    engine.pause();
+    std::vector<Ticket> tickets;
+    for (const ServeRequest &req : batch)
+        tickets.push_back(engine.submit(req));
+    engine.resume();
+    std::vector<RequestResult> results;
+    for (Ticket &t : tickets)
+        results.push_back(t.get());
+    expectBitIdentical(engine.runSequential(batch), results);
+}
+
+TEST(BatchEngine, CohortWindowGathersBurst)
+{
+    // A formation window lets the first request wait briefly for the
+    // rest of a burst; everything still completes and reconciles.
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 2;
+    opts.cohortBatching = true;
+    opts.cohortWindowSeconds = 0.05;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    std::vector<Ticket> tickets;
+    for (int i = 0; i < 6; ++i) {
+        ServeRequest req;
+        req.benchmark = cfg.benchmark;
+        req.id = static_cast<u64>(i);
+        req.noiseSeed = 90 + static_cast<u64>(i);
+        tickets.push_back(engine.submit(req));
+    }
+    for (Ticket &t : tickets)
+        EXPECT_TRUE(t.get().ok());
+    engine.waitIdle();
+    EXPECT_EQ(engine.snapshot().completed(), 6u);
+}
+
+TEST(BatchEngine, CohortRefillDoesNotStarveQueuedHigherPriorityWork)
+{
+    // Absorption is priority-preserving: a running cohort must not
+    // pull in a same-key request that the scheduler ranks behind a
+    // queued non-matching one — otherwise sustained same-key load
+    // could hold the worker forever while higher-priority work waits.
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    opts.cohortBatching = true;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    std::mutex order_mutex;
+    std::vector<u64> completion_order;
+    engine.setOnComplete([&](const RequestResult &r) {
+        std::lock_guard<std::mutex> lock(order_mutex);
+        completion_order.push_back(r.id);
+    });
+
+    ServeRequest low_same;
+    low_same.benchmark = cfg.benchmark;
+    low_same.id = 2;
+    low_same.priority = Priority::Low;
+    low_same.noiseSeed = 41;
+
+    ServeRequest high_other;
+    high_other.benchmark = cfg.benchmark;
+    high_other.id = 3;
+    high_other.mode = ExecMode::Dense; // different key
+    high_other.priority = Priority::High;
+
+    // The leader submits both mid-run, so they are queued at its next
+    // iteration boundary: the same-key Low candidate loses to the
+    // queued High request and must NOT be absorbed.
+    std::atomic<bool> injected{false};
+    ServeRequest leader;
+    leader.benchmark = cfg.benchmark;
+    leader.id = 1;
+    leader.priority = Priority::Low;
+    leader.onProgress = [&](int) {
+        if (!injected.exchange(true)) {
+            engine.submit(low_same);
+            engine.submit(high_other);
+        }
+    };
+    engine.submit(leader);
+    engine.waitIdle();
+
+    const std::vector<u64> expected = {1, 3, 2};
+    EXPECT_EQ(completion_order, expected)
+        << "same-key refill jumped a queued higher-priority request";
+}
+
+TEST(BatchEngine, CohortTracksConMergePerMember)
+{
+    // Per-slot observers: ConMerge accounting in a cohort must match
+    // the solo run of the same request, and an untracked member in
+    // the same cohort must stay untouched.
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    opts.cohortBatching = true;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    ServeRequest tracked;
+    tracked.benchmark = cfg.benchmark;
+    tracked.id = 1;
+    tracked.mode = ExecMode::Exion;
+    tracked.trackConMerge = true;
+    ServeRequest untracked = tracked;
+    untracked.id = 2;
+    untracked.trackConMerge = false;
+    untracked.noiseSeed = 99;
+
+    engine.pause();
+    Ticket t1 = engine.submit(tracked);
+    Ticket t2 = engine.submit(untracked);
+    engine.resume();
+    const RequestResult r1 = t1.get();
+    const RequestResult r2 = t2.get();
+    EXPECT_GT(r1.conmerge.groups, 0u);
+    EXPECT_EQ(r2.conmerge.groups, 0u);
+
+    BatchEngine plain;
+    plain.addModel(cfg);
+    const auto solo = plain.runSequential({tracked});
+    EXPECT_EQ(r1.conmerge.groups, solo[0].conmerge.groups);
+    EXPECT_EQ(r1.conmerge.matrixColumns, solo[0].conmerge.matrixColumns);
+}
+
+TEST(BatchEngine, RunningRequestCancelsCooperatively)
+{
+    // Solo path (cohort batching off): a started request cancelled
+    // from its own progress hook stops at the next iteration boundary
+    // with a cancelled result; callback and results() are not fed.
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    std::atomic<int> callbacks{0};
+    engine.setOnComplete(
+        [&](const RequestResult &) { ++callbacks; });
+
+    Ticket ticket;
+    ServeRequest req;
+    req.benchmark = cfg.benchmark;
+    req.id = 5;
+    req.onProgress = [&ticket](int iteration) {
+        if (iteration == 2) {
+            EXPECT_TRUE(ticket.cancel());
+        }
+    };
+    engine.pause(); // the ticket must exist before the hook can fire
+    ticket = engine.submit(req);
+    engine.resume();
+    const RequestResult result = ticket.get();
+    EXPECT_TRUE(result.cancelled);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.error, "cancelled");
+    EXPECT_EQ(result.id, 5u);
+    engine.waitIdle();
+
+    EXPECT_EQ(callbacks.load(), 0);
+    EXPECT_FALSE(engine.results().tryPop().has_value());
+    const EngineMetrics m = engine.snapshot();
+    EXPECT_EQ(m.at(Priority::Normal).cancelled, 1u);
+    EXPECT_EQ(m.at(Priority::Normal).completed, 0u);
+    EXPECT_EQ(m.at(Priority::Normal).started, 1u);
+    EXPECT_EQ(engine.inFlight(), 0u);
+    // A second cancel of the same (already cancelled) request fails.
+    EXPECT_FALSE(ticket.cancel());
+}
+
+TEST(BatchEngine, ProgressHookReportsEveryIteration)
+{
+    const ModelConfig cfg = tinyConfig(); // 6 iterations
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    std::mutex mu;
+    std::vector<int> seen;
+    ServeRequest req;
+    req.benchmark = cfg.benchmark;
+    req.onProgress = [&](int iteration) {
+        std::lock_guard<std::mutex> lock(mu);
+        seen.push_back(iteration);
+    };
+    EXPECT_TRUE(engine.submit(req).get().ok());
+    const std::vector<int> expected = {0, 1, 2, 3, 4, 5};
+    EXPECT_EQ(seen, expected);
+}
+
+TEST(BatchEngine, QueueFullCarriesRetryAfterHint)
+{
+    const ModelConfig cfg = tinyConfig();
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    opts.admission.maxQueuedPerClass = 1;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    engine.pause();
+    ServeRequest req;
+    req.benchmark = cfg.benchmark;
+    const SubmitOutcome accepted = engine.trySubmit(req);
+    ASSERT_TRUE(accepted.accepted());
+    EXPECT_EQ(accepted.suggestedBackoffSeconds, 0.0);
+
+    const SubmitOutcome refused = engine.trySubmit(req);
+    EXPECT_EQ(refused.reason, RejectReason::QueueFull);
+    // No wait samples yet: the default nudge.
+    EXPECT_GT(refused.suggestedBackoffSeconds, 0.0);
+    EXPECT_LE(refused.suggestedBackoffSeconds, 5.0);
+
+    // The throwing path carries the same hint.
+    try {
+        engine.submit(req);
+        FAIL() << "submit over the class bound did not throw";
+    } catch (const AdmissionRejected &e) {
+        EXPECT_EQ(e.reason(), RejectReason::QueueFull);
+        EXPECT_GT(e.suggestedBackoffSeconds(), 0.0);
+    }
+    engine.resume();
+    engine.waitIdle();
+
+    // With completions recorded, the hint tracks the class median
+    // queue wait (clamped to the sane range).
+    const SubmitOutcome ok2 = engine.trySubmit(req);
+    ASSERT_TRUE(ok2.accepted());
+    engine.waitIdle();
+    const EngineMetrics m = engine.snapshot();
+    EXPECT_GT(m.at(Priority::Normal).queueWaitSamples, 0u);
+}
+
+TEST(BatchEngine, UnknownModelHasNoRetryHint)
+{
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    BatchEngine engine(opts);
+    engine.addModel(tinyConfig());
+
+    ServeRequest req;
+    req.benchmark = Benchmark::DiT; // not registered
+    const SubmitOutcome outcome = engine.trySubmit(req);
+    EXPECT_EQ(outcome.reason, RejectReason::UnknownModel);
+    EXPECT_EQ(outcome.suggestedBackoffSeconds, 0.0);
+}
+
 TEST(ExecContext, BindingIsolatesStatsAcrossContexts)
 {
     DenseExecutor exec;

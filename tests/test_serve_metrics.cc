@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Serving-metrics tests: the Prometheus text exposition (golden
+ * format), per-class queue-wait medians and the MetricsCollector
+ * windows that feed the engine's retry-after hints.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "exion/serve/metrics.h"
+
+namespace exion
+{
+namespace
+{
+
+TEST(EngineMetricsPrometheus, GoldenFormat)
+{
+    // Hand-built snapshot with exactly-representable values so the
+    // rendered text is stable byte for byte.
+    EngineMetrics m;
+    ClassMetrics &low = m.perClass[classIndex(Priority::Low)];
+    low.accepted = 5;
+    low.shed = 2;
+    low.started = 5;
+    low.completed = 4;
+    low.cancelled = 1;
+    low.queued = 3;
+    low.peakQueued = 7;
+    low.queueWaitP50 = 0.25;
+    ClassMetrics &high = m.perClass[classIndex(Priority::High)];
+    high.accepted = 1;
+    high.started = 1;
+    high.completed = 1;
+    high.failed = 1;
+    high.deadlineMisses = 1;
+    m.queueWaitP50 = 0.5;
+    m.queueWaitP99 = 2.0;
+    m.queueWaitSamples = 6;
+
+    const std::string text = m.toPrometheusText();
+
+    const std::string expected_accepted =
+        "# HELP exion_serve_accepted_total Requests admitted into the "
+        "ready queue.\n"
+        "# TYPE exion_serve_accepted_total counter\n"
+        "exion_serve_accepted_total{class=\"low\"} 5\n"
+        "exion_serve_accepted_total{class=\"normal\"} 0\n"
+        "exion_serve_accepted_total{class=\"high\"} 1\n"
+        "exion_serve_accepted_total{class=\"critical\"} 0\n";
+    EXPECT_NE(text.find(expected_accepted), std::string::npos)
+        << text;
+
+    const std::string expected_summary =
+        "# HELP exion_serve_queue_wait_seconds Queue wait from "
+        "acceptance to worker start, over the recent window.\n"
+        "# TYPE exion_serve_queue_wait_seconds summary\n"
+        "exion_serve_queue_wait_seconds{quantile=\"0.5\"} 0.5\n"
+        "exion_serve_queue_wait_seconds{quantile=\"0.99\"} 2\n"
+        "exion_serve_queue_wait_seconds_count 6\n";
+    EXPECT_NE(text.find(expected_summary), std::string::npos) << text;
+
+    EXPECT_NE(
+        text.find("exion_serve_shed_total{class=\"low\"} 2\n"),
+        std::string::npos);
+    EXPECT_NE(
+        text.find("exion_serve_failed_total{class=\"high\"} 1\n"),
+        std::string::npos);
+    EXPECT_NE(text.find("exion_serve_deadline_misses_total{class="
+                        "\"high\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("exion_serve_ready_queue_depth{class=\"low\"}"
+                        " 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("exion_serve_ready_queue_depth_peak{class="
+                        "\"low\"} 7\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("exion_serve_class_queue_wait_p50_seconds{"
+                        "class=\"low\"} 0.25\n"),
+              std::string::npos);
+
+    // Every family carries HELP/TYPE headers and the exposition ends
+    // with a newline, as the text format requires.
+    EXPECT_EQ(text.back(), '\n');
+    EXPECT_EQ(text.find("# HELP"), 0u);
+}
+
+TEST(EngineMetricsPrometheus, EmptySnapshotRendersZeros)
+{
+    const EngineMetrics m;
+    const std::string text = m.toPrometheusText();
+    EXPECT_NE(
+        text.find("exion_serve_accepted_total{class=\"normal\"} 0\n"),
+        std::string::npos);
+    EXPECT_NE(
+        text.find("exion_serve_queue_wait_seconds_count 0\n"),
+        std::string::npos);
+}
+
+TEST(MetricsCollector, PerClassMedianTracksThatClassOnly)
+{
+    MetricsCollector collector;
+    collector.onAccepted(Priority::Low);
+    collector.onAccepted(Priority::High);
+    for (int i = 0; i < 5; ++i)
+        collector.onStarted(Priority::Low, 1.0);
+    collector.onStarted(Priority::High, 0.125);
+
+    EXPECT_DOUBLE_EQ(collector.classQueueWaitP50(Priority::Low), 1.0);
+    EXPECT_DOUBLE_EQ(collector.classQueueWaitP50(Priority::High),
+                     0.125);
+    EXPECT_DOUBLE_EQ(collector.classQueueWaitP50(Priority::Critical),
+                     0.0);
+
+    const EngineMetrics m = collector.snapshot();
+    EXPECT_DOUBLE_EQ(m.at(Priority::Low).queueWaitP50, 1.0);
+    EXPECT_EQ(m.at(Priority::Low).queueWaitSamples, 5u);
+    EXPECT_DOUBLE_EQ(m.at(Priority::High).queueWaitP50, 0.125);
+    EXPECT_EQ(m.at(Priority::Normal).queueWaitSamples, 0u);
+}
+
+TEST(MetricsCollector, ClassWindowIsBounded)
+{
+    MetricsCollector collector;
+    // Overfill the class window; the median must reflect recent
+    // (retained) samples, not grow without bound.
+    for (Index i = 0; i < MetricsCollector::kClassWaitWindow + 64; ++i)
+        collector.onStarted(Priority::Normal, 2.0);
+    const EngineMetrics m = collector.snapshot();
+    EXPECT_EQ(m.at(Priority::Normal).queueWaitSamples,
+              static_cast<u64>(MetricsCollector::kClassWaitWindow));
+    EXPECT_DOUBLE_EQ(m.at(Priority::Normal).queueWaitP50, 2.0);
+}
+
+} // namespace
+} // namespace exion
