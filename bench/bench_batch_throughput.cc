@@ -22,11 +22,19 @@
  * and per-class deadline-miss percentages straight from
  * EngineMetrics — the trajectory CI tracks for the serving layer.
  *
- * Exits nonzero if any measured throughput is not positive or the
- * overload accounting does not reconcile, so CI can use a quick run
- * as a smoke check.
+ * A third scenario compares the GEMM backends under cohort batching
+ * on the paper-scale MLD workload: cohort-on with the Blocked
+ * (cache-blocked, B-panel-packed) backend must be strictly faster
+ * than cohort-on with the Reference backend — the gate that keeps the
+ * cohort path's tall stacked MMULs an actual wall-clock win. Both
+ * comparisons land in BENCH_batch.json.
+ *
+ * Exits nonzero if any measured throughput is not positive, a gated
+ * comparison regresses, or the overload accounting does not
+ * reconcile, so CI can use a quick run as a smoke check.
  *
  *   ./build/bench/bench_batch_throughput [--quick]
+ *                                        [--gemm reference|blocked]
  */
 
 #include <algorithm>
@@ -124,11 +132,13 @@ percentile(const std::vector<double> &samples, double pct)
  */
 EngineRun
 runEngine(const ModelConfig &cfg,
-          const std::vector<ServeRequest> &batch, int workers)
+          const std::vector<ServeRequest> &batch, int workers,
+          GemmBackend gemm)
 {
     BatchEngine::Options opts;
     opts.workers = workers;
     opts.poolSeed = kPoolSeed;
+    opts.gemmBackend = gemm;
     // Latency is taken from the callback; don't accumulate results.
     opts.queueResults = false;
     BatchEngine engine(opts);
@@ -274,6 +284,20 @@ struct CohortComparison
     }
 };
 
+/** Cohort-on GEMM backend comparison row of the JSON artifact. */
+struct GemmComparison
+{
+    std::string mode;
+    int requests = 0;
+    double referenceRps = 0.0;
+    double blockedRps = 0.0;
+
+    double speedup() const
+    {
+        return referenceRps > 0.0 ? blockedRps / referenceRps : 0.0;
+    }
+};
+
 /**
  * Same-benchmark load through the engine with cohort batching off vs
  * on, single worker: every request traverses the same weights, so
@@ -283,7 +307,8 @@ struct CohortComparison
  */
 double
 runCohortLoad(const ModelConfig &cfg, ExecMode mode, int n,
-              int workers, bool cohort, Index max_rows)
+              int workers, bool cohort, Index max_rows,
+              GemmBackend gemm)
 {
     BatchEngine::Options opts;
     opts.workers = workers;
@@ -291,6 +316,7 @@ runCohortLoad(const ModelConfig &cfg, ExecMode mode, int n,
     opts.queueResults = false;
     opts.cohortBatching = cohort;
     opts.cohortMaxRows = max_rows;
+    opts.gemmBackend = gemm;
     BatchEngine engine(opts);
     engine.addModel(cfg);
 
@@ -319,7 +345,7 @@ runCohortLoad(const ModelConfig &cfg, ExecMode mode, int n,
 
 CohortComparison
 compareCohort(const ModelConfig &cfg, ExecMode mode, int n,
-              Index max_rows, int reps)
+              Index max_rows, int reps, GemmBackend gemm)
 {
     CohortComparison cmp;
     cmp.mode = execModeName(mode);
@@ -331,10 +357,10 @@ compareCohort(const ModelConfig &cfg, ExecMode mode, int n,
     double off = 0.0;
     double on = 0.0;
     for (int rep = 0; rep < reps; ++rep) {
-        const double off_s =
-            runCohortLoad(cfg, mode, n, /*workers=*/1, false, max_rows);
-        const double on_s =
-            runCohortLoad(cfg, mode, n, /*workers=*/1, true, max_rows);
+        const double off_s = runCohortLoad(cfg, mode, n, /*workers=*/1,
+                                           false, max_rows, gemm);
+        const double on_s = runCohortLoad(cfg, mode, n, /*workers=*/1,
+                                          true, max_rows, gemm);
         if (off_s > 0.0)
             off = off == 0.0 ? off_s : std::min(off, off_s);
         if (on_s > 0.0)
@@ -345,10 +371,43 @@ compareCohort(const ModelConfig &cfg, ExecMode mode, int n,
     return cmp;
 }
 
+/**
+ * Cohort-on, Reference vs Blocked GEMM backend (interleaved
+ * best-of-N): the same stacked tall-MMUL load, with only the kernel
+ * swapped — outputs are bit-identical, so any gap is pure wall clock.
+ */
+GemmComparison
+compareGemmBackends(const ModelConfig &cfg, ExecMode mode, int n,
+                    Index max_rows, int reps)
+{
+    GemmComparison cmp;
+    cmp.mode = execModeName(mode);
+    cmp.requests = n;
+    double ref = 0.0;
+    double blocked = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+        const double ref_s =
+            runCohortLoad(cfg, mode, n, /*workers=*/1, true, max_rows,
+                          GemmBackend::Reference);
+        const double blocked_s =
+            runCohortLoad(cfg, mode, n, /*workers=*/1, true, max_rows,
+                          GemmBackend::Blocked);
+        if (ref_s > 0.0)
+            ref = ref == 0.0 ? ref_s : std::min(ref, ref_s);
+        if (blocked_s > 0.0)
+            blocked = blocked == 0.0 ? blocked_s : std::min(blocked,
+                                                            blocked_s);
+    }
+    cmp.referenceRps = ref > 0.0 ? n / ref : 0.0;
+    cmp.blockedRps = blocked > 0.0 ? n / blocked : 0.0;
+    return cmp;
+}
+
 /** Machine-readable artifact tracking the cohort perf trajectory. */
 void
 writeBenchJson(const std::string &path, const ModelConfig &cfg,
-               bool quick, const std::vector<CohortComparison> &rows)
+               bool quick, const std::vector<CohortComparison> &rows,
+               const std::vector<GemmComparison> &gemm_rows)
 {
     std::ofstream out(path);
     if (!out) {
@@ -370,6 +429,17 @@ writeBenchJson(const std::string &path, const ModelConfig &cfg,
             << c.onRps << ", \"speedup\": " << c.speedup() << "}"
             << (i + 1 < rows.size() ? "," : "") << "\n";
     }
+    out << "  ],\n";
+    out << "  \"gemm\": [\n";
+    for (Index i = 0; i < gemm_rows.size(); ++i) {
+        const GemmComparison &g = gemm_rows[i];
+        out << "    {\"mode\": \"" << g.mode << "\", \"requests\": "
+            << g.requests << ", \"cohort\": true,\n"
+            << "     \"reference_rps\": " << g.referenceRps
+            << ", \"blocked_rps\": " << g.blockedRps
+            << ", \"speedup\": " << g.speedup() << "}"
+            << (i + 1 < gemm_rows.size() ? "," : "") << "\n";
+    }
     out << "  ]\n";
     out << "}\n";
     std::cout << "wrote " << path << "\n";
@@ -382,13 +452,36 @@ main(int argc, char **argv)
 {
     const bool quick = bench::quickMode(argc, argv);
 
+    // --gemm reference|blocked: backend for the main throughput sweep
+    // and the cohort on/off comparison (the Blocked-vs-Reference gate
+    // below always measures both).
+    GemmBackend sweep_gemm = BatchEngine::Options{}.gemmBackend;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--gemm") {
+            if (i + 1 >= argc) {
+                std::cerr << "error: --gemm needs a value "
+                             "(reference|blocked)\n";
+                return 1;
+            }
+            const auto parsed = parseGemmBackend(argv[++i]);
+            if (!parsed) {
+                std::cerr << "error: unknown --gemm backend '"
+                          << argv[i]
+                          << "' (expected reference|blocked)\n";
+                return 1;
+            }
+            sweep_gemm = *parsed;
+        }
+    }
+
     ModelConfig cfg = makeConfig(Benchmark::MLD, Scale::Reduced);
     cfg.iterations = quick ? 6 : 12;
 
     const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
     std::cout << "model " << cfg.name << ", " << cfg.iterations
               << " iterations, " << hw << " hardware threads, seeds "
-              << "fixed (noise base " << kNoiseSeedBase << ")\n\n";
+              << "fixed (noise base " << kNoiseSeedBase << "), gemm "
+              << gemmBackendName(sweep_gemm) << "\n\n";
 
     std::vector<int> batches = {1, 4, 8};
     if (!quick)
@@ -417,7 +510,7 @@ main(int argc, char **argv)
                   << std::setprecision(2) << std::setw(16) << base_rps;
         double best = 0.0;
         for (int w : workers) {
-            const EngineRun run = runEngine(cfg, batch, w);
+            const EngineRun run = runEngine(cfg, batch, w, sweep_gemm);
             const double rps = n / run.seconds;
             healthy &= rps > 0.0;
             best = std::max(best, rps);
@@ -460,7 +553,7 @@ main(int argc, char **argv)
         const int reps = mode == ExecMode::Dense ? 5 : 3;
         CohortComparison cmp =
             compareCohort(cohort_cfg, mode, cohort_n, /*max_rows=*/8,
-                          reps);
+                          reps, sweep_gemm);
         std::cout << std::left << std::setw(8) << cmp.mode
                   << std::fixed << std::setprecision(2)
                   << "cohort-off " << std::setw(10) << cmp.offRps
@@ -476,7 +569,40 @@ main(int argc, char **argv)
                      "same-model throughput\n";
         healthy = false;
     }
-    writeBenchJson("BENCH_batch.json", cohort_cfg, quick, cohort_rows);
+
+    // GEMM backends under cohort batching: the same stacked tall
+    // MMULs with only the kernel swapped. The dense row is the gate
+    // that converts the cohort-stacking structural win into a
+    // wall-clock win; the EXION row tracks how much of the sparse
+    // mode's dense substrate the blocked kernel accelerates.
+    std::cout << "\n== GEMM backends, cohort-on: " << cohort_n
+              << " same-model " << cohort_cfg.name
+              << " (full-scale) requests, "
+              << cohort_cfg.iterations
+              << " iterations, 1 worker, max rows 8 ==\n";
+    std::vector<GemmComparison> gemm_rows;
+    for (ExecMode mode : {ExecMode::Dense, ExecMode::Exion}) {
+        const int reps = mode == ExecMode::Dense ? 5 : 3;
+        GemmComparison cmp = compareGemmBackends(
+            cohort_cfg, mode, cohort_n, /*max_rows=*/8, reps);
+        std::cout << std::left << std::setw(8) << cmp.mode
+                  << std::fixed << std::setprecision(2)
+                  << "reference " << std::setw(10) << cmp.referenceRps
+                  << "blocked " << std::setw(10) << cmp.blockedRps
+                  << "speedup " << cmp.speedup() << "x\n";
+        healthy &= cmp.referenceRps > 0.0 && cmp.blockedRps > 0.0;
+        gemm_rows.push_back(std::move(cmp));
+    }
+    // The acceptance gate: the blocked, packed kernel must be
+    // strictly faster than the reference kernel on the paper-scale
+    // cohort workload.
+    if (gemm_rows[0].blockedRps <= gemm_rows[0].referenceRps) {
+        std::cerr << "error: Blocked GEMM backend did not improve "
+                     "cohort-on dense throughput over Reference\n";
+        healthy = false;
+    }
+    writeBenchJson("BENCH_batch.json", cohort_cfg, quick, cohort_rows,
+                   gemm_rows);
 
     healthy &= runOverload(cfg, quick);
     return healthy ? 0 : 1;

@@ -18,6 +18,7 @@
 #include "exion/accel/perf_model.h"
 #include "exion/baseline/gpu_model.h"
 #include "exion/common/table.h"
+#include "exion/tensor/gemm.h"
 
 using namespace exion;
 
@@ -125,11 +126,21 @@ main(int argc, char **argv)
             batch = std::stoi(next());
         else if (arg == "--gpu")
             with_gpu = true;
-        else if (arg == "--help" || arg == "-h") {
+        else if (arg == "--gemm") {
+            const std::string name = next();
+            const auto backend = parseGemmBackend(name);
+            if (!backend)
+                EXION_FATAL("unknown --gemm backend '", name,
+                            "' (expected reference|blocked)");
+            // Process-wide: every dense MMUL of the runs below
+            // dispatches on this. Bit-identical across backends.
+            setDefaultGemmBackend(*backend);
+        } else if (arg == "--help" || arg == "-h") {
             std::cout << "usage: exion_cli [--model NAME] "
                       << "[--device exion4|exion24|exion42]\n"
                       << "                 [--ablation base|ep|ffnr|"
-                      << "all] [--batch N] [--gpu]\n";
+                      << "all] [--batch N] [--gpu]\n"
+                      << "                 [--gemm reference|blocked]\n";
             return 0;
         } else {
             EXION_FATAL("unknown argument ", arg);

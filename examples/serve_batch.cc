@@ -16,14 +16,41 @@
 #include <iomanip>
 #include <iostream>
 #include <map>
+#include <string>
 
 #include "exion/serve/batch_engine.h"
 
 using namespace exion;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --gemm reference|blocked selects the engine's GEMM backend
+    // (default Blocked). Outputs are bit-identical either way — the
+    // self-checks below hold regardless — only wall clock changes.
+    GemmBackend gemm = BatchEngine::Options{}.gemmBackend;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--gemm") {
+            if (i + 1 >= argc) {
+                std::cerr << "error: --gemm needs a value "
+                             "(reference|blocked)\n";
+                return 1;
+            }
+            const auto parsed = parseGemmBackend(argv[++i]);
+            if (!parsed) {
+                std::cerr << "error: unknown --gemm backend '"
+                          << argv[i]
+                          << "' (expected reference|blocked)\n";
+                return 1;
+            }
+            gemm = *parsed;
+        } else {
+            std::cerr << "error: unknown argument '" << argv[i]
+                      << "' (usage: serve_batch "
+                         "[--gemm reference|blocked])\n";
+            return 1;
+        }
+    }
     // 1. Register the models once; weights are shared by every
     //    request for that benchmark. The admission policy is part of
     //    the engine options: per-class ready-queue bounds, and a shed
@@ -37,6 +64,7 @@ main()
 
     BatchEngine::Options opts;
     opts.workers = 4;
+    opts.gemmBackend = gemm;
     opts.admission.maxQueuedPerClass = 16;
     opts.admission.shedThreshold = 12;
     opts.admission.shedBelow = Priority::Normal;

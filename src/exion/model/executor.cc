@@ -31,20 +31,21 @@ ExecStats::merge(const ExecStats &other)
 }
 
 Matrix
-execMatmul(const Matrix &a, const Matrix &b, bool quantize)
+execMatmul(const Matrix &a, const Matrix &b, bool quantize,
+           GemmBackend backend)
 {
     if (!quantize)
-        return matmul(a, b);
+        return matmulWith(a, b, backend);
     const QuantMatrix qa = QuantMatrix::fromFloat(a, IntWidth::Int12);
     const QuantMatrix qb = QuantMatrix::fromFloat(b, IntWidth::Int12);
-    return matmulQuant(qa, qb);
+    return matmulQuantWith(qa, qb, backend);
 }
 
 void
 denseAttentionCoreInto(const TransformerBlock &blk, const Matrix &q,
                        const Matrix &k, const Matrix &v, Index r0,
                        Index rows, bool quantize, ExecStats &stats,
-                       Matrix &concat)
+                       Matrix &concat, GemmBackend backend)
 {
     const Index t = rows;
     const Index dh = blk.headDim();
@@ -56,9 +57,10 @@ denseAttentionCoreInto(const TransformerBlock &blk, const Matrix &q,
         const Matrix kh = sliceBlock(k, r0, t, h * dh, dh);
         const Matrix vh = sliceBlock(v, r0, t, h * dh, dh);
 
-        Matrix scores = scale(matmulTransposed(qh, kh), inv_sqrt);
+        Matrix scores =
+            scale(matmulTransposedWith(qh, kh, backend), inv_sqrt);
         const Matrix probs = softmax(scores);
-        const Matrix out_h = execMatmul(probs, vh, quantize);
+        const Matrix out_h = execMatmul(probs, vh, quantize, backend);
         for (Index r = 0; r < t; ++r)
             for (Index c = 0; c < dh; ++c)
                 concat(r0 + r, h * dh + c) = out_h(r, c);
@@ -71,17 +73,17 @@ denseAttentionCoreInto(const TransformerBlock &blk, const Matrix &q,
 Matrix
 denseAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
                    bool quantize, ExecStats &stats,
-                   ExecObservers &observers)
+                   ExecObservers &observers, GemmBackend backend)
 {
     (void)observers;
     const Index t = x_norm.rows();
     const Index d = blk.dModel();
 
-    Matrix q = execMatmul(x_norm, blk.wq().weight(), quantize);
+    Matrix q = execMatmul(x_norm, blk.wq().weight(), quantize, backend);
     addRowVector(q, blk.wq().bias());
-    Matrix k = execMatmul(x_norm, blk.wk().weight(), quantize);
+    Matrix k = execMatmul(x_norm, blk.wk().weight(), quantize, backend);
     addRowVector(k, blk.wk().bias());
-    Matrix v = execMatmul(x_norm, blk.wv().weight(), quantize);
+    Matrix v = execMatmul(x_norm, blk.wv().weight(), quantize, backend);
     addRowVector(v, blk.wv().bias());
 
     stats.qkvOpsDense += 3 * mmulOps(t, d, d);
@@ -92,9 +94,9 @@ denseAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
 
     Matrix concat(t, d);
     denseAttentionCoreInto(blk, q, k, v, 0, t, quantize, stats,
-                           concat);
+                           concat, backend);
 
-    Matrix out = execMatmul(concat, blk.wo().weight(), quantize);
+    Matrix out = execMatmul(concat, blk.wo().weight(), quantize, backend);
     addRowVector(out, blk.wo().bias());
     stats.attnOpsDense += mmulOps(t, d, d);
     stats.attnOpsExecuted += mmulOps(t, d, d);
@@ -103,13 +105,15 @@ denseAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
 
 Matrix
 denseFfnImpl(const TransformerBlock &blk, const Matrix &x_norm,
-             bool quantize, ExecStats &stats, ExecObservers &observers)
+             bool quantize, ExecStats &stats, ExecObservers &observers,
+             GemmBackend backend)
 {
     const Index t = x_norm.rows();
     const Index d = blk.dModel();
     const Index hid = blk.ffnHidden();
 
-    Matrix gate = execMatmul(x_norm, blk.ffn1().weight(), quantize);
+    Matrix gate = execMatmul(x_norm, blk.ffn1().weight(), quantize,
+                             backend);
     addRowVector(gate, blk.ffn1().bias());
     stats.ffnOpsDense += mmulOps(t, d, hid);
     stats.ffnOpsExecuted += mmulOps(t, d, hid);
@@ -117,7 +121,7 @@ denseFfnImpl(const TransformerBlock &blk, const Matrix &x_norm,
     Matrix hidden;
     if (blk.geglu()) {
         Matrix value = execMatmul(x_norm, blk.ffn1Value().weight(),
-                                  quantize);
+                                  quantize, backend);
         addRowVector(value, blk.ffn1Value().bias());
         stats.ffnOpsDense += mmulOps(t, d, hid);
         stats.ffnOpsExecuted += mmulOps(t, d, hid);
@@ -131,7 +135,8 @@ denseFfnImpl(const TransformerBlock &blk, const Matrix &x_norm,
     if (observers.onFfnHidden)
         observers.onFfnHidden(blk.id(), hidden);
 
-    Matrix out = execMatmul(hidden, blk.ffn2().weight(), quantize);
+    Matrix out = execMatmul(hidden, blk.ffn2().weight(), quantize,
+                            backend);
     addRowVector(out, blk.ffn2().bias());
     stats.ffnOpsDense += mmulOps(t, hid, d);
     stats.ffnOpsExecuted += mmulOps(t, hid, d);
@@ -141,13 +146,15 @@ denseFfnImpl(const TransformerBlock &blk, const Matrix &x_norm,
 Matrix
 DenseExecutor::attention(const TransformerBlock &blk, const Matrix &x_norm)
 {
-    return denseAttentionImpl(blk, x_norm, quantize_, stats(), observers);
+    return denseAttentionImpl(blk, x_norm, quantize_, stats(), observers,
+                              backend_);
 }
 
 Matrix
 DenseExecutor::ffn(const TransformerBlock &blk, const Matrix &x_norm)
 {
-    return denseFfnImpl(blk, x_norm, quantize_, stats(), observers);
+    return denseFfnImpl(blk, x_norm, quantize_, stats(), observers,
+                        backend_);
 }
 
 } // namespace exion

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "exion/tensor/bitmask.h"
+#include "exion/tensor/gemm.h"
 #include "exion/tensor/matrix.h"
 
 namespace exion
@@ -151,6 +152,18 @@ class BlockExecutor
         ctx().iteration = iteration;
     }
 
+    /**
+     * GEMM backend for dense MMULs issued on this executor's behalf
+     * by layers outside the block (network in/out/time projections,
+     * ResBlock convolutions). Backends are bit-identical, so this is
+     * purely a wall-clock knob; the base implementation follows the
+     * process default.
+     */
+    virtual GemmBackend gemmBackend() const
+    {
+        return defaultGemmBackend();
+    }
+
     /** Multi-head attention sub-layer (QKV, scores, AV, out-proj). */
     virtual Matrix attention(const TransformerBlock &blk,
                              const Matrix &x_norm) = 0;
@@ -199,9 +212,15 @@ class BlockExecutor
 class DenseExecutor : public BlockExecutor
 {
   public:
-    /** @param quantize route every MMUL through INT12 operands */
-    explicit DenseExecutor(bool quantize = false)
-        : quantize_(quantize)
+    /**
+     * @param quantize route every MMUL through INT12 operands
+     * @param backend  GEMM backend for every dense MMUL (all
+     *                 backends are bit-identical; this is a pure
+     *                 wall-clock knob)
+     */
+    explicit DenseExecutor(bool quantize = false,
+                           GemmBackend backend = defaultGemmBackend())
+        : quantize_(quantize), backend_(backend)
     {}
 
     Matrix attention(const TransformerBlock &blk,
@@ -211,8 +230,12 @@ class DenseExecutor : public BlockExecutor
     /** Whether INT12 quantisation is applied. */
     bool quantized() const { return quantize_; }
 
+    /** GEMM backend used for dense MMULs. */
+    GemmBackend gemmBackend() const override { return backend_; }
+
   private:
     bool quantize_;
+    GemmBackend backend_;
 };
 
 /**
@@ -239,8 +262,12 @@ class CohortBlockExecutor : public BlockExecutor
                                  const std::vector<int> &iterations) = 0;
 };
 
-/** A*B with optional INT12 operand quantisation. */
-Matrix execMatmul(const Matrix &a, const Matrix &b, bool quantize);
+/**
+ * A*B with optional INT12 operand quantisation, computed with the
+ * given GEMM backend (defaults to the process-wide backend).
+ */
+Matrix execMatmul(const Matrix &a, const Matrix &b, bool quantize,
+                  GemmBackend backend = defaultGemmBackend());
 
 /**
  * MACs-as-2-ops for an (m x k) * (k x n) MMUL — the paper's TOPS
@@ -262,7 +289,8 @@ mmulOps(Index m, Index k, Index n)
  */
 Matrix denseAttentionImpl(const TransformerBlock &blk,
                           const Matrix &x_norm, bool quantize,
-                          ExecStats &stats, ExecObservers &observers);
+                          ExecStats &stats, ExecObservers &observers,
+                          GemmBackend backend = defaultGemmBackend());
 
 /**
  * Per-head score/softmax/AV core of dense attention on rows
@@ -278,12 +306,14 @@ void denseAttentionCoreInto(const TransformerBlock &blk,
                             const Matrix &q, const Matrix &k,
                             const Matrix &v, Index r0, Index rows,
                             bool quantize, ExecStats &stats,
-                            Matrix &concat);
+                            Matrix &concat,
+                            GemmBackend backend = defaultGemmBackend());
 
 /** Dense FFN implementation shared by executors. */
 Matrix denseFfnImpl(const TransformerBlock &blk, const Matrix &x_norm,
                     bool quantize, ExecStats &stats,
-                    ExecObservers &observers);
+                    ExecObservers &observers,
+                    GemmBackend backend = defaultGemmBackend());
 
 } // namespace exion
 

@@ -17,9 +17,9 @@ Linear::Linear(Index in, Index out, Rng &rng)
 }
 
 Matrix
-Linear::forward(const Matrix &x) const
+Linear::forward(const Matrix &x, GemmBackend backend) const
 {
-    Matrix y = matmul(x, weight_);
+    Matrix y = matmulWith(x, weight_, backend);
     addRowVector(y, bias_);
     return y;
 }

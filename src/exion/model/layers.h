@@ -6,6 +6,7 @@
 #ifndef EXION_MODEL_LAYERS_H_
 #define EXION_MODEL_LAYERS_H_
 
+#include "exion/tensor/gemm.h"
 #include "exion/tensor/matrix.h"
 
 namespace exion
@@ -25,8 +26,15 @@ class Linear
     /** in x out layer with N(0, 1/sqrt(in)) weights, zero bias. */
     Linear(Index in, Index out, Rng &rng);
 
-    /** Applies the layer to x (rows = tokens). */
-    Matrix forward(const Matrix &x) const;
+    /**
+     * Applies the layer to x (rows = tokens).
+     *
+     * @param backend GEMM backend for the x W product; defaults to
+     *                the process-wide backend. All backends are
+     *                bit-identical.
+     */
+    Matrix forward(const Matrix &x,
+                   GemmBackend backend = defaultGemmBackend()) const;
 
     /** Weight matrix (in x out). */
     const Matrix &weight() const { return weight_; }

@@ -96,7 +96,12 @@ Matrix
 DenoisingNetwork::forwardImpl(const Matrix &x, const int *timesteps,
                               Index segments, BlockExecutor &exec) const
 {
-    Matrix h = inProj_.forward(x);
+    // The executor's backend also covers the network-level linears
+    // and ResBlock convolutions, so an engine's backend choice
+    // reaches every dense MMUL of the run, not just the blocks.
+    const GemmBackend gemm = exec.gemmBackend();
+
+    Matrix h = inProj_.forward(x, gemm);
     addRowVector(h, condEmbed_);
 
     // Per-segment timestep embeddings. Cohort members usually step in
@@ -138,7 +143,7 @@ DenoisingNetwork::forwardImpl(const Matrix &x, const int *timesteps,
         cur_tokens = want;
 
         if (stage.channelProj.inDim() != 0)
-            h = stage.channelProj.forward(h);
+            h = stage.channelProj.forward(h, gemm);
 
         if (unet && upsampling && !skips.empty()) {
             const Matrix &skip = skips.back();
@@ -153,17 +158,17 @@ DenoisingNetwork::forwardImpl(const Matrix &x, const int *timesteps,
         Matrix t_proj;
         for (Index m = 0; m < segments; ++m) {
             if (m == 0 || timesteps[m] != timesteps[m - 1])
-                t_proj = stage.timeProj.forward(t_embs[m]);
+                t_proj = stage.timeProj.forward(t_embs[m], gemm);
             addRowVectorToRows(h, t_proj, m * cur_tokens, cur_tokens);
         }
 
         for (const auto &res : stage.resBlocks)
-            h = res.forward(h);
+            h = res.forward(h, gemm);
         for (const auto &blk : stage.blocks)
             h = blk.forward(h, exec);
     }
 
-    return outProj_.forward(h);
+    return outProj_.forward(h, gemm);
 }
 
 } // namespace exion

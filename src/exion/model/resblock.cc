@@ -13,11 +13,11 @@ ResBlock::ResBlock(Index d_model, Rng &rng)
 }
 
 Matrix
-ResBlock::forward(const Matrix &x) const
+ResBlock::forward(const Matrix &x, GemmBackend backend) const
 {
     const Matrix n = layerNorm(x, normGamma_, normBeta_);
-    const Matrix h = gelu(conv1_.forward(n));
-    const Matrix out = conv2_.forward(h);
+    const Matrix h = gelu(conv1_.forward(n, backend));
+    const Matrix out = conv2_.forward(h, backend);
     return add(x, out);
 }
 

@@ -33,7 +33,8 @@ class ResBlock
      * passes through unchanged — each member's rows equal a solo
      * forward bit for bit.
      */
-    Matrix forward(const Matrix &x) const;
+    Matrix forward(const Matrix &x,
+                   GemmBackend backend = defaultGemmBackend()) const;
 
     /** Channel width. */
     Index dModel() const { return conv1_.inDim(); }

@@ -536,8 +536,10 @@ BatchEngine::runCohort(CohortMember first)
     const bool ffnr =
         mode == ExecMode::FfnReuseOnly || mode == ExecMode::Exion;
     const bool ep = mode == ExecMode::EpOnly || mode == ExecMode::Exion;
-    CohortExecutor exec(SparseExecutor::fromConfig(cfg, ffnr, ep,
-                                                   first.req.quantize));
+    SparseExecutor::Options cohort_opts = SparseExecutor::fromConfig(
+        cfg, ffnr, ep, first.req.quantize);
+    cohort_opts.gemm = opts_.gemmBackend;
+    CohortExecutor exec(cohort_opts);
     CohortRun run(pipe, exec);
 
     // Slot ids are join order, so members_[slot] is the member.
@@ -813,14 +815,17 @@ BatchEngine::runOne(const ServeRequest &req,
     RequestContext ctx;
     std::unique_ptr<BlockExecutor> exec;
     if (req.mode == ExecMode::Dense) {
-        auto dense = std::make_unique<DenseExecutor>(req.quantize);
+        auto dense = std::make_unique<DenseExecutor>(req.quantize,
+                                                     opts_.gemmBackend);
         dense->bindContext(ctx.exec);
         exec = std::move(dense);
     } else {
         const bool ffnr = req.mode != ExecMode::EpOnly;
         const bool ep = req.mode != ExecMode::FfnReuseOnly;
-        auto sparse = std::make_unique<SparseExecutor>(
-            SparseExecutor::fromConfig(cfg, ffnr, ep, req.quantize));
+        SparseExecutor::Options sparse_opts =
+            SparseExecutor::fromConfig(cfg, ffnr, ep, req.quantize);
+        sparse_opts.gemm = opts_.gemmBackend;
+        auto sparse = std::make_unique<SparseExecutor>(sparse_opts);
         sparse->bindRequestState(ctx.exec, ctx.ffn);
         if (req.trackConMerge && ffnr) {
             sparse->observers.onFfnMask =

@@ -247,6 +247,16 @@ class BatchEngine
          * slightly slower than one iteration.
          */
         double cohortWindowSeconds = 0.0;
+        /**
+         * GEMM backend every executor this engine builds uses for its
+         * dense MMULs. All backends produce bit-identical outputs
+         * (tensor/gemm.h), so this is purely a wall-clock knob;
+         * Blocked is the default because the cache-blocked packed
+         * kernel is what turns cohort stacking's tall GEMMs into a
+         * throughput win (see bench_batch_throughput's gated
+         * Blocked-vs-Reference comparison).
+         */
+        GemmBackend gemmBackend = GemmBackend::Blocked;
     };
 
     /** Invoked on a worker thread as each request completes. */

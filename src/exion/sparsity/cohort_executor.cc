@@ -6,7 +6,7 @@ namespace exion
 {
 
 CohortExecutor::CohortExecutor(const SparseExecutor::Options &opt)
-    : opt_(opt), ffnReuse_(opt.ffnReuse, opt.quantize)
+    : opt_(opt), ffnReuse_(opt.ffnReuse, opt.quantize, opt.gemm)
 {
 }
 
@@ -93,9 +93,10 @@ CohortExecutor::attention(const TransformerBlock &blk,
             const Matrix seg = opt_.useEp
                 ? epAttentionImpl(blk, x_m, opt_.ep, opt_.lodMode,
                                   opt_.quantize, s.ctx->stats,
-                                  s.observers)
+                                  s.observers, opt_.gemm)
                 : denseAttentionImpl(blk, x_m, opt_.quantize,
-                                     s.ctx->stats, s.observers);
+                                     s.ctx->stats, s.observers,
+                                     opt_.gemm);
             pasteRows(out, seg, m * t_seg);
         }
         return out;
@@ -103,12 +104,13 @@ CohortExecutor::attention(const TransformerBlock &blk,
 
     // Dense float path: one tall GEMM per projection (row-independent,
     // so each member's rows match its solo run bit for bit), then the
-    // token-mixing core per member segment.
-    Matrix q = execMatmul(x_norm, blk.wq().weight(), false);
+    // token-mixing core per member segment. The tall stacks are
+    // exactly the shape the Blocked backend packs for.
+    Matrix q = execMatmul(x_norm, blk.wq().weight(), false, opt_.gemm);
     addRowVector(q, blk.wq().bias());
-    Matrix k = execMatmul(x_norm, blk.wk().weight(), false);
+    Matrix k = execMatmul(x_norm, blk.wk().weight(), false, opt_.gemm);
     addRowVector(k, blk.wk().bias());
-    Matrix v = execMatmul(x_norm, blk.wv().weight(), false);
+    Matrix v = execMatmul(x_norm, blk.wv().weight(), false, opt_.gemm);
     addRowVector(v, blk.wv().bias());
 
     Matrix concat(x_norm.rows(), d);
@@ -121,10 +123,11 @@ CohortExecutor::attention(const TransformerBlock &blk,
         stats.vColsTotal += t_seg;
 
         denseAttentionCoreInto(blk, q, k, v, m * t_seg, t_seg, false,
-                               stats, concat);
+                               stats, concat, opt_.gemm);
     }
 
-    Matrix out = execMatmul(concat, blk.wo().weight(), false);
+    Matrix out = execMatmul(concat, blk.wo().weight(), false,
+                            opt_.gemm);
     addRowVector(out, blk.wo().bias());
     for (Index m = 0; m < n; ++m) {
         ExecStats &stats = memberStats(m);
@@ -176,7 +179,8 @@ CohortExecutor::ffn(const TransformerBlock &blk, const Matrix &x_norm)
             Slot &s = slot(active_[m]);
             const Matrix x_m = sliceRows(x_norm, m * t_seg, t_seg);
             const Matrix seg = denseFfnImpl(blk, x_m, opt_.quantize,
-                                            s.ctx->stats, s.observers);
+                                            s.ctx->stats, s.observers,
+                                            opt_.gemm);
             pasteRows(out, seg, m * t_seg);
         }
         return out;
@@ -187,7 +191,8 @@ CohortExecutor::ffn(const TransformerBlock &blk, const Matrix &x_norm)
     // member exactly as denseFfnImpl would for its own t_seg rows.
     ExecStats scratch;
     ExecObservers none;
-    Matrix out = denseFfnImpl(blk, x_norm, false, scratch, none);
+    Matrix out = denseFfnImpl(blk, x_norm, false, scratch, none,
+                              opt_.gemm);
     const OpCount per_member_ops =
         (blk.geglu() ? 2 : 1) * mmulOps(t_seg, d, hid)
         + mmulOps(t_seg, hid, d);

@@ -70,6 +70,9 @@ class CohortExecutor : public CohortBlockExecutor
     /** Active options. */
     const SparseExecutor::Options &options() const { return opt_; }
 
+    /** GEMM backend used for dense MMULs (Options::gemm). */
+    GemmBackend gemmBackend() const override { return opt_.gemm; }
+
     /** Cohort members in the current step. */
     Index cohortSize() const { return active_.size(); }
 

@@ -27,8 +27,9 @@ sparsityQuantile(const std::vector<float> &values, double target_sparsity)
     return magnitudes[rank];
 }
 
-FfnReuse::FfnReuse(const FfnReuseConfig &cfg, bool quantize)
-    : cfg_(cfg), quantize_(quantize)
+FfnReuse::FfnReuse(const FfnReuseConfig &cfg, bool quantize,
+                   GemmBackend backend)
+    : cfg_(cfg), quantize_(quantize), backend_(backend)
 {
     EXION_ASSERT(cfg_.denseInterval >= 0, "dense interval ",
                  cfg_.denseInterval);
@@ -70,19 +71,54 @@ namespace
 /** Computes the non-linear hidden activation densely. */
 Matrix
 denseHidden(const TransformerBlock &blk, const Matrix &x_norm,
-            bool quantize)
+            bool quantize, GemmBackend backend)
 {
-    Matrix gate = execMatmul(x_norm, blk.ffn1().weight(), quantize);
+    Matrix gate = execMatmul(x_norm, blk.ffn1().weight(), quantize,
+                             backend);
     addRowVector(gate, blk.ffn1().bias());
     Matrix hidden = gelu(gate);
     if (blk.geglu()) {
         Matrix value = execMatmul(x_norm, blk.ffn1Value().weight(),
-                                  quantize);
+                                  quantize, backend);
         addRowVector(value, blk.ffn1Value().bias());
         for (Index i = 0; i < hidden.size(); ++i)
             hidden.data()[i] *= value.data()[i];
     }
     return hidden;
+}
+
+/**
+ * psum + h * W2 where h is zero outside the mask's set positions,
+ * accumulating only those positions: per output element the masked
+ * contributions add in ascending column order from +0.0f — exactly
+ * the dense product's accumulation chain with its zero terms elided,
+ * which is bit-neutral for finite operands (a zero activation times a
+ * finite weight contributes +/-0.0, and a +0.0-started accumulator is
+ * never at -0.0 when one arrives) — then psum joins through the same
+ * add() as the dense formulation. Bit-identical to
+ * add(psum, matmul(h, w2)) on finite data. This is where the FFN
+ * sparsity shortcut lives now that the golden matmul computes every
+ * term (ops.h accumulation contract): at the paper's ~80-90% reuse
+ * sparsity it does ~nnz*d work instead of t*hid*d, matching the
+ * ffnOpsExecuted accounting.
+ */
+Matrix
+addMaskedProduct(const Matrix &psum, const Matrix &h,
+                 const Bitmask2D &mask, const Matrix &w2)
+{
+    Matrix prod(h.rows(), w2.cols());
+    for (Index r = 0; r < h.rows(); ++r) {
+        float *out = prod.rowPtr(r);
+        for (Index c = 0; c < h.cols(); ++c) {
+            if (!mask.get(r, c))
+                continue;
+            const float hv = h(r, c);
+            const float *wrow = w2.rowPtr(c);
+            for (Index j = 0; j < w2.cols(); ++j)
+                out[j] += hv * wrow[j];
+        }
+    }
+    return add(psum, prod);
 }
 
 } // namespace
@@ -98,7 +134,7 @@ FfnReuse::runDense(const TransformerBlock &blk, const Matrix &x_norm,
     const OpCount ffn1_dense =
         (blk.geglu() ? 2 : 1) * mmulOps(t, d, hid);
 
-    Matrix hidden = denseHidden(blk, x_norm, quantize_);
+    Matrix hidden = denseHidden(blk, x_norm, quantize_, backend_);
     stats.ffnOpsDense += ffn1_dense;
     stats.ffnOpsExecuted += ffn1_dense;
 
@@ -128,12 +164,19 @@ FfnReuse::runDense(const TransformerBlock &blk, const Matrix &x_norm,
                 h_keep(r, c) = 0.0f;
         }
     }
-    st.psumSparse = execMatmul(h_reuse, blk.ffn2().weight(), quantize_);
+    st.psumSparse = execMatmul(h_reuse, blk.ffn2().weight(), quantize_,
+                               backend_);
     st.hiddenCache = std::move(hidden);
     st.initialized = true;
 
-    Matrix out = add(st.psumSparse,
-                     execMatmul(h_keep, blk.ffn2().weight(), quantize_));
+    // The recompute region is sparse (1 - targetSparsity of H); in
+    // the float path accumulate only its masked positions.
+    Matrix out = quantize_
+        ? add(st.psumSparse,
+              execMatmul(h_keep, blk.ffn2().weight(), quantize_,
+                         backend_))
+        : addMaskedProduct(st.psumSparse, h_keep, st.mask,
+                           blk.ffn2().weight());
     addRowVector(out, blk.ffn2().bias());
     stats.ffnOpsDense += mmulOps(t, hid, d);
     stats.ffnOpsExecuted += mmulOps(t, hid, d);
@@ -219,9 +262,15 @@ FfnReuse::runSparse(const TransformerBlock &blk, const Matrix &x_norm,
     stats.ffnOpsExecuted += 2 * per_element * nnz * d;
 
     // Second layer: accumulate only the recomputed contributions onto
-    // the cached partial sums.
-    Matrix out = add(st.psumSparse,
-                     execMatmul(h_keep, blk.ffn2().weight(), quantize_));
+    // the cached partial sums — via the masked positions in the float
+    // path, so the executed work tracks nnz instead of the dense
+    // shape.
+    Matrix out = quantize_
+        ? add(st.psumSparse,
+              execMatmul(h_keep, blk.ffn2().weight(), quantize_,
+                         backend_))
+        : addMaskedProduct(st.psumSparse, h_keep, st.mask,
+                           blk.ffn2().weight());
     addRowVector(out, blk.ffn2().bias());
     stats.ffnOpsDense += mmulOps(t, hid, d);
     stats.ffnOpsExecuted += 2 * nnz * d;

@@ -67,8 +67,11 @@ class FfnReuse
     /**
      * @param cfg      dense interval N and sparsity target
      * @param quantize run MMULs through INT12 operands
+     * @param backend  GEMM backend for the dense MMULs (bit-identical
+     *                 across backends)
      */
-    FfnReuse(const FfnReuseConfig &cfg, bool quantize);
+    FfnReuse(const FfnReuseConfig &cfg, bool quantize,
+             GemmBackend backend = defaultGemmBackend());
 
     FfnReuse(const FfnReuse &) = delete;
     FfnReuse &operator=(const FfnReuse &) = delete;
@@ -111,6 +114,7 @@ class FfnReuse
 
     FfnReuseConfig cfg_;
     bool quantize_;
+    GemmBackend backend_;
     FfnReuseState ownState_;
     FfnReuseState *state_ = &ownState_;
 };

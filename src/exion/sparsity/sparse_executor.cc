@@ -9,7 +9,7 @@ namespace exion
 {
 
 SparseExecutor::SparseExecutor(const Options &opt)
-    : opt_(opt), ffnReuse_(opt.ffnReuse, opt.quantize)
+    : opt_(opt), ffnReuse_(opt.ffnReuse, opt.quantize, opt.gemm)
 {
 }
 
@@ -32,7 +32,7 @@ SparseExecutor::ffn(const TransformerBlock &blk, const Matrix &x_norm)
 {
     if (!opt_.useFfnReuse)
         return denseFfnImpl(blk, x_norm, opt_.quantize, stats(),
-                            observers);
+                            observers, opt_.gemm);
     return ffnReuse_.run(blk, x_norm, iteration(), stats(), observers);
 }
 
@@ -42,7 +42,7 @@ SparseExecutor::attention(const TransformerBlock &blk,
 {
     if (!opt_.useEp)
         return denseAttentionImpl(blk, x_norm, opt_.quantize, stats(),
-                                  observers);
+                                  observers, opt_.gemm);
     return epAttention(blk, x_norm);
 }
 
@@ -52,7 +52,8 @@ namespace
 /** Row-masked projection: rows with needed == 0 stay zero. */
 Matrix
 projectNeededRows(const Matrix &x, const Linear &proj,
-                  const std::vector<u8> &needed, bool quantize)
+                  const std::vector<u8> &needed, bool quantize,
+                  GemmBackend backend)
 {
     Matrix out(x.rows(), proj.outDim());
     // Collect needed rows, project densely, scatter back. This keeps
@@ -72,7 +73,8 @@ projectNeededRows(const Matrix &x, const Linear &proj,
             packed(w, c) = x(r, c);
         ++w;
     }
-    Matrix projected = execMatmul(packed, proj.weight(), quantize);
+    Matrix projected = execMatmul(packed, proj.weight(), quantize,
+                                  backend);
     addRowVector(projected, proj.bias());
     w = 0;
     for (Index r = 0; r < x.rows(); ++r) {
@@ -92,13 +94,15 @@ SparseExecutor::epAttention(const TransformerBlock &blk,
                             const Matrix &x_norm)
 {
     return epAttentionImpl(blk, x_norm, opt_.ep, opt_.lodMode,
-                           opt_.quantize, stats(), observers);
+                           opt_.quantize, stats(), observers,
+                           opt_.gemm);
 }
 
 Matrix
 epAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
                 const EpConfig &ep, LodMode lod_mode, bool quantize,
-                ExecStats &stats, ExecObservers &observers)
+                ExecStats &stats, ExecObservers &observers,
+                GemmBackend backend)
 {
     const Index t = x_norm.rows();
     const Index d = blk.dModel();
@@ -143,11 +147,14 @@ epAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
 
     // --- Real projections, only for needed tokens (SDUE, INT12). ---
     const Matrix q = projectNeededRows(x_norm, blk.wq(),
-                                       needs.qRowNeeded, quantize);
+                                       needs.qRowNeeded, quantize,
+                                       backend);
     const Matrix k = projectNeededRows(x_norm, blk.wk(),
-                                       needs.kRowNeeded, quantize);
+                                       needs.kRowNeeded, quantize,
+                                       backend);
     const Matrix v = projectNeededRows(x_norm, blk.wv(),
-                                       needs.vRowNeeded, quantize);
+                                       needs.vRowNeeded, quantize,
+                                       backend);
     stats.qkvOpsDense += 3 * mmulOps(t, d, d);
     stats.qkvOpsExecuted += mmulOps(nq, d, d) + mmulOps(nk, d, d)
         + mmulOps(nv, d, d);
@@ -210,7 +217,8 @@ epAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
     }
 
     // Output projection stays dense (all rows have outputs).
-    Matrix out = execMatmul(concat, blk.wo().weight(), quantize);
+    Matrix out = execMatmul(concat, blk.wo().weight(), quantize,
+                            backend);
     addRowVector(out, blk.wo().bias());
     stats.attnOpsDense += mmulOps(t, d, d);
     stats.attnOpsExecuted += mmulOps(t, d, d);

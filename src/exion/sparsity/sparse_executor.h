@@ -32,6 +32,13 @@ class SparseExecutor : public BlockExecutor
         LodMode lodMode = LodMode::TwoStep;
         FfnReuseConfig ffnReuse{};
         EpConfig ep{};
+        /**
+         * GEMM backend for every dense MMUL this executor issues
+         * (dense fallbacks, FFN-Reuse dense iterations, EP's packed
+         * projections and output projection). Bit-identical across
+         * backends; a pure wall-clock knob.
+         */
+        GemmBackend gemm = defaultGemmBackend();
     };
 
     explicit SparseExecutor(const Options &opt);
@@ -62,6 +69,9 @@ class SparseExecutor : public BlockExecutor
     /** Active options. */
     const Options &options() const { return opt_; }
 
+    /** GEMM backend used for dense MMULs (Options::gemm). */
+    GemmBackend gemmBackend() const override { return opt_.gemm; }
+
   private:
     Matrix epAttention(const TransformerBlock &blk, const Matrix &x_norm);
 
@@ -84,7 +94,8 @@ class SparseExecutor : public BlockExecutor
 Matrix epAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
                        const EpConfig &ep, LodMode lod_mode,
                        bool quantize, ExecStats &stats,
-                       ExecObservers &observers);
+                       ExecObservers &observers,
+                       GemmBackend backend = defaultGemmBackend());
 
 } // namespace exion
 

@@ -1,0 +1,330 @@
+#include "exion/tensor/gemm.h"
+
+#include <atomic>
+#include <vector>
+
+namespace exion
+{
+
+namespace
+{
+
+std::atomic<GemmBackend> g_default{GemmBackend::Reference};
+
+/**
+ * Blocking parameters, sized for the paper-scale workloads: a cohort
+ * stack of N members x 8 tokens against 256x256 .. 1024x256 weight
+ * panels. A packed j-panel of a K x N weight matrix occupies
+ * K * kPanelCols floats (128 KiB at K = 256), which stays resident in
+ * L2 while every stacked activation row sweeps it; the reference loop
+ * instead drags the whole K x N matrix through the cache once per
+ * activation row. The i-blocking bounds how much of C is live between
+ * panel switches.
+ */
+constexpr Index kPanelCols = 128;
+constexpr Index kBlockRows = 64;
+
+/*
+ * Both kernels of each pair below spell the per-element accumulation
+ * with the same expression shape in the same translation unit
+ * (c += a * b with k ascending from a +0.0f start), so whatever the
+ * compiler does to one — vectorise across independent output elements,
+ * contract multiply-add into FMA — it does to both and the per-element
+ * rounding sequence stays identical. Reassociating or splitting the
+ * k reduction itself is not legal without -ffast-math, which this
+ * project never enables.
+ */
+
+Matrix
+referenceMatmul(const Matrix &a, const Matrix &b)
+{
+    Matrix c(a.rows(), b.cols());
+    const Index k_dim = a.cols();
+    for (Index i = 0; i < a.rows(); ++i) {
+        const float *arow = a.rowPtr(i);
+        float *crow = c.rowPtr(i);
+        for (Index k = 0; k < k_dim; ++k) {
+            const float av = arow[k];
+            const float *brow = b.rowPtr(k);
+            for (Index j = 0; j < b.cols(); ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Matrix
+blockedMatmul(const Matrix &a, const Matrix &b)
+{
+    Matrix c(a.rows(), b.cols());
+    const Index m = a.rows();
+    const Index k_dim = a.cols();
+    const Index n = b.cols();
+    // One reusable panel buffer: B[:, j0:j0+nb] packed row-major as
+    // packed[k * nb + jj], so the inner j-sweep reads contiguously.
+    std::vector<float> packed(k_dim * std::min(kPanelCols, n));
+    for (Index j0 = 0; j0 < n; j0 += kPanelCols) {
+        const Index nb = std::min(kPanelCols, n - j0);
+        for (Index k = 0; k < k_dim; ++k) {
+            const float *brow = b.rowPtr(k) + j0;
+            float *dst = packed.data() + k * nb;
+            for (Index jj = 0; jj < nb; ++jj)
+                dst[jj] = brow[jj];
+        }
+        for (Index i0 = 0; i0 < m; i0 += kBlockRows) {
+            const Index i_end = std::min(i0 + kBlockRows, m);
+            for (Index i = i0; i < i_end; ++i) {
+                const float *arow = a.rowPtr(i);
+                float *crow = c.rowPtr(i) + j0;
+                // Jam four k steps per C sweep: each element's
+                // accumulator still adds its k terms one at a time in
+                // ascending order (four separate rounded additions,
+                // exactly the reference chain), but C is loaded and
+                // stored once per four FMAs instead of every FMA.
+                Index k = 0;
+                for (; k + 4 <= k_dim; k += 4) {
+                    const float av0 = arow[k];
+                    const float av1 = arow[k + 1];
+                    const float av2 = arow[k + 2];
+                    const float av3 = arow[k + 3];
+                    const float *bp0 = packed.data() + k * nb;
+                    const float *bp1 = bp0 + nb;
+                    const float *bp2 = bp1 + nb;
+                    const float *bp3 = bp2 + nb;
+                    for (Index jj = 0; jj < nb; ++jj) {
+                        float acc = crow[jj];
+                        acc += av0 * bp0[jj];
+                        acc += av1 * bp1[jj];
+                        acc += av2 * bp2[jj];
+                        acc += av3 * bp3[jj];
+                        crow[jj] = acc;
+                    }
+                }
+                for (; k < k_dim; ++k) {
+                    const float av = arow[k];
+                    const float *bp = packed.data() + k * nb;
+                    for (Index jj = 0; jj < nb; ++jj)
+                        crow[jj] += av * bp[jj];
+                }
+            }
+        }
+    }
+    return c;
+}
+
+Matrix
+referenceMatmulTransposed(const Matrix &a, const Matrix &b)
+{
+    Matrix c(a.rows(), b.rows());
+    const Index k_dim = a.cols();
+    for (Index i = 0; i < a.rows(); ++i) {
+        const float *arow = a.rowPtr(i);
+        for (Index j = 0; j < b.rows(); ++j) {
+            const float *brow = b.rowPtr(j);
+            float acc = 0.0f;
+            for (Index k = 0; k < k_dim; ++k)
+                acc += arow[k] * brow[k];
+            c(i, j) = acc;
+        }
+    }
+    return c;
+}
+
+Matrix
+blockedMatmulTransposed(const Matrix &a, const Matrix &b)
+{
+    Matrix c(a.rows(), b.rows());
+    const Index m = a.rows();
+    const Index n = b.rows();
+    const Index k_dim = a.cols();
+    // B's rows are already contiguous; tiling i x j keeps a block of
+    // kBlockRows B rows hot while kBlockRows A rows sweep it, instead
+    // of streaming all of B once per A row. Inside a tile, four B
+    // rows share one pass over the A row: four independent
+    // accumulators, each still summing its own k terms in ascending
+    // order — the reference chain per element, a quarter of the A
+    // loads.
+    for (Index i0 = 0; i0 < m; i0 += kBlockRows) {
+        const Index i_end = std::min(i0 + kBlockRows, m);
+        for (Index j0 = 0; j0 < n; j0 += kBlockRows) {
+            const Index j_end = std::min(j0 + kBlockRows, n);
+            for (Index i = i0; i < i_end; ++i) {
+                const float *arow = a.rowPtr(i);
+                float *crow = c.rowPtr(i);
+                Index j = j0;
+                for (; j + 4 <= j_end; j += 4) {
+                    const float *br0 = b.rowPtr(j);
+                    const float *br1 = b.rowPtr(j + 1);
+                    const float *br2 = b.rowPtr(j + 2);
+                    const float *br3 = b.rowPtr(j + 3);
+                    float acc0 = 0.0f;
+                    float acc1 = 0.0f;
+                    float acc2 = 0.0f;
+                    float acc3 = 0.0f;
+                    for (Index k = 0; k < k_dim; ++k) {
+                        const float av = arow[k];
+                        acc0 += av * br0[k];
+                        acc1 += av * br1[k];
+                        acc2 += av * br2[k];
+                        acc3 += av * br3[k];
+                    }
+                    crow[j] = acc0;
+                    crow[j + 1] = acc1;
+                    crow[j + 2] = acc2;
+                    crow[j + 3] = acc3;
+                }
+                for (; j < j_end; ++j) {
+                    const float *brow = b.rowPtr(j);
+                    float acc = 0.0f;
+                    for (Index k = 0; k < k_dim; ++k)
+                        acc += arow[k] * brow[k];
+                    crow[j] = acc;
+                }
+            }
+        }
+    }
+    return c;
+}
+
+Matrix
+referenceMatmulQuant(const QuantMatrix &a, const QuantMatrix &b)
+{
+    Matrix c(a.rows(), b.cols());
+    const double out_scale = a.scale() * b.scale();
+    for (Index i = 0; i < a.rows(); ++i) {
+        for (Index j = 0; j < b.cols(); ++j) {
+            i64 acc = 0;
+            for (Index k = 0; k < a.cols(); ++k)
+                acc += static_cast<i64>(a(i, k)) * b(k, j);
+            c(i, j) = static_cast<float>(acc * out_scale);
+        }
+    }
+    return c;
+}
+
+Matrix
+blockedMatmulQuant(const QuantMatrix &a, const QuantMatrix &b)
+{
+    Matrix c(a.rows(), b.cols());
+    const double out_scale = a.scale() * b.scale();
+    const Index m = a.rows();
+    const Index k_dim = a.cols();
+    const Index n = b.cols();
+    // The reference walks B column-wise (stride n) in its inner loop.
+    // Pack each j-panel of B transposed — packed[jj * k_dim + k] —
+    // so both operands stream contiguously. Integer accumulation is
+    // exact in any order; we keep k ascending anyway to match the
+    // reference operation-for-operation.
+    std::vector<i32> packed(std::min(kPanelCols, n) * k_dim);
+    for (Index j0 = 0; j0 < n; j0 += kPanelCols) {
+        const Index nb = std::min(kPanelCols, n - j0);
+        for (Index k = 0; k < k_dim; ++k)
+            for (Index jj = 0; jj < nb; ++jj)
+                packed[jj * k_dim + k] = b(k, j0 + jj);
+        for (Index i0 = 0; i0 < m; i0 += kBlockRows) {
+            const Index i_end = std::min(i0 + kBlockRows, m);
+            for (Index i = i0; i < i_end; ++i) {
+                float *crow = c.rowPtr(i) + j0;
+                // Four packed columns share one pass over row i of A
+                // (integer sums are exact in any grouping).
+                Index jj = 0;
+                for (; jj + 4 <= nb; jj += 4) {
+                    const i32 *bp0 = packed.data() + jj * k_dim;
+                    const i32 *bp1 = bp0 + k_dim;
+                    const i32 *bp2 = bp1 + k_dim;
+                    const i32 *bp3 = bp2 + k_dim;
+                    i64 acc0 = 0;
+                    i64 acc1 = 0;
+                    i64 acc2 = 0;
+                    i64 acc3 = 0;
+                    for (Index k = 0; k < k_dim; ++k) {
+                        const i64 av = a(i, k);
+                        acc0 += av * bp0[k];
+                        acc1 += av * bp1[k];
+                        acc2 += av * bp2[k];
+                        acc3 += av * bp3[k];
+                    }
+                    crow[jj] = static_cast<float>(acc0 * out_scale);
+                    crow[jj + 1] = static_cast<float>(acc1 * out_scale);
+                    crow[jj + 2] = static_cast<float>(acc2 * out_scale);
+                    crow[jj + 3] = static_cast<float>(acc3 * out_scale);
+                }
+                for (; jj < nb; ++jj) {
+                    const i32 *bp = packed.data() + jj * k_dim;
+                    i64 acc = 0;
+                    for (Index k = 0; k < k_dim; ++k)
+                        acc += static_cast<i64>(a(i, k)) * bp[k];
+                    crow[jj] = static_cast<float>(acc * out_scale);
+                }
+            }
+        }
+    }
+    return c;
+}
+
+} // namespace
+
+GemmBackend
+defaultGemmBackend()
+{
+    return g_default.load(std::memory_order_relaxed);
+}
+
+void
+setDefaultGemmBackend(GemmBackend backend)
+{
+    g_default.store(backend, std::memory_order_relaxed);
+}
+
+const char *
+gemmBackendName(GemmBackend backend)
+{
+    switch (backend) {
+    case GemmBackend::Reference:
+        return "reference";
+    case GemmBackend::Blocked:
+        return "blocked";
+    }
+    return "unknown";
+}
+
+std::optional<GemmBackend>
+parseGemmBackend(const std::string &name)
+{
+    if (name == "reference")
+        return GemmBackend::Reference;
+    if (name == "blocked")
+        return GemmBackend::Blocked;
+    return std::nullopt;
+}
+
+Matrix
+matmulWith(const Matrix &a, const Matrix &b, GemmBackend backend)
+{
+    EXION_ASSERT(a.cols() == b.rows(), "matmul shape (", a.rows(), "x",
+                 a.cols(), ") * (", b.rows(), "x", b.cols(), ")");
+    return backend == GemmBackend::Blocked ? blockedMatmul(a, b)
+                                           : referenceMatmul(a, b);
+}
+
+Matrix
+matmulTransposedWith(const Matrix &a, const Matrix &b,
+                     GemmBackend backend)
+{
+    EXION_ASSERT(a.cols() == b.cols(), "matmulT shape (", a.rows(), "x",
+                 a.cols(), ") * (", b.rows(), "x", b.cols(), ")^T");
+    return backend == GemmBackend::Blocked
+        ? blockedMatmulTransposed(a, b)
+        : referenceMatmulTransposed(a, b);
+}
+
+Matrix
+matmulQuantWith(const QuantMatrix &a, const QuantMatrix &b,
+                GemmBackend backend)
+{
+    EXION_ASSERT(a.cols() == b.rows(), "quant matmul shape mismatch");
+    return backend == GemmBackend::Blocked ? blockedMatmulQuant(a, b)
+                                           : referenceMatmulQuant(a, b);
+}
+
+} // namespace exion

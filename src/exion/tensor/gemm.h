@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Pluggable dense GEMM backends.
+ *
+ * Every dense MMUL in the repository bottoms out here. Two backends
+ * compute the same golden arithmetic:
+ *
+ *  - Reference: the naive triple loops the golden model has always
+ *    used (full IEEE accumulation, no skips).
+ *  - Blocked:   cache-blocked over the i/j output dimensions with the
+ *    traversed B panel packed contiguous, built for the tall stacked
+ *    activations the cohort path produces (many rows against one
+ *    shared weight matrix).
+ *
+ * Bit-identity contract: for every output element both backends
+ * perform the identical sequence of floating-point operations — the
+ * accumulator starts at +0.0f and adds a(i,k)*b(k,j) for k ascending,
+ * with no partial-sum splitting, reassociation or skipping — so
+ * Blocked is bit-identical to Reference by construction, not by
+ * tolerance. Blocking only reorders *which element* is worked on
+ * next (and copies B values, which is exact); it never reorders the
+ * reduction inside an element. The property tests in tests/test_gemm.cc
+ * enforce this over adversarial shapes including NaN/Inf payloads.
+ *
+ * Backend selection: callers either pass a backend explicitly
+ * (matmulWith and friends) or go through the process-wide default
+ * (matmul/matmulTransposed/matmulQuant in ops.h dispatch on
+ * defaultGemmBackend()). Layered code — executors, the serving engine
+ * — threads an explicit backend instead of mutating the process
+ * default, so engines with different options can coexist in one
+ * process.
+ */
+
+#ifndef EXION_TENSOR_GEMM_H_
+#define EXION_TENSOR_GEMM_H_
+
+#include <optional>
+#include <string>
+
+#include "exion/tensor/matrix.h"
+#include "exion/tensor/quant_matrix.h"
+
+namespace exion
+{
+
+/** Dense GEMM kernel implementations. */
+enum class GemmBackend
+{
+    Reference, //!< naive triple loop (golden model)
+    Blocked,   //!< i/j-blocked, B-panel-packed (bit-identical)
+};
+
+/**
+ * Process-wide default backend consulted by the ops.h entry points
+ * and by defaulted constructor/option parameters across the model
+ * and sparsity layers. Starts as Reference. Thread-safe (atomic).
+ */
+GemmBackend defaultGemmBackend();
+
+/** Sets the process-wide default backend. Thread-safe (atomic). */
+void setDefaultGemmBackend(GemmBackend backend);
+
+/** Lower-case backend name ("reference" / "blocked"). */
+const char *gemmBackendName(GemmBackend backend);
+
+/** Parses a backend name; nullopt for anything unrecognised. */
+std::optional<GemmBackend> parseGemmBackend(const std::string &name);
+
+/** C = A * B with an explicit backend. @pre A.cols() == B.rows(). */
+Matrix matmulWith(const Matrix &a, const Matrix &b, GemmBackend backend);
+
+/** C = A * B^T with an explicit backend. @pre A.cols() == B.cols(). */
+Matrix matmulTransposedWith(const Matrix &a, const Matrix &b,
+                            GemmBackend backend);
+
+/** Integer matmul with an explicit backend. @pre A.cols() == B.rows(). */
+Matrix matmulQuantWith(const QuantMatrix &a, const QuantMatrix &b,
+                       GemmBackend backend);
+
+} // namespace exion
+
+#endif // EXION_TENSOR_GEMM_H_

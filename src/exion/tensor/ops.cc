@@ -2,49 +2,21 @@
 
 #include <cmath>
 
+#include "exion/tensor/gemm.h"
+
 namespace exion
 {
 
 Matrix
 matmul(const Matrix &a, const Matrix &b)
 {
-    EXION_ASSERT(a.cols() == b.rows(), "matmul shape (", a.rows(), "x",
-                 a.cols(), ") * (", b.rows(), "x", b.cols(), ")");
-    Matrix c(a.rows(), b.cols());
-    const Index k_dim = a.cols();
-    for (Index i = 0; i < a.rows(); ++i) {
-        const float *arow = a.rowPtr(i);
-        float *crow = c.rowPtr(i);
-        for (Index k = 0; k < k_dim; ++k) {
-            const float av = arow[k];
-            if (av == 0.0f)
-                continue;
-            const float *brow = b.rowPtr(k);
-            for (Index j = 0; j < b.cols(); ++j)
-                crow[j] += av * brow[j];
-        }
-    }
-    return c;
+    return matmulWith(a, b, defaultGemmBackend());
 }
 
 Matrix
 matmulTransposed(const Matrix &a, const Matrix &b)
 {
-    EXION_ASSERT(a.cols() == b.cols(), "matmulT shape (", a.rows(), "x",
-                 a.cols(), ") * (", b.rows(), "x", b.cols(), ")^T");
-    Matrix c(a.rows(), b.rows());
-    const Index k_dim = a.cols();
-    for (Index i = 0; i < a.rows(); ++i) {
-        const float *arow = a.rowPtr(i);
-        for (Index j = 0; j < b.rows(); ++j) {
-            const float *brow = b.rowPtr(j);
-            float acc = 0.0f;
-            for (Index k = 0; k < k_dim; ++k)
-                acc += arow[k] * brow[k];
-            c(i, j) = acc;
-        }
-    }
-    return c;
+    return matmulTransposedWith(a, b, defaultGemmBackend());
 }
 
 Matrix
@@ -106,8 +78,8 @@ addRowVectorToRows(Matrix &a, const Matrix &row, Index r0, Index n)
 {
     EXION_ASSERT(row.rows() == 1 && row.cols() == a.cols(),
                  "row vector shape mismatch");
-    EXION_ASSERT(r0 + n <= a.rows(), "row range [", r0, ",", r0 + n,
-                 ") out of ", a.rows(), " rows");
+    EXION_ASSERT(r0 <= a.rows() && n <= a.rows() - r0, "row range [",
+                 r0, ", +", n, ") out of ", a.rows(), " rows");
     for (Index i = r0; i < r0 + n; ++i) {
         float *arow = a.rowPtr(i);
         const float *r = row.rowPtr(0);
@@ -119,18 +91,7 @@ addRowVectorToRows(Matrix &a, const Matrix &row, Index r0, Index n)
 Matrix
 matmulQuant(const QuantMatrix &a, const QuantMatrix &b)
 {
-    EXION_ASSERT(a.cols() == b.rows(), "quant matmul shape mismatch");
-    Matrix c(a.rows(), b.cols());
-    const double out_scale = a.scale() * b.scale();
-    for (Index i = 0; i < a.rows(); ++i) {
-        for (Index j = 0; j < b.cols(); ++j) {
-            i64 acc = 0;
-            for (Index k = 0; k < a.cols(); ++k)
-                acc += static_cast<i64>(a(i, k)) * b(k, j);
-            c(i, j) = static_cast<float>(acc * out_scale);
-        }
-    }
-    return c;
+    return matmulQuantWith(a, b, defaultGemmBackend());
 }
 
 double
@@ -159,7 +120,8 @@ maxAbsDiff(const Matrix &a, const Matrix &b)
 Matrix
 sliceRows(const Matrix &a, Index r0, Index n)
 {
-    EXION_ASSERT(r0 + n <= a.rows(), "sliceRows out of range");
+    EXION_ASSERT(r0 <= a.rows() && n <= a.rows() - r0,
+                 "sliceRows out of range");
     Matrix out(n, a.cols());
     for (Index i = 0; i < n; ++i)
         for (Index j = 0; j < a.cols(); ++j)
@@ -170,7 +132,8 @@ sliceRows(const Matrix &a, Index r0, Index n)
 Matrix
 sliceCols(const Matrix &a, Index c0, Index n)
 {
-    EXION_ASSERT(c0 + n <= a.cols(), "sliceCols out of range");
+    EXION_ASSERT(c0 <= a.cols() && n <= a.cols() - c0,
+                 "sliceCols out of range");
     Matrix out(a.rows(), n);
     for (Index i = 0; i < a.rows(); ++i)
         for (Index j = 0; j < n; ++j)
@@ -181,7 +144,8 @@ sliceCols(const Matrix &a, Index c0, Index n)
 Matrix
 sliceBlock(const Matrix &a, Index r0, Index nr, Index c0, Index nc)
 {
-    EXION_ASSERT(r0 + nr <= a.rows() && c0 + nc <= a.cols(),
+    EXION_ASSERT(r0 <= a.rows() && nr <= a.rows() - r0
+                     && c0 <= a.cols() && nc <= a.cols() - c0,
                  "sliceBlock out of range");
     Matrix out(nr, nc);
     for (Index i = 0; i < nr; ++i)
@@ -193,7 +157,8 @@ sliceBlock(const Matrix &a, Index r0, Index nr, Index c0, Index nc)
 void
 pasteRows(Matrix &a, const Matrix &src, Index r0)
 {
-    EXION_ASSERT(r0 + src.rows() <= a.rows() && src.cols() == a.cols(),
+    EXION_ASSERT(r0 <= a.rows() && src.rows() <= a.rows() - r0
+                     && src.cols() == a.cols(),
                  "pasteRows out of range");
     for (Index i = 0; i < src.rows(); ++i)
         for (Index j = 0; j < src.cols(); ++j)

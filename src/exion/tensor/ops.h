@@ -4,6 +4,21 @@
  *
  * These are the golden-model implementations every accelerated or
  * sparsity-skipping path in the repository is validated against.
+ *
+ * Accumulation contract of the matmul family: every output element is
+ * a single accumulator starting at +0.0f that adds a(i,k)*b(k,j) for
+ * k ascending, with plain IEEE-754 semantics and **no zero-operand
+ * skipping** — a zero activation against a NaN/Inf weight produces
+ * NaN, exactly as written. (An earlier matmul() skipped a == 0.0f
+ * contributions while matmulTransposed() did not, so the two golden
+ * kernels could disagree under NaN/Inf or signed-zero payloads;
+ * sparsity shortcuts belong in the sparsity layer, not the golden
+ * model.) Consequently matmul(a, b) and
+ * matmulTransposed(a, transpose(b)) agree bit for bit on every input.
+ *
+ * The matmul family dispatches on the process-default GemmBackend
+ * (see tensor/gemm.h); all backends honour the contract above
+ * bit-identically.
  */
 
 #ifndef EXION_TENSOR_OPS_H_
@@ -54,7 +69,15 @@ double frobeniusNorm(const Matrix &a);
 /** Largest |a - b| over all elements. @pre identical shapes. */
 double maxAbsDiff(const Matrix &a, const Matrix &b);
 
-/** Returns rows [r0, r0+n) of A as an n x cols matrix. */
+/**
+ * Returns rows [r0, r0+n) of A as an n x cols matrix.
+ *
+ * The range check (here and in sliceCols/sliceBlock/pasteRows/
+ * addRowVectorToRows) is wraparound-safe: Index is unsigned, so a
+ * negative r0 or n computed in caller arithmetic arrives as a huge
+ * value, and a naive `r0 + n <= rows` guard would wrap right past
+ * the bound it is meant to enforce.
+ */
 Matrix sliceRows(const Matrix &a, Index r0, Index n);
 
 /** Returns columns [c0, c0+n) of A as a rows x n matrix. */

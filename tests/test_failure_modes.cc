@@ -38,6 +38,66 @@ TEST(FailureDeathTest, MatmulShapeMismatchPanics)
     EXPECT_DEATH(matmul(a, b), "matmul shape");
 }
 
+// Index is unsigned, so a caller's negative offset/count arrives as a
+// huge value. The old `r0 + n <= rows` guards wrapped right past the
+// bound; the slice family must reject these loudly, not read out of
+// bounds.
+TEST(FailureDeathTest, SliceRowsWrappedNegativeOffsetPanics)
+{
+    REQUIRE_ASSERTS();
+    Matrix a(4, 4);
+    EXPECT_DEATH(sliceRows(a, static_cast<Index>(-1), 2),
+                 "sliceRows out of range");
+}
+
+TEST(FailureDeathTest, SliceRowsWrappedNegativeCountPanics)
+{
+    REQUIRE_ASSERTS();
+    Matrix a(4, 4);
+    EXPECT_DEATH(sliceRows(a, 1, static_cast<Index>(-2)),
+                 "sliceRows out of range");
+}
+
+TEST(FailureDeathTest, SliceColsWrappedNegativeOffsetPanics)
+{
+    REQUIRE_ASSERTS();
+    Matrix a(4, 4);
+    EXPECT_DEATH(sliceCols(a, static_cast<Index>(-3), 1),
+                 "sliceCols out of range");
+}
+
+TEST(FailureDeathTest, SliceBlockWrappedNegativePanics)
+{
+    REQUIRE_ASSERTS();
+    Matrix a(4, 4);
+    EXPECT_DEATH(sliceBlock(a, static_cast<Index>(-1), 1, 0, 1),
+                 "sliceBlock out of range");
+    EXPECT_DEATH(sliceBlock(a, 0, 1, 2, static_cast<Index>(-1)),
+                 "sliceBlock out of range");
+}
+
+TEST(FailureDeathTest, PasteRowsWrappedNegativeOffsetPanics)
+{
+    REQUIRE_ASSERTS();
+    Matrix a(4, 4);
+    Matrix src(2, 4);
+    EXPECT_DEATH(pasteRows(a, src, static_cast<Index>(-2)),
+                 "pasteRows out of range");
+}
+
+TEST(FailureDeathTest, AddRowVectorToRowsWrappedNegativePanics)
+{
+    REQUIRE_ASSERTS();
+    Matrix a(4, 4);
+    Matrix row(1, 4);
+    EXPECT_DEATH(
+        addRowVectorToRows(a, row, static_cast<Index>(-1), 2),
+        "row range");
+    EXPECT_DEATH(
+        addRowVectorToRows(a, row, 2, static_cast<Index>(-1)),
+        "row range");
+}
+
 TEST(FailureDeathTest, BitmaskOutOfRangePanics)
 {
     REQUIRE_ASSERTS();
