@@ -33,8 +33,15 @@
  * comparison regresses, or the overload accounting does not
  * reconcile, so CI can use a quick run as a smoke check.
  *
+ * A fourth scenario compares the SIMD tiers under cohort batching
+ * on the same workload: the Exact tier (host vector table, golden
+ * accumulation order, bit-identical to Scalar) must not lose to the
+ * forced-Scalar tier whenever a vector table is active — the gate
+ * that keeps the kernel layer an actual wall-clock win.
+ *
  *   ./build/bench/bench_batch_throughput [--quick]
  *                                        [--gemm reference|blocked]
+ *                                        [--simd scalar|exact|fast]
  */
 
 #include <algorithm>
@@ -50,6 +57,7 @@
 
 #include "bench/bench_util.h"
 #include "exion/serve/batch_engine.h"
+#include "exion/tensor/kernel_flags.h"
 
 using namespace exion;
 
@@ -133,12 +141,13 @@ percentile(const std::vector<double> &samples, double pct)
 EngineRun
 runEngine(const ModelConfig &cfg,
           const std::vector<ServeRequest> &batch, int workers,
-          GemmBackend gemm)
+          GemmBackend gemm, SimdTier simd)
 {
     BatchEngine::Options opts;
     opts.workers = workers;
     opts.poolSeed = kPoolSeed;
     opts.gemmBackend = gemm;
+    opts.simdTier = simd;
     // Latency is taken from the callback; don't accumulate results.
     opts.queueResults = false;
     BatchEngine engine(opts);
@@ -308,7 +317,7 @@ struct GemmComparison
 double
 runCohortLoad(const ModelConfig &cfg, ExecMode mode, int n,
               int workers, bool cohort, Index max_rows,
-              GemmBackend gemm)
+              GemmBackend gemm, SimdTier simd)
 {
     BatchEngine::Options opts;
     opts.workers = workers;
@@ -317,6 +326,7 @@ runCohortLoad(const ModelConfig &cfg, ExecMode mode, int n,
     opts.cohortBatching = cohort;
     opts.cohortMaxRows = max_rows;
     opts.gemmBackend = gemm;
+    opts.simdTier = simd;
     BatchEngine engine(opts);
     engine.addModel(cfg);
 
@@ -345,7 +355,8 @@ runCohortLoad(const ModelConfig &cfg, ExecMode mode, int n,
 
 CohortComparison
 compareCohort(const ModelConfig &cfg, ExecMode mode, int n,
-              Index max_rows, int reps, GemmBackend gemm)
+              Index max_rows, int reps, GemmBackend gemm,
+              SimdTier simd)
 {
     CohortComparison cmp;
     cmp.mode = execModeName(mode);
@@ -358,9 +369,10 @@ compareCohort(const ModelConfig &cfg, ExecMode mode, int n,
     double on = 0.0;
     for (int rep = 0; rep < reps; ++rep) {
         const double off_s = runCohortLoad(cfg, mode, n, /*workers=*/1,
-                                           false, max_rows, gemm);
+                                           false, max_rows, gemm,
+                                           simd);
         const double on_s = runCohortLoad(cfg, mode, n, /*workers=*/1,
-                                          true, max_rows, gemm);
+                                          true, max_rows, gemm, simd);
         if (off_s > 0.0)
             off = off == 0.0 ? off_s : std::min(off, off_s);
         if (on_s > 0.0)
@@ -378,7 +390,7 @@ compareCohort(const ModelConfig &cfg, ExecMode mode, int n,
  */
 GemmComparison
 compareGemmBackends(const ModelConfig &cfg, ExecMode mode, int n,
-                    Index max_rows, int reps)
+                    Index max_rows, int reps, SimdTier simd)
 {
     GemmComparison cmp;
     cmp.mode = execModeName(mode);
@@ -388,10 +400,10 @@ compareGemmBackends(const ModelConfig &cfg, ExecMode mode, int n,
     for (int rep = 0; rep < reps; ++rep) {
         const double ref_s =
             runCohortLoad(cfg, mode, n, /*workers=*/1, true, max_rows,
-                          GemmBackend::Reference);
+                          GemmBackend::Reference, simd);
         const double blocked_s =
             runCohortLoad(cfg, mode, n, /*workers=*/1, true, max_rows,
-                          GemmBackend::Blocked);
+                          GemmBackend::Blocked, simd);
         if (ref_s > 0.0)
             ref = ref == 0.0 ? ref_s : std::min(ref, ref_s);
         if (blocked_s > 0.0)
@@ -403,11 +415,59 @@ compareGemmBackends(const ModelConfig &cfg, ExecMode mode, int n,
     return cmp;
 }
 
+/** Cohort-on SIMD tier comparison row of the JSON artifact. */
+struct SimdComparison
+{
+    std::string mode;
+    int requests = 0;
+    double scalarRps = 0.0;
+    double exactRps = 0.0;
+
+    double speedup() const
+    {
+        return scalarRps > 0.0 ? exactRps / scalarRps : 0.0;
+    }
+};
+
+/**
+ * Cohort-on, Scalar vs Exact SIMD tier (interleaved best-of-N): the
+ * same stacked load through the Blocked GEMM backend, with only the
+ * kernel table swapped — the tiers are bit-identical by construction,
+ * so any gap is pure wall clock.
+ */
+SimdComparison
+compareSimdTiers(const ModelConfig &cfg, ExecMode mode, int n,
+                 Index max_rows, int reps)
+{
+    SimdComparison cmp;
+    cmp.mode = execModeName(mode);
+    cmp.requests = n;
+    double scalar = 0.0;
+    double exact = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+        const double scalar_s =
+            runCohortLoad(cfg, mode, n, /*workers=*/1, true, max_rows,
+                          GemmBackend::Blocked, SimdTier::Scalar);
+        const double exact_s =
+            runCohortLoad(cfg, mode, n, /*workers=*/1, true, max_rows,
+                          GemmBackend::Blocked, SimdTier::Exact);
+        if (scalar_s > 0.0)
+            scalar = scalar == 0.0 ? scalar_s
+                                   : std::min(scalar, scalar_s);
+        if (exact_s > 0.0)
+            exact = exact == 0.0 ? exact_s : std::min(exact, exact_s);
+    }
+    cmp.scalarRps = scalar > 0.0 ? n / scalar : 0.0;
+    cmp.exactRps = exact > 0.0 ? n / exact : 0.0;
+    return cmp;
+}
+
 /** Machine-readable artifact tracking the cohort perf trajectory. */
 void
 writeBenchJson(const std::string &path, const ModelConfig &cfg,
                bool quick, const std::vector<CohortComparison> &rows,
-               const std::vector<GemmComparison> &gemm_rows)
+               const std::vector<GemmComparison> &gemm_rows,
+               const std::vector<SimdComparison> &simd_rows)
 {
     std::ofstream out(path);
     if (!out) {
@@ -440,7 +500,23 @@ writeBenchJson(const std::string &path, const ModelConfig &cfg,
             << ", \"speedup\": " << g.speedup() << "}"
             << (i + 1 < gemm_rows.size() ? "," : "") << "\n";
     }
-    out << "  ]\n";
+    out << "  ],\n";
+    out << "  \"simd\": {\n";
+    out << "    \"level\": \"" << simdLevelName(activeSimdLevel())
+        << "\",\n";
+    out << "    \"rows\": [\n";
+    for (Index i = 0; i < simd_rows.size(); ++i) {
+        const SimdComparison &sc = simd_rows[i];
+        out << "      {\"mode\": \"" << sc.mode
+            << "\", \"requests\": " << sc.requests
+            << ", \"cohort\": true,\n"
+            << "       \"scalar_rps\": " << sc.scalarRps
+            << ", \"exact_rps\": " << sc.exactRps
+            << ", \"speedup\": " << sc.speedup() << "}"
+            << (i + 1 < simd_rows.size() ? "," : "") << "\n";
+    }
+    out << "    ]\n";
+    out << "  }\n";
     out << "}\n";
     std::cout << "wrote " << path << "\n";
 }
@@ -452,27 +528,20 @@ main(int argc, char **argv)
 {
     const bool quick = bench::quickMode(argc, argv);
 
-    // --gemm reference|blocked: backend for the main throughput sweep
-    // and the cohort on/off comparison (the Blocked-vs-Reference gate
-    // below always measures both).
-    GemmBackend sweep_gemm = BatchEngine::Options{}.gemmBackend;
+    // --gemm / --simd: backend and kernel tier for the main
+    // throughput sweep and the cohort on/off comparison (the gated
+    // comparisons below always measure both of their own settings).
+    KernelFlags sweep_kernels;
     for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--gemm") {
-            if (i + 1 >= argc) {
-                std::cerr << "error: --gemm needs a value "
-                             "(reference|blocked)\n";
-                return 1;
-            }
-            const auto parsed = parseGemmBackend(argv[++i]);
-            if (!parsed) {
-                std::cerr << "error: unknown --gemm backend '"
-                          << argv[i]
-                          << "' (expected reference|blocked)\n";
-                return 1;
-            }
-            sweep_gemm = *parsed;
+        std::string err;
+        if (tryConsumeKernelFlag(argc, argv, i, sweep_kernels, err)
+            == KernelFlagStatus::Error) {
+            std::cerr << "error: " << err << "\n";
+            return 1;
         }
     }
+    const GemmBackend sweep_gemm = sweep_kernels.gemm;
+    const SimdTier sweep_simd = sweep_kernels.simd;
 
     ModelConfig cfg = makeConfig(Benchmark::MLD, Scale::Reduced);
     cfg.iterations = quick ? 6 : 12;
@@ -481,7 +550,9 @@ main(int argc, char **argv)
     std::cout << "model " << cfg.name << ", " << cfg.iterations
               << " iterations, " << hw << " hardware threads, seeds "
               << "fixed (noise base " << kNoiseSeedBase << "), gemm "
-              << gemmBackendName(sweep_gemm) << "\n\n";
+              << gemmBackendName(sweep_gemm) << ", simd "
+              << simdTierName(sweep_simd) << " (level "
+              << simdLevelName(activeSimdLevel()) << ")\n\n";
 
     std::vector<int> batches = {1, 4, 8};
     if (!quick)
@@ -510,7 +581,8 @@ main(int argc, char **argv)
                   << std::setprecision(2) << std::setw(16) << base_rps;
         double best = 0.0;
         for (int w : workers) {
-            const EngineRun run = runEngine(cfg, batch, w, sweep_gemm);
+            const EngineRun run =
+                runEngine(cfg, batch, w, sweep_gemm, sweep_simd);
             const double rps = n / run.seconds;
             healthy &= rps > 0.0;
             best = std::max(best, rps);
@@ -553,7 +625,7 @@ main(int argc, char **argv)
         const int reps = mode == ExecMode::Dense ? 5 : 3;
         CohortComparison cmp =
             compareCohort(cohort_cfg, mode, cohort_n, /*max_rows=*/8,
-                          reps, sweep_gemm);
+                          reps, sweep_gemm, sweep_simd);
         std::cout << std::left << std::setw(8) << cmp.mode
                   << std::fixed << std::setprecision(2)
                   << "cohort-off " << std::setw(10) << cmp.offRps
@@ -584,7 +656,8 @@ main(int argc, char **argv)
     for (ExecMode mode : {ExecMode::Dense, ExecMode::Exion}) {
         const int reps = mode == ExecMode::Dense ? 5 : 3;
         GemmComparison cmp = compareGemmBackends(
-            cohort_cfg, mode, cohort_n, /*max_rows=*/8, reps);
+            cohort_cfg, mode, cohort_n, /*max_rows=*/8, reps,
+            sweep_simd);
         std::cout << std::left << std::setw(8) << cmp.mode
                   << std::fixed << std::setprecision(2)
                   << "reference " << std::setw(10) << cmp.referenceRps
@@ -601,8 +674,41 @@ main(int argc, char **argv)
                      "cohort-on dense throughput over Reference\n";
         healthy = false;
     }
+    // SIMD tiers under cohort batching: the Blocked backend's
+    // kernels with the scalar table forced vs the host vector table
+    // under the Exact (bit-identical) contract. Gated only when a
+    // vector table is actually active — on a scalar-only host (or
+    // under EXION_SIMD=scalar) both rows run the same code and noise
+    // would decide the verdict.
+    std::cout << "\n== SIMD tiers, cohort-on, blocked GEMM: "
+              << cohort_n << " same-model " << cohort_cfg.name
+              << " (full-scale) requests, " << cohort_cfg.iterations
+              << " iterations, 1 worker, max rows 8 (level "
+              << simdLevelName(activeSimdLevel()) << ") ==\n";
+    std::vector<SimdComparison> simd_rows;
+    for (ExecMode mode : {ExecMode::Dense, ExecMode::Exion}) {
+        const int reps = mode == ExecMode::Dense ? 5 : 3;
+        SimdComparison cmp = compareSimdTiers(
+            cohort_cfg, mode, cohort_n, /*max_rows=*/8, reps);
+        std::cout << std::left << std::setw(8) << cmp.mode
+                  << std::fixed << std::setprecision(2) << "scalar "
+                  << std::setw(10) << cmp.scalarRps << "exact "
+                  << std::setw(10) << cmp.exactRps << "speedup "
+                  << cmp.speedup() << "x\n";
+        healthy &= cmp.scalarRps > 0.0 && cmp.exactRps > 0.0;
+        simd_rows.push_back(std::move(cmp));
+    }
+    // The acceptance gate: with a vector table active, dispatching
+    // the dense cohort load onto it must not lose to forced scalar.
+    if (activeSimdLevel() != SimdLevel::Scalar
+        && simd_rows[0].exactRps < simd_rows[0].scalarRps) {
+        std::cerr << "error: Exact-tier vector kernels lost to the "
+                     "forced-scalar tier on cohort-on dense "
+                     "throughput\n";
+        healthy = false;
+    }
     writeBenchJson("BENCH_batch.json", cohort_cfg, quick, cohort_rows,
-                   gemm_rows);
+                   gemm_rows, simd_rows);
 
     healthy &= runOverload(cfg, quick);
     return healthy ? 0 : 1;

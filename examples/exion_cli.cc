@@ -18,7 +18,7 @@
 #include "exion/accel/perf_model.h"
 #include "exion/baseline/gpu_model.h"
 #include "exion/common/table.h"
-#include "exion/tensor/gemm.h"
+#include "exion/tensor/kernel_flags.h"
 
 using namespace exion;
 
@@ -108,8 +108,16 @@ main(int argc, char **argv)
     std::string ablation_name = "all";
     int batch = 1;
     bool with_gpu = false;
+    KernelFlags kernels;
 
     for (int i = 1; i < argc; ++i) {
+        std::string kernel_err;
+        const KernelFlagStatus ks =
+            tryConsumeKernelFlag(argc, argv, i, kernels, kernel_err);
+        if (ks == KernelFlagStatus::Error)
+            EXION_FATAL(kernel_err);
+        if (ks == KernelFlagStatus::Consumed)
+            continue;
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
             if (i + 1 >= argc)
@@ -126,26 +134,24 @@ main(int argc, char **argv)
             batch = std::stoi(next());
         else if (arg == "--gpu")
             with_gpu = true;
-        else if (arg == "--gemm") {
-            const std::string name = next();
-            const auto backend = parseGemmBackend(name);
-            if (!backend)
-                EXION_FATAL("unknown --gemm backend '", name,
-                            "' (expected reference|blocked)");
-            // Process-wide: every dense MMUL of the runs below
-            // dispatches on this. Bit-identical across backends.
-            setDefaultGemmBackend(*backend);
-        } else if (arg == "--help" || arg == "-h") {
+        else if (arg == "--help" || arg == "-h") {
             std::cout << "usage: exion_cli [--model NAME] "
                       << "[--device exion4|exion24|exion42]\n"
                       << "                 [--ablation base|ep|ffnr|"
                       << "all] [--batch N] [--gpu]\n"
-                      << "                 [--gemm reference|blocked]\n";
+                      << "                 " << kernelFlagsUsage()
+                      << "\n";
             return 0;
         } else {
             EXION_FATAL("unknown argument ", arg);
         }
     }
+
+    // Process-wide: every dense MMUL / kernel of the runs below
+    // dispatches on these. --gemm is bit-identical across backends;
+    // --simd scalar|exact are bit-identical, fast is tolerance-level.
+    setDefaultGemmBackend(kernels.gemm);
+    setDefaultSimdTier(kernels.simd);
 
     const ExionConfig device = parseDevice(device_name);
     const Ablation ablation = parseAblation(ablation_name);

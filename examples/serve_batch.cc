@@ -19,35 +19,32 @@
 #include <string>
 
 #include "exion/serve/batch_engine.h"
+#include "exion/tensor/kernel_flags.h"
 
 using namespace exion;
 
 int
 main(int argc, char **argv)
 {
-    // --gemm reference|blocked selects the engine's GEMM backend
-    // (default Blocked). Outputs are bit-identical either way — the
-    // self-checks below hold regardless — only wall clock changes.
-    GemmBackend gemm = BatchEngine::Options{}.gemmBackend;
+    // --gemm selects the engine's GEMM backend (default Blocked) and
+    // --simd its kernel tier (default Exact). Outputs are
+    // bit-identical for every backend and for the scalar/exact tiers
+    // — the self-checks below hold regardless — only wall clock
+    // changes (fast is tolerance-level and would trip the bit-exact
+    // check, which is itself a useful probe).
+    KernelFlags kernels;
     for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--gemm") {
-            if (i + 1 >= argc) {
-                std::cerr << "error: --gemm needs a value "
-                             "(reference|blocked)\n";
-                return 1;
-            }
-            const auto parsed = parseGemmBackend(argv[++i]);
-            if (!parsed) {
-                std::cerr << "error: unknown --gemm backend '"
-                          << argv[i]
-                          << "' (expected reference|blocked)\n";
-                return 1;
-            }
-            gemm = *parsed;
-        } else {
+        std::string err;
+        const KernelFlagStatus ks =
+            tryConsumeKernelFlag(argc, argv, i, kernels, err);
+        if (ks == KernelFlagStatus::Error) {
+            std::cerr << "error: " << err << "\n";
+            return 1;
+        }
+        if (ks == KernelFlagStatus::NotMine) {
             std::cerr << "error: unknown argument '" << argv[i]
                       << "' (usage: serve_batch "
-                         "[--gemm reference|blocked])\n";
+                      << kernelFlagsUsage() << ")\n";
             return 1;
         }
     }
@@ -64,7 +61,8 @@ main(int argc, char **argv)
 
     BatchEngine::Options opts;
     opts.workers = 4;
-    opts.gemmBackend = gemm;
+    opts.gemmBackend = kernels.gemm;
+    opts.simdTier = kernels.simd;
     opts.admission.maxQueuedPerClass = 16;
     opts.admission.shedThreshold = 12;
     opts.admission.shedBelow = Priority::Normal;

@@ -20,9 +20,8 @@ sparseMatmulViaConMerge(const Matrix &input, const Matrix &weight,
     SparseMatmulResult result;
     result.output = Matrix(input.rows(), weight.cols());
     result.conStats.matrixColumns = out_mask.cols();
-    for (Index c = 0; c < out_mask.cols(); ++c)
-        result.conStats.matrixNonEmptyColumns +=
-            out_mask.columnEmpty(c) ? 0 : 1;
+    result.conStats.matrixNonEmptyColumns =
+        out_mask.nonEmptyColumnCount();
 
     ConMergePipeline pipeline(cfg);
     Sdue sdue{DscParams{}};

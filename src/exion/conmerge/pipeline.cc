@@ -202,8 +202,7 @@ ConMergePipeline::processMaskInto(const Bitmask2D &mask,
                                   ConMergeStats &into) const
 {
     into.matrixColumns += mask.cols();
-    for (Index c = 0; c < mask.cols(); ++c)
-        into.matrixNonEmptyColumns += mask.columnEmpty(c) ? 0 : 1;
+    into.matrixNonEmptyColumns += mask.nonEmptyColumnCount();
     const Index groups = ceilDiv(mask.rows(), kLanes);
     for (Index g = 0; g < groups; ++g)
         into.add(processGroup(mask, g * kLanes));

@@ -32,20 +32,21 @@ ExecStats::merge(const ExecStats &other)
 
 Matrix
 execMatmul(const Matrix &a, const Matrix &b, bool quantize,
-           GemmBackend backend)
+           GemmBackend backend, SimdTier simd)
 {
     if (!quantize)
-        return matmulWith(a, b, backend);
+        return matmulWith(a, b, backend, simd);
     const QuantMatrix qa = QuantMatrix::fromFloat(a, IntWidth::Int12);
     const QuantMatrix qb = QuantMatrix::fromFloat(b, IntWidth::Int12);
-    return matmulQuantWith(qa, qb, backend);
+    return matmulQuantWith(qa, qb, backend, simd);
 }
 
 void
 denseAttentionCoreInto(const TransformerBlock &blk, const Matrix &q,
                        const Matrix &k, const Matrix &v, Index r0,
                        Index rows, bool quantize, ExecStats &stats,
-                       Matrix &concat, GemmBackend backend)
+                       Matrix &concat, GemmBackend backend,
+                       SimdTier simd)
 {
     const Index t = rows;
     const Index dh = blk.headDim();
@@ -58,9 +59,11 @@ denseAttentionCoreInto(const TransformerBlock &blk, const Matrix &q,
         const Matrix vh = sliceBlock(v, r0, t, h * dh, dh);
 
         Matrix scores =
-            scale(matmulTransposedWith(qh, kh, backend), inv_sqrt);
+            scale(matmulTransposedWith(qh, kh, backend, simd),
+                  inv_sqrt);
         const Matrix probs = softmax(scores);
-        const Matrix out_h = execMatmul(probs, vh, quantize, backend);
+        const Matrix out_h =
+            execMatmul(probs, vh, quantize, backend, simd);
         for (Index r = 0; r < t; ++r)
             for (Index c = 0; c < dh; ++c)
                 concat(r0 + r, h * dh + c) = out_h(r, c);
@@ -73,17 +76,21 @@ denseAttentionCoreInto(const TransformerBlock &blk, const Matrix &q,
 Matrix
 denseAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
                    bool quantize, ExecStats &stats,
-                   ExecObservers &observers, GemmBackend backend)
+                   ExecObservers &observers, GemmBackend backend,
+                   SimdTier simd)
 {
     (void)observers;
     const Index t = x_norm.rows();
     const Index d = blk.dModel();
 
-    Matrix q = execMatmul(x_norm, blk.wq().weight(), quantize, backend);
+    Matrix q =
+        execMatmul(x_norm, blk.wq().weight(), quantize, backend, simd);
     addRowVector(q, blk.wq().bias());
-    Matrix k = execMatmul(x_norm, blk.wk().weight(), quantize, backend);
+    Matrix k =
+        execMatmul(x_norm, blk.wk().weight(), quantize, backend, simd);
     addRowVector(k, blk.wk().bias());
-    Matrix v = execMatmul(x_norm, blk.wv().weight(), quantize, backend);
+    Matrix v =
+        execMatmul(x_norm, blk.wv().weight(), quantize, backend, simd);
     addRowVector(v, blk.wv().bias());
 
     stats.qkvOpsDense += 3 * mmulOps(t, d, d);
@@ -94,9 +101,10 @@ denseAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
 
     Matrix concat(t, d);
     denseAttentionCoreInto(blk, q, k, v, 0, t, quantize, stats,
-                           concat, backend);
+                           concat, backend, simd);
 
-    Matrix out = execMatmul(concat, blk.wo().weight(), quantize, backend);
+    Matrix out =
+        execMatmul(concat, blk.wo().weight(), quantize, backend, simd);
     addRowVector(out, blk.wo().bias());
     stats.attnOpsDense += mmulOps(t, d, d);
     stats.attnOpsExecuted += mmulOps(t, d, d);
@@ -106,14 +114,14 @@ denseAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
 Matrix
 denseFfnImpl(const TransformerBlock &blk, const Matrix &x_norm,
              bool quantize, ExecStats &stats, ExecObservers &observers,
-             GemmBackend backend)
+             GemmBackend backend, SimdTier simd)
 {
     const Index t = x_norm.rows();
     const Index d = blk.dModel();
     const Index hid = blk.ffnHidden();
 
     Matrix gate = execMatmul(x_norm, blk.ffn1().weight(), quantize,
-                             backend);
+                             backend, simd);
     addRowVector(gate, blk.ffn1().bias());
     stats.ffnOpsDense += mmulOps(t, d, hid);
     stats.ffnOpsExecuted += mmulOps(t, d, hid);
@@ -121,7 +129,7 @@ denseFfnImpl(const TransformerBlock &blk, const Matrix &x_norm,
     Matrix hidden;
     if (blk.geglu()) {
         Matrix value = execMatmul(x_norm, blk.ffn1Value().weight(),
-                                  quantize, backend);
+                                  quantize, backend, simd);
         addRowVector(value, blk.ffn1Value().bias());
         stats.ffnOpsDense += mmulOps(t, d, hid);
         stats.ffnOpsExecuted += mmulOps(t, d, hid);
@@ -136,7 +144,7 @@ denseFfnImpl(const TransformerBlock &blk, const Matrix &x_norm,
         observers.onFfnHidden(blk.id(), hidden);
 
     Matrix out = execMatmul(hidden, blk.ffn2().weight(), quantize,
-                            backend);
+                            backend, simd);
     addRowVector(out, blk.ffn2().bias());
     stats.ffnOpsDense += mmulOps(t, hid, d);
     stats.ffnOpsExecuted += mmulOps(t, hid, d);
@@ -147,14 +155,14 @@ Matrix
 DenseExecutor::attention(const TransformerBlock &blk, const Matrix &x_norm)
 {
     return denseAttentionImpl(blk, x_norm, quantize_, stats(), observers,
-                              backend_);
+                              backend_, simd_);
 }
 
 Matrix
 DenseExecutor::ffn(const TransformerBlock &blk, const Matrix &x_norm)
 {
     return denseFfnImpl(blk, x_norm, quantize_, stats(), observers,
-                        backend_);
+                        backend_, simd_);
 }
 
 } // namespace exion

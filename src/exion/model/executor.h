@@ -164,6 +164,13 @@ class BlockExecutor
         return defaultGemmBackend();
     }
 
+    /**
+     * SIMD tier for kernels issued on this executor's behalf (see
+     * simd_dispatch.h). Scalar and Exact are bit-identical; the base
+     * implementation follows the process default.
+     */
+    virtual SimdTier simdTier() const { return defaultSimdTier(); }
+
     /** Multi-head attention sub-layer (QKV, scores, AV, out-proj). */
     virtual Matrix attention(const TransformerBlock &blk,
                              const Matrix &x_norm) = 0;
@@ -217,10 +224,13 @@ class DenseExecutor : public BlockExecutor
      * @param backend  GEMM backend for every dense MMUL (all
      *                 backends are bit-identical; this is a pure
      *                 wall-clock knob)
+     * @param simd     SIMD tier for the backend's kernels (Scalar and
+     *                 Exact bit-identical; Fast tolerance-gated)
      */
     explicit DenseExecutor(bool quantize = false,
-                           GemmBackend backend = defaultGemmBackend())
-        : quantize_(quantize), backend_(backend)
+                           GemmBackend backend = defaultGemmBackend(),
+                           SimdTier simd = defaultSimdTier())
+        : quantize_(quantize), backend_(backend), simd_(simd)
     {}
 
     Matrix attention(const TransformerBlock &blk,
@@ -233,9 +243,13 @@ class DenseExecutor : public BlockExecutor
     /** GEMM backend used for dense MMULs. */
     GemmBackend gemmBackend() const override { return backend_; }
 
+    /** SIMD tier used for kernels. */
+    SimdTier simdTier() const override { return simd_; }
+
   private:
     bool quantize_;
     GemmBackend backend_;
+    SimdTier simd_;
 };
 
 /**
@@ -267,7 +281,8 @@ class CohortBlockExecutor : public BlockExecutor
  * given GEMM backend (defaults to the process-wide backend).
  */
 Matrix execMatmul(const Matrix &a, const Matrix &b, bool quantize,
-                  GemmBackend backend = defaultGemmBackend());
+                  GemmBackend backend = defaultGemmBackend(),
+                  SimdTier simd = defaultSimdTier());
 
 /**
  * MACs-as-2-ops for an (m x k) * (k x n) MMUL — the paper's TOPS
@@ -290,7 +305,8 @@ mmulOps(Index m, Index k, Index n)
 Matrix denseAttentionImpl(const TransformerBlock &blk,
                           const Matrix &x_norm, bool quantize,
                           ExecStats &stats, ExecObservers &observers,
-                          GemmBackend backend = defaultGemmBackend());
+                          GemmBackend backend = defaultGemmBackend(),
+                          SimdTier simd = defaultSimdTier());
 
 /**
  * Per-head score/softmax/AV core of dense attention on rows
@@ -307,13 +323,15 @@ void denseAttentionCoreInto(const TransformerBlock &blk,
                             const Matrix &v, Index r0, Index rows,
                             bool quantize, ExecStats &stats,
                             Matrix &concat,
-                            GemmBackend backend = defaultGemmBackend());
+                            GemmBackend backend = defaultGemmBackend(),
+                            SimdTier simd = defaultSimdTier());
 
 /** Dense FFN implementation shared by executors. */
 Matrix denseFfnImpl(const TransformerBlock &blk, const Matrix &x_norm,
                     bool quantize, ExecStats &stats,
                     ExecObservers &observers,
-                    GemmBackend backend = defaultGemmBackend());
+                    GemmBackend backend = defaultGemmBackend(),
+                    SimdTier simd = defaultSimdTier());
 
 } // namespace exion
 

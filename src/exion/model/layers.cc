@@ -17,9 +17,10 @@ Linear::Linear(Index in, Index out, Rng &rng)
 }
 
 Matrix
-Linear::forward(const Matrix &x, GemmBackend backend) const
+Linear::forward(const Matrix &x, GemmBackend backend,
+                SimdTier simd) const
 {
-    Matrix y = matmulWith(x, weight_, backend);
+    Matrix y = matmulWith(x, weight_, backend, simd);
     addRowVector(y, bias_);
     return y;
 }

@@ -32,9 +32,12 @@ class Linear
      * @param backend GEMM backend for the x W product; defaults to
      *                the process-wide backend. All backends are
      *                bit-identical.
+     * @param simd    SIMD tier for the backend's kernels (Scalar and
+     *                Exact bit-identical; Fast tolerance-gated)
      */
     Matrix forward(const Matrix &x,
-                   GemmBackend backend = defaultGemmBackend()) const;
+                   GemmBackend backend = defaultGemmBackend(),
+                   SimdTier simd = defaultSimdTier()) const;
 
     /** Weight matrix (in x out). */
     const Matrix &weight() const { return weight_; }

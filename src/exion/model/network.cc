@@ -100,8 +100,9 @@ DenoisingNetwork::forwardImpl(const Matrix &x, const int *timesteps,
     // and ResBlock convolutions, so an engine's backend choice
     // reaches every dense MMUL of the run, not just the blocks.
     const GemmBackend gemm = exec.gemmBackend();
+    const SimdTier simd = exec.simdTier();
 
-    Matrix h = inProj_.forward(x, gemm);
+    Matrix h = inProj_.forward(x, gemm, simd);
     addRowVector(h, condEmbed_);
 
     // Per-segment timestep embeddings. Cohort members usually step in
@@ -143,7 +144,7 @@ DenoisingNetwork::forwardImpl(const Matrix &x, const int *timesteps,
         cur_tokens = want;
 
         if (stage.channelProj.inDim() != 0)
-            h = stage.channelProj.forward(h, gemm);
+            h = stage.channelProj.forward(h, gemm, simd);
 
         if (unet && upsampling && !skips.empty()) {
             const Matrix &skip = skips.back();
@@ -158,17 +159,17 @@ DenoisingNetwork::forwardImpl(const Matrix &x, const int *timesteps,
         Matrix t_proj;
         for (Index m = 0; m < segments; ++m) {
             if (m == 0 || timesteps[m] != timesteps[m - 1])
-                t_proj = stage.timeProj.forward(t_embs[m], gemm);
+                t_proj = stage.timeProj.forward(t_embs[m], gemm, simd);
             addRowVectorToRows(h, t_proj, m * cur_tokens, cur_tokens);
         }
 
         for (const auto &res : stage.resBlocks)
-            h = res.forward(h, gemm);
+            h = res.forward(h, gemm, simd);
         for (const auto &blk : stage.blocks)
             h = blk.forward(h, exec);
     }
 
-    return outProj_.forward(h, gemm);
+    return outProj_.forward(h, gemm, simd);
 }
 
 } // namespace exion

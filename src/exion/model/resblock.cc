@@ -13,11 +13,12 @@ ResBlock::ResBlock(Index d_model, Rng &rng)
 }
 
 Matrix
-ResBlock::forward(const Matrix &x, GemmBackend backend) const
+ResBlock::forward(const Matrix &x, GemmBackend backend,
+                  SimdTier simd) const
 {
     const Matrix n = layerNorm(x, normGamma_, normBeta_);
-    const Matrix h = gelu(conv1_.forward(n, backend));
-    const Matrix out = conv2_.forward(h, backend);
+    const Matrix h = gelu(conv1_.forward(n, backend, simd));
+    const Matrix out = conv2_.forward(h, backend, simd);
     return add(x, out);
 }
 

@@ -34,7 +34,8 @@ class ResBlock
      * forward bit for bit.
      */
     Matrix forward(const Matrix &x,
-                   GemmBackend backend = defaultGemmBackend()) const;
+                   GemmBackend backend = defaultGemmBackend(),
+                   SimdTier simd = defaultSimdTier()) const;
 
     /** Channel width. */
     Index dModel() const { return conv1_.inDim(); }

@@ -539,6 +539,7 @@ BatchEngine::runCohort(CohortMember first)
     SparseExecutor::Options cohort_opts = SparseExecutor::fromConfig(
         cfg, ffnr, ep, first.req.quantize);
     cohort_opts.gemm = opts_.gemmBackend;
+    cohort_opts.simd = opts_.simdTier;
     CohortExecutor exec(cohort_opts);
     CohortRun run(pipe, exec);
 
@@ -815,8 +816,8 @@ BatchEngine::runOne(const ServeRequest &req,
     RequestContext ctx;
     std::unique_ptr<BlockExecutor> exec;
     if (req.mode == ExecMode::Dense) {
-        auto dense = std::make_unique<DenseExecutor>(req.quantize,
-                                                     opts_.gemmBackend);
+        auto dense = std::make_unique<DenseExecutor>(
+            req.quantize, opts_.gemmBackend, opts_.simdTier);
         dense->bindContext(ctx.exec);
         exec = std::move(dense);
     } else {
@@ -825,6 +826,7 @@ BatchEngine::runOne(const ServeRequest &req,
         SparseExecutor::Options sparse_opts =
             SparseExecutor::fromConfig(cfg, ffnr, ep, req.quantize);
         sparse_opts.gemm = opts_.gemmBackend;
+        sparse_opts.simd = opts_.simdTier;
         auto sparse = std::make_unique<SparseExecutor>(sparse_opts);
         sparse->bindRequestState(ctx.exec, ctx.ffn);
         if (req.trackConMerge && ffnr) {

@@ -257,6 +257,15 @@ class BatchEngine
          * Blocked-vs-Reference comparison).
          */
         GemmBackend gemmBackend = GemmBackend::Blocked;
+        /**
+         * SIMD tier every executor this engine builds runs its
+         * kernels under. Exact (the default) uses the host's widest
+         * vector table while keeping every float accumulation chain
+         * in golden reference order — bit-identical to Scalar.
+         * Fast additionally reassociates float reductions
+         * (tolerance-level divergence; see simd_dispatch.h).
+         */
+        SimdTier simdTier = SimdTier::Exact;
     };
 
     /** Invoked on a worker thread as each request completes. */

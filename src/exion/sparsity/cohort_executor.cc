@@ -6,7 +6,8 @@ namespace exion
 {
 
 CohortExecutor::CohortExecutor(const SparseExecutor::Options &opt)
-    : opt_(opt), ffnReuse_(opt.ffnReuse, opt.quantize, opt.gemm)
+    : opt_(opt),
+      ffnReuse_(opt.ffnReuse, opt.quantize, opt.gemm, opt.simd)
 {
 }
 
@@ -93,10 +94,10 @@ CohortExecutor::attention(const TransformerBlock &blk,
             const Matrix seg = opt_.useEp
                 ? epAttentionImpl(blk, x_m, opt_.ep, opt_.lodMode,
                                   opt_.quantize, s.ctx->stats,
-                                  s.observers, opt_.gemm)
+                                  s.observers, opt_.gemm, opt_.simd)
                 : denseAttentionImpl(blk, x_m, opt_.quantize,
                                      s.ctx->stats, s.observers,
-                                     opt_.gemm);
+                                     opt_.gemm, opt_.simd);
             pasteRows(out, seg, m * t_seg);
         }
         return out;
@@ -106,11 +107,14 @@ CohortExecutor::attention(const TransformerBlock &blk,
     // so each member's rows match its solo run bit for bit), then the
     // token-mixing core per member segment. The tall stacks are
     // exactly the shape the Blocked backend packs for.
-    Matrix q = execMatmul(x_norm, blk.wq().weight(), false, opt_.gemm);
+    Matrix q = execMatmul(x_norm, blk.wq().weight(), false, opt_.gemm,
+                          opt_.simd);
     addRowVector(q, blk.wq().bias());
-    Matrix k = execMatmul(x_norm, blk.wk().weight(), false, opt_.gemm);
+    Matrix k = execMatmul(x_norm, blk.wk().weight(), false, opt_.gemm,
+                          opt_.simd);
     addRowVector(k, blk.wk().bias());
-    Matrix v = execMatmul(x_norm, blk.wv().weight(), false, opt_.gemm);
+    Matrix v = execMatmul(x_norm, blk.wv().weight(), false, opt_.gemm,
+                          opt_.simd);
     addRowVector(v, blk.wv().bias());
 
     Matrix concat(x_norm.rows(), d);
@@ -123,11 +127,11 @@ CohortExecutor::attention(const TransformerBlock &blk,
         stats.vColsTotal += t_seg;
 
         denseAttentionCoreInto(blk, q, k, v, m * t_seg, t_seg, false,
-                               stats, concat, opt_.gemm);
+                               stats, concat, opt_.gemm, opt_.simd);
     }
 
     Matrix out = execMatmul(concat, blk.wo().weight(), false,
-                            opt_.gemm);
+                            opt_.gemm, opt_.simd);
     addRowVector(out, blk.wo().bias());
     for (Index m = 0; m < n; ++m) {
         ExecStats &stats = memberStats(m);
@@ -180,7 +184,7 @@ CohortExecutor::ffn(const TransformerBlock &blk, const Matrix &x_norm)
             const Matrix x_m = sliceRows(x_norm, m * t_seg, t_seg);
             const Matrix seg = denseFfnImpl(blk, x_m, opt_.quantize,
                                             s.ctx->stats, s.observers,
-                                            opt_.gemm);
+                                            opt_.gemm, opt_.simd);
             pasteRows(out, seg, m * t_seg);
         }
         return out;
@@ -192,7 +196,7 @@ CohortExecutor::ffn(const TransformerBlock &blk, const Matrix &x_norm)
     ExecStats scratch;
     ExecObservers none;
     Matrix out = denseFfnImpl(blk, x_norm, false, scratch, none,
-                              opt_.gemm);
+                              opt_.gemm, opt_.simd);
     const OpCount per_member_ops =
         (blk.geglu() ? 2 : 1) * mmulOps(t_seg, d, hid)
         + mmulOps(t_seg, hid, d);

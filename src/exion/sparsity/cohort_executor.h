@@ -73,6 +73,9 @@ class CohortExecutor : public CohortBlockExecutor
     /** GEMM backend used for dense MMULs (Options::gemm). */
     GemmBackend gemmBackend() const override { return opt_.gemm; }
 
+    /** SIMD tier used for kernels (Options::simd). */
+    SimdTier simdTier() const override { return opt_.simd; }
+
     /** Cohort members in the current step. */
     Index cohortSize() const { return active_.size(); }
 

@@ -1,6 +1,7 @@
 #include "exion/sparsity/eager_prediction.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 
@@ -32,8 +33,10 @@ ProjectionNeeds::countNeeded(const std::vector<u8> &needs)
 }
 
 HeadDecision
-decideFromPrediction(const Matrix &predicted, const EpConfig &ep)
+decideFromPrediction(const Matrix &predicted, const EpConfig &ep,
+                     SimdTier simd)
 {
+    const SimdKernels &kr = simdKernels(simd);
     const Index t_q = predicted.rows();
     const Index t_k = predicted.cols();
     EXION_ASSERT(t_k > 0, "empty predicted score");
@@ -78,12 +81,27 @@ decideFromPrediction(const Matrix &predicted, const EpConfig &ep)
         std::nth_element(row.begin(), row.begin() + (keep_k - 1),
                          row.end(), std::greater<float>());
         const float threshold = row[keep_k - 1];
+        // Compare 64 columns per kernel call; cap at keep_k kept
+        // entries (ties at the threshold keep the lowest columns,
+        // exactly the per-bit scan's order).
         Index kept = 0;
-        for (Index c = 0; c < t_k && kept < keep_k; ++c) {
-            if (src[c] >= threshold) {
-                out.keep.set(r, c, true);
-                ++kept;
+        for (Index c0 = 0; c0 < t_k && kept < keep_k; c0 += 64) {
+            const Index nb = std::min<Index>(64, t_k - c0);
+            u64 bits = kr.cmpGeMask64(src + c0, threshold, nb);
+            const Index ones =
+                static_cast<Index>(std::popcount(bits));
+            if (kept + ones > keep_k) {
+                u64 trimmed = 0;
+                for (Index m = kept; m < keep_k; ++m) {
+                    trimmed |= bits & (~bits + 1);
+                    bits &= bits - 1;
+                }
+                bits = trimmed;
+                kept = keep_k;
+            } else {
+                kept += ones;
             }
+            out.keep.writeRowBits(r, c0, bits, nb);
         }
     }
     return out;
@@ -91,7 +109,8 @@ decideFromPrediction(const Matrix &predicted, const EpConfig &ep)
 
 Matrix
 predictHeadScore(const QuantMatrix &x_q12, const QuantMatrix &wq_head,
-                 const QuantMatrix &wk_head, LodMode mode)
+                 const QuantMatrix &wk_head, LodMode mode,
+                 SimdTier simd)
 {
     EXION_ASSERT(wq_head.cols() == wk_head.cols(),
                  "head width mismatch");
@@ -99,12 +118,12 @@ predictHeadScore(const QuantMatrix &x_q12, const QuantMatrix &wq_head,
 
     // LD projections produce float estimates; requantise for the
     // second-level LD MMUL, as the EPRE feeds its own outputs back.
-    const Matrix q_est = ldMatmul(x_q12, wq_head, mode);
-    const Matrix k_est = ldMatmul(x_q12, wk_head, mode);
+    const Matrix q_est = ldMatmul(x_q12, wq_head, mode, simd);
+    const Matrix k_est = ldMatmul(x_q12, wk_head, mode, simd);
     const QuantMatrix q12 = QuantMatrix::fromFloat(q_est, IntWidth::Int12);
     const QuantMatrix k12 = QuantMatrix::fromFloat(k_est, IntWidth::Int12);
 
-    Matrix scores = ldMatmulTransposed(q12, k12, mode);
+    Matrix scores = ldMatmulTransposed(q12, k12, mode, simd);
     const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
     for (Index i = 0; i < scores.size(); ++i)
         scores.data()[i] *= inv_sqrt;
@@ -130,12 +149,10 @@ combineNeeds(const std::vector<HeadDecision> &heads, Index tokens)
                 continue;
             }
             needs.qRowNeeded[r] = 1;
-            for (Index c = 0; c < tokens; ++c) {
-                if (head.keep.get(r, c)) {
-                    needs.kRowNeeded[c] = 1;
-                    needs.vRowNeeded[c] = 1;
-                }
-            }
+            head.keep.forEachSetBitInRow(r, [&](Index c) {
+                needs.kRowNeeded[c] = 1;
+                needs.vRowNeeded[c] = 1;
+            });
         }
     }
     return needs;

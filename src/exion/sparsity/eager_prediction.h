@@ -63,9 +63,12 @@ struct ProjectionNeeds
  *
  * @param predicted scaled predicted attention score (T x T)
  * @param ep        q_th / top-k configuration
+ * @param simd      SIMD tier for the threshold scans (every tier is
+ *                  bit-identical — compares carry no reductions)
  */
 HeadDecision decideFromPrediction(const Matrix &predicted,
-                                  const EpConfig &ep);
+                                  const EpConfig &ep,
+                                  SimdTier simd = defaultSimdTier());
 
 /**
  * Predicts one head's scaled attention score in the log domain.
@@ -81,7 +84,8 @@ HeadDecision decideFromPrediction(const Matrix &predicted,
  */
 Matrix predictHeadScore(const QuantMatrix &x_q12,
                         const QuantMatrix &wq_head,
-                        const QuantMatrix &wk_head, LodMode mode);
+                        const QuantMatrix &wk_head, LodMode mode,
+                        SimdTier simd = defaultSimdTier());
 
 /** Combines per-head decisions into block-level projection needs. */
 ProjectionNeeds combineNeeds(const std::vector<HeadDecision> &heads,

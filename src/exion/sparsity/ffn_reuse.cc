@@ -28,11 +28,30 @@ sparsityQuantile(const std::vector<float> &values, double target_sparsity)
 }
 
 FfnReuse::FfnReuse(const FfnReuseConfig &cfg, bool quantize,
-                   GemmBackend backend)
-    : cfg_(cfg), quantize_(quantize), backend_(backend)
+                   GemmBackend backend, SimdTier simd)
+    : cfg_(cfg), quantize_(quantize), backend_(backend), simd_(simd)
 {
     EXION_ASSERT(cfg_.denseInterval >= 0, "dense interval ",
                  cfg_.denseInterval);
+}
+
+const FfnReuse::TransposedFfn1 &
+FfnReuse::transposedFfn1(const TransformerBlock &blk)
+{
+    const auto [it, inserted] = w1tCache_.try_emplace(blk.id());
+    if (inserted) {
+        TransposedFfn1 &tw = it->second;
+        tw.w1t = transpose(blk.ffn1().weight());
+        if (blk.geglu())
+            tw.w1vt = transpose(blk.ffn1Value().weight());
+        if (quantize_) {
+            tw.qw1t = QuantMatrix::fromFloat(tw.w1t, IntWidth::Int12);
+            if (blk.geglu())
+                tw.qw1vt =
+                    QuantMatrix::fromFloat(tw.w1vt, IntWidth::Int12);
+        }
+    }
+    return it->second;
 }
 
 bool
@@ -53,6 +72,9 @@ void
 FfnReuse::reset()
 {
     state_->reset();
+    // Weight transposes are keyed by block id; a reset may precede a
+    // run against a different model, so drop them too.
+    w1tCache_.clear();
 }
 
 Matrix
@@ -104,19 +126,21 @@ denseHidden(const TransformerBlock &blk, const Matrix &x_norm,
  */
 Matrix
 addMaskedProduct(const Matrix &psum, const Matrix &h,
-                 const Bitmask2D &mask, const Matrix &w2)
+                 const Bitmask2D &mask, const Matrix &w2,
+                 SimdTier simd)
 {
+    const SimdKernels &kr = simdKernels(simd);
     Matrix prod(h.rows(), w2.cols());
+    const Index n = w2.cols();
     for (Index r = 0; r < h.rows(); ++r) {
         float *out = prod.rowPtr(r);
-        for (Index c = 0; c < h.cols(); ++c) {
-            if (!mask.get(r, c))
-                continue;
-            const float hv = h(r, c);
-            const float *wrow = w2.rowPtr(c);
-            for (Index j = 0; j < w2.cols(); ++j)
-                out[j] += hv * wrow[j];
-        }
+        const float *hrow = h.rowPtr(r);
+        // Word-at-a-time mask walk; each set column contributes one
+        // axpy sweep across the output row — the same ascending-c
+        // term order per output element as the dense product.
+        mask.forEachSetBitInRow(r, [&](Index c) {
+            kr.axpyF32(out, w2.rowPtr(c), hrow[c], n);
+        });
     }
     return add(psum, prod);
 }
@@ -141,13 +165,24 @@ FfnReuse::runDense(const TransformerBlock &blk, const Matrix &x_norm,
     if (observers.onFfnHidden)
         observers.onFfnHidden(blk.id(), hidden);
 
-    // Calibrate theta and build the recompute mask.
+    // Calibrate theta and build the recompute mask with the threshold
+    // compare kernel, 64 columns per call. theta is the quantile of
+    // float magnitudes — exactly representable as float — so the
+    // kernel's float compare decides identically to the promoted
+    // double compare |h| > theta.
     st.theta = sparsityQuantile(hidden.data(), cfg_.targetSparsity);
     st.mask = Bitmask2D(t, hid);
-    for (Index r = 0; r < t; ++r)
-        for (Index c = 0; c < hid; ++c)
-            if (std::abs(hidden(r, c)) > st.theta)
-                st.mask.set(r, c, true);
+    const SimdKernels &kr = simdKernels(simd_);
+    const float ftheta = static_cast<float>(st.theta);
+    for (Index r = 0; r < t; ++r) {
+        const float *hrow = hidden.rowPtr(r);
+        for (Index c0 = 0; c0 < hid; c0 += 64) {
+            const Index nb = std::min<Index>(64, hid - c0);
+            st.mask.writeRowBits(
+                r, c0, kr.absGreaterMask64(hrow + c0, ftheta, nb),
+                nb);
+        }
+    }
 
     if (observers.onFfnMask)
         observers.onFfnMask(blk.id(), st.mask, true);
@@ -155,15 +190,11 @@ FfnReuse::runDense(const TransformerBlock &blk, const Matrix &x_norm,
     // Split H into reuse and recompute regions; cache the reuse
     // region's contribution through the second FFN layer.
     Matrix h_reuse = hidden;
-    Matrix h_keep = hidden;
-    for (Index r = 0; r < t; ++r) {
-        for (Index c = 0; c < hid; ++c) {
-            if (st.mask.get(r, c))
-                h_reuse(r, c) = 0.0f;
-            else
-                h_keep(r, c) = 0.0f;
-        }
-    }
+    Matrix h_keep(t, hid);
+    st.mask.forEachSetBit([&](Index r, Index c) {
+        h_reuse(r, c) = 0.0f;
+        h_keep(r, c) = hidden(r, c);
+    });
     st.psumSparse = execMatmul(h_reuse, blk.ffn2().weight(), quantize_,
                                backend_);
     st.hiddenCache = std::move(hidden);
@@ -176,7 +207,7 @@ FfnReuse::runDense(const TransformerBlock &blk, const Matrix &x_norm,
               execMatmul(h_keep, blk.ffn2().weight(), quantize_,
                          backend_))
         : addMaskedProduct(st.psumSparse, h_keep, st.mask,
-                           blk.ffn2().weight());
+                           blk.ffn2().weight(), simd_);
     addRowVector(out, blk.ffn2().bias());
     stats.ffnOpsDense += mmulOps(t, hid, d);
     stats.ffnOpsExecuted += mmulOps(t, hid, d);
@@ -201,59 +232,51 @@ FfnReuse::runSparse(const TransformerBlock &blk, const Matrix &x_norm,
     if (observers.onFfnMask)
         observers.onFfnMask(blk.id(), st.mask, false);
 
-    // Recompute only the masked elements of the hidden activation.
+    // Recompute only the masked elements of the hidden activation,
+    // dotting each x row against the cached transpose's contiguous
+    // weight rows. Exact tier keeps the golden serial float chain
+    // (the transpose only removes the stride — same terms, same
+    // order); Fast swaps in the reassociated dotF32 kernel. The
+    // integer dot is exact in any order, so the quant path uses the
+    // vector kernel in every tier.
     Matrix h_keep(t, hid);
     const bool geglu = blk.geglu();
+    const SimdKernels &kr = simdKernels(simd_);
+    const TransposedFfn1 &tw = transposedFfn1(blk);
     if (quantize_) {
         const QuantMatrix qx =
             QuantMatrix::fromFloat(x_norm, IntWidth::Int12);
-        const QuantMatrix qw1 =
-            QuantMatrix::fromFloat(blk.ffn1().weight(), IntWidth::Int12);
-        const QuantMatrix qw1v = geglu
-            ? QuantMatrix::fromFloat(blk.ffn1Value().weight(),
-                                     IntWidth::Int12)
-            : QuantMatrix();
-        const double s1 = qx.scale() * qw1.scale();
-        const double s1v = geglu ? qx.scale() * qw1v.scale() : 0.0;
+        const double s1 = qx.scale() * tw.qw1t.scale();
+        const double s1v =
+            geglu ? qx.scale() * tw.qw1vt.scale() : 0.0;
         for (Index r = 0; r < t; ++r) {
-            for (Index c = 0; c < hid; ++c) {
-                if (!st.mask.get(r, c))
-                    continue;
-                i64 acc = 0;
-                for (Index k = 0; k < d; ++k)
-                    acc += static_cast<i64>(qx(r, k)) * qw1(k, c);
+            const i32 *xrow = qx.rowPtr(r);
+            st.mask.forEachSetBitInRow(r, [&](Index c) {
+                const i64 acc = kr.dotI32(xrow, tw.qw1t.rowPtr(c), d);
                 float h = geluScalar(static_cast<float>(acc * s1)
                                      + blk.ffn1().bias()(0, c));
                 if (geglu) {
-                    i64 accv = 0;
-                    for (Index k = 0; k < d; ++k)
-                        accv += static_cast<i64>(qx(r, k)) * qw1v(k, c);
+                    const i64 accv =
+                        kr.dotI32(xrow, tw.qw1vt.rowPtr(c), d);
                     h *= static_cast<float>(accv * s1v)
                         + blk.ffn1Value().bias()(0, c);
                 }
                 h_keep(r, c) = h;
-            }
+            });
         }
     } else {
-        const Matrix &w1 = blk.ffn1().weight();
+        const auto dot = simd_ == SimdTier::Fast ? kr.dotF32
+                                                 : simd::dotF32Scalar;
         for (Index r = 0; r < t; ++r) {
             const float *xrow = x_norm.rowPtr(r);
-            for (Index c = 0; c < hid; ++c) {
-                if (!st.mask.get(r, c))
-                    continue;
-                float acc = 0.0f;
-                for (Index k = 0; k < d; ++k)
-                    acc += xrow[k] * w1(k, c);
-                float h = geluScalar(acc + blk.ffn1().bias()(0, c));
-                if (geglu) {
-                    const Matrix &w1v = blk.ffn1Value().weight();
-                    float accv = 0.0f;
-                    for (Index k = 0; k < d; ++k)
-                        accv += xrow[k] * w1v(k, c);
-                    h *= accv + blk.ffn1Value().bias()(0, c);
-                }
+            st.mask.forEachSetBitInRow(r, [&](Index c) {
+                float h = geluScalar(dot(xrow, tw.w1t.rowPtr(c), d)
+                                     + blk.ffn1().bias()(0, c));
+                if (geglu)
+                    h *= dot(xrow, tw.w1vt.rowPtr(c), d)
+                        + blk.ffn1Value().bias()(0, c);
                 h_keep(r, c) = h;
-            }
+            });
         }
     }
 
@@ -270,7 +293,7 @@ FfnReuse::runSparse(const TransformerBlock &blk, const Matrix &x_norm,
               execMatmul(h_keep, blk.ffn2().weight(), quantize_,
                          backend_))
         : addMaskedProduct(st.psumSparse, h_keep, st.mask,
-                           blk.ffn2().weight());
+                           blk.ffn2().weight(), simd_);
     addRowVector(out, blk.ffn2().bias());
     stats.ffnOpsDense += mmulOps(t, hid, d);
     stats.ffnOpsExecuted += 2 * nnz * d;

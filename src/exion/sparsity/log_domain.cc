@@ -1,6 +1,7 @@
 #include "exion/sparsity/log_domain.h"
 
 #include <cstdlib>
+#include <vector>
 
 namespace exion
 {
@@ -43,47 +44,74 @@ ldProduct(i32 a, i32 b, LodMode mode)
     return negative ? -magnitude : magnitude;
 }
 
+namespace
+{
+
+/** ldDot kernel of a tier's table for the given LOD depth. */
+i64 (*ldDotKernel(LodMode mode, SimdTier simd))(const i32 *,
+                                                const i32 *, Index)
+{
+    const SimdKernels &kr = simdKernels(simd);
+    return mode == LodMode::Single ? kr.ldDotSingle : kr.ldDotTwoStep;
+}
+
+} // namespace
+
 Matrix
-ldMatmul(const QuantMatrix &a, const QuantMatrix &b, LodMode mode)
+ldMatmul(const QuantMatrix &a, const QuantMatrix &b, LodMode mode,
+         SimdTier simd)
 {
     EXION_ASSERT(a.cols() == b.rows(), "ldMatmul shape mismatch");
     Matrix c(a.rows(), b.cols());
     const double out_scale = a.scale() * b.scale();
+    const auto ld_dot = ldDotKernel(mode, simd);
+    const Index k_dim = a.cols();
+    const Index n = b.cols();
+    // The k-chain walks a column of B; transpose B's integer values
+    // once so the kernel streams both operands contiguously. The sum
+    // is integer — reordering nothing, copying everything — so this
+    // matches the ldProduct accumulation exactly.
+    std::vector<i32> bt(n * k_dim);
+    for (Index k = 0; k < k_dim; ++k) {
+        const i32 *brow = b.rowPtr(k);
+        for (Index j = 0; j < n; ++j)
+            bt[j * k_dim + k] = brow[j];
+    }
     for (Index i = 0; i < a.rows(); ++i) {
-        for (Index j = 0; j < b.cols(); ++j) {
-            i64 acc = 0;
-            for (Index k = 0; k < a.cols(); ++k)
-                acc += ldProduct(a(i, k), b(k, j), mode);
-            c(i, j) = static_cast<float>(acc * out_scale);
-        }
+        const i32 *arow = a.rowPtr(i);
+        for (Index j = 0; j < n; ++j)
+            c(i, j) = static_cast<float>(
+                ld_dot(arow, bt.data() + j * k_dim, k_dim)
+                * out_scale);
     }
     return c;
 }
 
 Matrix
 ldMatmulTransposed(const QuantMatrix &a, const QuantMatrix &b,
-                   LodMode mode)
+                   LodMode mode, SimdTier simd)
 {
     EXION_ASSERT(a.cols() == b.cols(), "ldMatmulT shape mismatch");
     Matrix c(a.rows(), b.rows());
     const double out_scale = a.scale() * b.scale();
+    const auto ld_dot = ldDotKernel(mode, simd);
+    const Index k_dim = a.cols();
     for (Index i = 0; i < a.rows(); ++i) {
-        for (Index j = 0; j < b.rows(); ++j) {
-            i64 acc = 0;
-            for (Index k = 0; k < a.cols(); ++k)
-                acc += ldProduct(a(i, k), b(j, k), mode);
-            c(i, j) = static_cast<float>(acc * out_scale);
-        }
+        const i32 *arow = a.rowPtr(i);
+        for (Index j = 0; j < b.rows(); ++j)
+            c(i, j) = static_cast<float>(
+                ld_dot(arow, b.rowPtr(j), k_dim) * out_scale);
     }
     return c;
 }
 
 Matrix
-ldMatmulFloat(const Matrix &a, const Matrix &b, LodMode mode)
+ldMatmulFloat(const Matrix &a, const Matrix &b, LodMode mode,
+              SimdTier simd)
 {
     const QuantMatrix qa = QuantMatrix::fromFloat(a, IntWidth::Int12);
     const QuantMatrix qb = QuantMatrix::fromFloat(b, IntWidth::Int12);
-    return ldMatmul(qa, qb, mode);
+    return ldMatmul(qa, qb, mode, simd);
 }
 
 } // namespace exion

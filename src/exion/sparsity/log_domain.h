@@ -15,6 +15,7 @@
 #include "exion/common/bitops.h"
 #include "exion/tensor/matrix.h"
 #include "exion/tensor/quant_matrix.h"
+#include "exion/tensor/simd_dispatch.h"
 
 namespace exion
 {
@@ -38,19 +39,25 @@ i64 ldProduct(i32 a, i32 b, LodMode mode);
  * Log-domain A (m x k) * B (k x n), dequantised to float.
  *
  * Every MAC uses ldProduct; accumulation is exact (the one-hot adder
- * tree merges one-hot addends losslessly).
+ * tree merges one-hot addends losslessly). The MAC batches run
+ * through the ldDot kernels of the requested SIMD tier — integer and
+ * order-insensitive, so every tier is bit-identical to the scalar
+ * ldProduct chain.
  */
-Matrix ldMatmul(const QuantMatrix &a, const QuantMatrix &b, LodMode mode);
+Matrix ldMatmul(const QuantMatrix &a, const QuantMatrix &b, LodMode mode,
+                SimdTier simd = defaultSimdTier());
 
 /** Log-domain A (m x k) * B^T (n x k), dequantised to float. */
 Matrix ldMatmulTransposed(const QuantMatrix &a, const QuantMatrix &b,
-                          LodMode mode);
+                          LodMode mode,
+                          SimdTier simd = defaultSimdTier());
 
 /**
  * Convenience: quantise both float operands to INT12, then run the
  * log-domain product A * B.
  */
-Matrix ldMatmulFloat(const Matrix &a, const Matrix &b, LodMode mode);
+Matrix ldMatmulFloat(const Matrix &a, const Matrix &b, LodMode mode,
+                     SimdTier simd = defaultSimdTier());
 
 } // namespace exion
 

@@ -9,7 +9,8 @@ namespace exion
 {
 
 SparseExecutor::SparseExecutor(const Options &opt)
-    : opt_(opt), ffnReuse_(opt.ffnReuse, opt.quantize, opt.gemm)
+    : opt_(opt),
+      ffnReuse_(opt.ffnReuse, opt.quantize, opt.gemm, opt.simd)
 {
 }
 
@@ -32,7 +33,7 @@ SparseExecutor::ffn(const TransformerBlock &blk, const Matrix &x_norm)
 {
     if (!opt_.useFfnReuse)
         return denseFfnImpl(blk, x_norm, opt_.quantize, stats(),
-                            observers, opt_.gemm);
+                            observers, opt_.gemm, opt_.simd);
     return ffnReuse_.run(blk, x_norm, iteration(), stats(), observers);
 }
 
@@ -42,7 +43,7 @@ SparseExecutor::attention(const TransformerBlock &blk,
 {
     if (!opt_.useEp)
         return denseAttentionImpl(blk, x_norm, opt_.quantize, stats(),
-                                  observers, opt_.gemm);
+                                  observers, opt_.gemm, opt_.simd);
     return epAttention(blk, x_norm);
 }
 
@@ -53,7 +54,7 @@ namespace
 Matrix
 projectNeededRows(const Matrix &x, const Linear &proj,
                   const std::vector<u8> &needed, bool quantize,
-                  GemmBackend backend)
+                  GemmBackend backend, SimdTier simd)
 {
     Matrix out(x.rows(), proj.outDim());
     // Collect needed rows, project densely, scatter back. This keeps
@@ -74,7 +75,7 @@ projectNeededRows(const Matrix &x, const Linear &proj,
         ++w;
     }
     Matrix projected = execMatmul(packed, proj.weight(), quantize,
-                                  backend);
+                                  backend, simd);
     addRowVector(projected, proj.bias());
     w = 0;
     for (Index r = 0; r < x.rows(); ++r) {
@@ -95,15 +96,21 @@ SparseExecutor::epAttention(const TransformerBlock &blk,
 {
     return epAttentionImpl(blk, x_norm, opt_.ep, opt_.lodMode,
                            opt_.quantize, stats(), observers,
-                           opt_.gemm);
+                           opt_.gemm, opt_.simd);
 }
 
 Matrix
 epAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
                 const EpConfig &ep, LodMode lod_mode, bool quantize,
                 ExecStats &stats, ExecObservers &observers,
-                GemmBackend backend)
+                GemmBackend backend, SimdTier simd)
 {
+    const SimdKernels &kr = simdKernels(simd);
+    // Exact tier keeps the golden serial chain for the kept-position
+    // score dots (the k-chain is the output element); Fast swaps in
+    // the reassociated kernel.
+    const auto dot =
+        simd == SimdTier::Fast ? kr.dotF32 : simd::dotF32Scalar;
     const Index t = x_norm.rows();
     const Index d = blk.dModel();
     const Index dh = blk.headDim();
@@ -121,11 +128,11 @@ epAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
         const QuantMatrix qwk = QuantMatrix::fromFloat(
             sliceCols(blk.wk().weight(), h * dh, dh), IntWidth::Int12);
         Matrix predicted =
-            predictHeadScore(qx, qwq, qwk, lod_mode);
+            predictHeadScore(qx, qwq, qwk, lod_mode, simd);
         for (Index i = 0; i < predicted.size(); ++i)
             predicted.data()[i] *=
                 static_cast<float>(blk.scoreTemp());
-        HeadDecision dec = decideFromPrediction(predicted, ep);
+        HeadDecision dec = decideFromPrediction(predicted, ep, simd);
         if (observers.onScoreMask)
             observers.onScoreMask(blk.id(), static_cast<int>(h),
                                   dec.keep);
@@ -148,13 +155,13 @@ epAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
     // --- Real projections, only for needed tokens (SDUE, INT12). ---
     const Matrix q = projectNeededRows(x_norm, blk.wq(),
                                        needs.qRowNeeded, quantize,
-                                       backend);
+                                       backend, simd);
     const Matrix k = projectNeededRows(x_norm, blk.wk(),
                                        needs.kRowNeeded, quantize,
-                                       backend);
+                                       backend, simd);
     const Matrix v = projectNeededRows(x_norm, blk.wv(),
                                        needs.vRowNeeded, quantize,
-                                       backend);
+                                       backend, simd);
     stats.qkvOpsDense += 3 * mmulOps(t, d, d);
     stats.qkvOpsExecuted += mmulOps(nq, d, d) + mmulOps(nk, d, d)
         + mmulOps(nv, d, d);
@@ -176,20 +183,20 @@ epAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
                 continue;
             }
             kept_cols.clear();
-            for (Index c = 0; c < t; ++c)
-                if (dec.keep.get(r, c))
-                    kept_cols.push_back(c);
+            dec.keep.forEachSetBitInRow(
+                r, [&](Index c) { kept_cols.push_back(c); });
             EXION_ASSERT(!kept_cols.empty(),
                          "non-one-hot row with empty keep set");
 
-            // Scores at kept positions.
+            // Scores at kept positions. Head h's slice of a
+            // projection row is contiguous, so the kept dots stream
+            // both operands directly.
+            const float *qrow = q.rowPtr(r) + h * dh;
             float max_v = -std::numeric_limits<float>::infinity();
             for (Index idx = 0; idx < kept_cols.size(); ++idx) {
-                const Index c = kept_cols[idx];
-                float acc = 0.0f;
-                for (Index e = 0; e < dh; ++e)
-                    acc += q(r, h * dh + e) * k(c, h * dh + e);
-                const float s = acc * inv_sqrt;
+                const float *krow =
+                    k.rowPtr(kept_cols[idx]) + h * dh;
+                const float s = dot(qrow, krow, dh) * inv_sqrt;
                 row_scores[idx] = s;
                 max_v = std::max(max_v, s);
             }
@@ -203,14 +210,17 @@ epAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
             }
             const float inv_denom = static_cast<float>(1.0 / denom);
 
-            // Attention x V over kept entries.
-            for (Index e = 0; e < dh; ++e) {
-                float acc = 0.0f;
-                for (Index idx = 0; idx < kept_cols.size(); ++idx)
-                    acc += row_scores[idx] * inv_denom
-                        * v(kept_cols[idx], h * dh + e);
-                concat(r, h * dh + e) = acc;
-            }
+            // Attention x V over kept entries: one axpy sweep per
+            // kept column into the (zero-initialised) concat slice.
+            // Per output element the terms still add in ascending
+            // idx order from +0.0f, with the probability weight
+            // rounded once before the sweep — exactly the original
+            // left-associated chain.
+            float *crow = concat.rowPtr(r) + h * dh;
+            for (Index idx = 0; idx < kept_cols.size(); ++idx)
+                kr.axpyF32(crow,
+                           v.rowPtr(kept_cols[idx]) + h * dh,
+                           row_scores[idx] * inv_denom, dh);
         }
         stats.attnOpsDense += mmulOps(t, dh, t) + mmulOps(t, t, dh);
         stats.attnOpsExecuted += 2 * 2 * kept_total * dh;
@@ -218,7 +228,7 @@ epAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
 
     // Output projection stays dense (all rows have outputs).
     Matrix out = execMatmul(concat, blk.wo().weight(), quantize,
-                            backend);
+                            backend, simd);
     addRowVector(out, blk.wo().bias());
     stats.attnOpsDense += mmulOps(t, d, d);
     stats.attnOpsExecuted += mmulOps(t, d, d);

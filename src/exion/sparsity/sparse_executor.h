@@ -39,6 +39,13 @@ class SparseExecutor : public BlockExecutor
          * backends; a pure wall-clock knob.
          */
         GemmBackend gemm = defaultGemmBackend();
+        /**
+         * SIMD tier for the sparse hot-path kernels (EP compare
+         * scans, log-domain MACs, kept-position attention, FFN-Reuse
+         * loops) and the dense MMULs above. Scalar and Exact are
+         * bit-identical; Fast reassociates float reductions.
+         */
+        SimdTier simd = defaultSimdTier();
     };
 
     explicit SparseExecutor(const Options &opt);
@@ -72,6 +79,9 @@ class SparseExecutor : public BlockExecutor
     /** GEMM backend used for dense MMULs (Options::gemm). */
     GemmBackend gemmBackend() const override { return opt_.gemm; }
 
+    /** SIMD tier used for kernels (Options::simd). */
+    SimdTier simdTier() const override { return opt_.simd; }
+
   private:
     Matrix epAttention(const TransformerBlock &blk, const Matrix &x_norm);
 
@@ -95,7 +105,8 @@ Matrix epAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
                        const EpConfig &ep, LodMode lod_mode,
                        bool quantize, ExecStats &stats,
                        ExecObservers &observers,
-                       GemmBackend backend = defaultGemmBackend());
+                       GemmBackend backend = defaultGemmBackend(),
+                       SimdTier simd = defaultSimdTier());
 
 } // namespace exion
 

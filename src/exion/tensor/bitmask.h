@@ -12,6 +12,8 @@
 #ifndef EXION_TENSOR_BITMASK_H_
 #define EXION_TENSOR_BITMASK_H_
 
+#include <bit>
+#include <span>
 #include <vector>
 
 #include "exion/common/logging.h"
@@ -63,8 +65,78 @@ class Bitmask2D
             words_[bit >> 6] &= ~mask;
     }
 
+    /**
+     * The packed words, row-major, 64 bits per word. Bits past
+     * rows() * cols() in the final word are always zero — word-level
+     * consumers (popcounts, masked loads) may read the full span
+     * without per-bit edge checks.
+     */
+    std::span<const u64> words() const { return words_; }
+
+    /** Number of packed words. */
+    Index wordCount() const { return words_.size(); }
+
     /** Number of set bits. */
     u64 countOnes() const;
+
+    /**
+     * Set bits of the element-wise AND with another mask of identical
+     * shape, without materialising the intersection.
+     */
+    u64 andPopcount(const Bitmask2D &other) const;
+
+    /**
+     * Overwrites bits (r, c0) .. (r, c0 + nbits - 1) with the low
+     * nbits of `bits` (bit i -> column c0 + i). nbits <= 64 and the
+     * range must stay inside the row — the word-granular sink for the
+     * cmpGeMask64 / absGreaterMask64 kernels.
+     */
+    void writeRowBits(Index r, Index c0, u64 bits, Index nbits);
+
+    /**
+     * Calls f(r, c) for every set bit in row-major order. Word-at-a-
+     * time: whole zero words cost one test, set bits are located with
+     * countr_zero instead of a per-column get() sweep.
+     */
+    template <typename F>
+    void
+    forEachSetBit(F &&f) const
+    {
+        for (Index wi = 0; wi < words_.size(); ++wi) {
+            u64 w = words_[wi];
+            while (w != 0) {
+                const Index bit =
+                    wi * 64 + static_cast<Index>(std::countr_zero(w));
+                f(bit / cols_, bit % cols_);
+                w &= w - 1;
+            }
+        }
+    }
+
+    /** Calls f(c) for every set bit of row r, ascending c. */
+    template <typename F>
+    void
+    forEachSetBitInRow(Index r, F &&f) const
+    {
+        EXION_ASSERT(r < rows_, "bitmask row out of range");
+        if (cols_ == 0)
+            return;
+        const Index b0 = r * cols_;
+        const Index b1 = b0 + cols_;
+        for (Index wi = b0 >> 6; wi < (b1 + 63) >> 6; ++wi) {
+            u64 w = words_[wi];
+            if (wi == b0 >> 6)
+                w &= ~u64{0} << (b0 & 63);
+            if (wi == b1 >> 6 && (b1 & 63) != 0)
+                w &= (u64{1} << (b1 & 63)) - 1;
+            while (w != 0) {
+                const Index bit =
+                    wi * 64 + static_cast<Index>(std::countr_zero(w));
+                f(bit - b0);
+                w &= w - 1;
+            }
+        }
+    }
 
     /** Fraction of zero bits (the paper's "output sparsity"). */
     double sparsity() const;
@@ -74,6 +146,13 @@ class Bitmask2D
 
     /** True when every bit in column c is zero. */
     bool columnEmpty(Index c) const { return columnOnes(c) == 0; }
+
+    /**
+     * Number of columns with at least one set bit. Word-at-a-time
+     * (one forEachSetBit sweep) instead of a strided per-bit scan
+     * per column.
+     */
+    Index nonEmptyColumnCount() const;
 
     /** Number of set bits in row r. */
     u64 rowOnes(Index r) const;

@@ -54,8 +54,9 @@ referenceMatmul(const Matrix &a, const Matrix &b)
 }
 
 Matrix
-blockedMatmul(const Matrix &a, const Matrix &b)
+blockedMatmul(const Matrix &a, const Matrix &b, SimdTier simd)
 {
+    const SimdKernels &kr = simdKernels(simd);
     Matrix c(a.rows(), b.cols());
     const Index m = a.rows();
     const Index k_dim = a.cols();
@@ -79,33 +80,19 @@ blockedMatmul(const Matrix &a, const Matrix &b)
                 // Jam four k steps per C sweep: each element's
                 // accumulator still adds its k terms one at a time in
                 // ascending order (four separate rounded additions,
-                // exactly the reference chain), but C is loaded and
-                // stored once per four FMAs instead of every FMA.
+                // exactly the reference chain — the axpy4F32 kernel
+                // contract), but C is loaded and stored once per four
+                // FMAs instead of every FMA.
                 Index k = 0;
                 for (; k + 4 <= k_dim; k += 4) {
-                    const float av0 = arow[k];
-                    const float av1 = arow[k + 1];
-                    const float av2 = arow[k + 2];
-                    const float av3 = arow[k + 3];
                     const float *bp0 = packed.data() + k * nb;
-                    const float *bp1 = bp0 + nb;
-                    const float *bp2 = bp1 + nb;
-                    const float *bp3 = bp2 + nb;
-                    for (Index jj = 0; jj < nb; ++jj) {
-                        float acc = crow[jj];
-                        acc += av0 * bp0[jj];
-                        acc += av1 * bp1[jj];
-                        acc += av2 * bp2[jj];
-                        acc += av3 * bp3[jj];
-                        crow[jj] = acc;
-                    }
+                    kr.axpy4F32(crow, bp0, bp0 + nb, bp0 + 2 * nb,
+                                bp0 + 3 * nb, arow[k], arow[k + 1],
+                                arow[k + 2], arow[k + 3], nb);
                 }
-                for (; k < k_dim; ++k) {
-                    const float av = arow[k];
-                    const float *bp = packed.data() + k * nb;
-                    for (Index jj = 0; jj < nb; ++jj)
-                        crow[jj] += av * bp[jj];
-                }
+                for (; k < k_dim; ++k)
+                    kr.axpyF32(crow, packed.data() + k * nb, arow[k],
+                               nb);
             }
         }
     }
@@ -131,12 +118,26 @@ referenceMatmulTransposed(const Matrix &a, const Matrix &b)
 }
 
 Matrix
-blockedMatmulTransposed(const Matrix &a, const Matrix &b)
+blockedMatmulTransposed(const Matrix &a, const Matrix &b, SimdTier simd)
 {
     Matrix c(a.rows(), b.rows());
     const Index m = a.rows();
     const Index n = b.rows();
     const Index k_dim = a.cols();
+    // Fast tier: each output is a pure k reduction over two
+    // contiguous rows — the reassociated dotF32 kernel's exact shape.
+    // Exact cannot vectorise this form (the k chain is the output),
+    // so it keeps the jammed scalar tiling below.
+    if (simd == SimdTier::Fast) {
+        const SimdKernels &kr = simdKernels(simd);
+        for (Index i = 0; i < m; ++i) {
+            const float *arow = a.rowPtr(i);
+            float *crow = c.rowPtr(i);
+            for (Index j = 0; j < n; ++j)
+                crow[j] = kr.dotF32(arow, b.rowPtr(j), k_dim);
+        }
+        return c;
+    }
     // B's rows are already contiguous; tiling i x j keeps a block of
     // kBlockRows B rows hot while kBlockRows A rows sweep it, instead
     // of streaming all of B once per A row. Inside a tile, four B
@@ -203,8 +204,10 @@ referenceMatmulQuant(const QuantMatrix &a, const QuantMatrix &b)
 }
 
 Matrix
-blockedMatmulQuant(const QuantMatrix &a, const QuantMatrix &b)
+blockedMatmulQuant(const QuantMatrix &a, const QuantMatrix &b,
+                   SimdTier simd)
 {
+    const SimdKernels &kr = simdKernels(simd);
     Matrix c(a.rows(), b.cols());
     const double out_scale = a.scale() * b.scale();
     const Index m = a.rows();
@@ -224,38 +227,16 @@ blockedMatmulQuant(const QuantMatrix &a, const QuantMatrix &b)
         for (Index i0 = 0; i0 < m; i0 += kBlockRows) {
             const Index i_end = std::min(i0 + kBlockRows, m);
             for (Index i = i0; i < i_end; ++i) {
+                const i32 *arow = a.rowPtr(i);
                 float *crow = c.rowPtr(i) + j0;
-                // Four packed columns share one pass over row i of A
-                // (integer sums are exact in any grouping).
-                Index jj = 0;
-                for (; jj + 4 <= nb; jj += 4) {
-                    const i32 *bp0 = packed.data() + jj * k_dim;
-                    const i32 *bp1 = bp0 + k_dim;
-                    const i32 *bp2 = bp1 + k_dim;
-                    const i32 *bp3 = bp2 + k_dim;
-                    i64 acc0 = 0;
-                    i64 acc1 = 0;
-                    i64 acc2 = 0;
-                    i64 acc3 = 0;
-                    for (Index k = 0; k < k_dim; ++k) {
-                        const i64 av = a(i, k);
-                        acc0 += av * bp0[k];
-                        acc1 += av * bp1[k];
-                        acc2 += av * bp2[k];
-                        acc3 += av * bp3[k];
-                    }
-                    crow[jj] = static_cast<float>(acc0 * out_scale);
-                    crow[jj + 1] = static_cast<float>(acc1 * out_scale);
-                    crow[jj + 2] = static_cast<float>(acc2 * out_scale);
-                    crow[jj + 3] = static_cast<float>(acc3 * out_scale);
-                }
-                for (; jj < nb; ++jj) {
-                    const i32 *bp = packed.data() + jj * k_dim;
-                    i64 acc = 0;
-                    for (Index k = 0; k < k_dim; ++k)
-                        acc += static_cast<i64>(a(i, k)) * bp[k];
-                    crow[jj] = static_cast<float>(acc * out_scale);
-                }
+                // One widening dot kernel per packed column (integer
+                // sums are exact in any grouping, so this is legal in
+                // every tier).
+                for (Index jj = 0; jj < nb; ++jj)
+                    crow[jj] = static_cast<float>(
+                        kr.dotI32(arow, packed.data() + jj * k_dim,
+                                  k_dim)
+                        * out_scale);
             }
         }
     }
@@ -299,32 +280,34 @@ parseGemmBackend(const std::string &name)
 }
 
 Matrix
-matmulWith(const Matrix &a, const Matrix &b, GemmBackend backend)
+matmulWith(const Matrix &a, const Matrix &b, GemmBackend backend,
+           SimdTier simd)
 {
     EXION_ASSERT(a.cols() == b.rows(), "matmul shape (", a.rows(), "x",
                  a.cols(), ") * (", b.rows(), "x", b.cols(), ")");
-    return backend == GemmBackend::Blocked ? blockedMatmul(a, b)
+    return backend == GemmBackend::Blocked ? blockedMatmul(a, b, simd)
                                            : referenceMatmul(a, b);
 }
 
 Matrix
 matmulTransposedWith(const Matrix &a, const Matrix &b,
-                     GemmBackend backend)
+                     GemmBackend backend, SimdTier simd)
 {
     EXION_ASSERT(a.cols() == b.cols(), "matmulT shape (", a.rows(), "x",
                  a.cols(), ") * (", b.rows(), "x", b.cols(), ")^T");
     return backend == GemmBackend::Blocked
-        ? blockedMatmulTransposed(a, b)
+        ? blockedMatmulTransposed(a, b, simd)
         : referenceMatmulTransposed(a, b);
 }
 
 Matrix
 matmulQuantWith(const QuantMatrix &a, const QuantMatrix &b,
-                GemmBackend backend)
+                GemmBackend backend, SimdTier simd)
 {
     EXION_ASSERT(a.cols() == b.rows(), "quant matmul shape mismatch");
-    return backend == GemmBackend::Blocked ? blockedMatmulQuant(a, b)
-                                           : referenceMatmulQuant(a, b);
+    return backend == GemmBackend::Blocked
+        ? blockedMatmulQuant(a, b, simd)
+        : referenceMatmulQuant(a, b);
 }
 
 } // namespace exion

@@ -39,6 +39,7 @@
 
 #include "exion/tensor/matrix.h"
 #include "exion/tensor/quant_matrix.h"
+#include "exion/tensor/simd_dispatch.h"
 
 namespace exion
 {
@@ -66,16 +67,29 @@ const char *gemmBackendName(GemmBackend backend);
 /** Parses a backend name; nullopt for anything unrecognised. */
 std::optional<GemmBackend> parseGemmBackend(const std::string &name);
 
+/*
+ * The explicit-backend entry points additionally take the SIMD tier
+ * the Blocked backend's inner loops run under (see simd_dispatch.h).
+ * The Reference backend ignores it — the golden triple loops stay
+ * exactly as written. Exact-tier kernels are bit-identical to the
+ * scalar chains, so the Blocked-vs-Reference identity contract above
+ * holds for Scalar and Exact alike; Fast reassociates the transposed
+ * form's k reductions and is tolerance-gated.
+ */
+
 /** C = A * B with an explicit backend. @pre A.cols() == B.rows(). */
-Matrix matmulWith(const Matrix &a, const Matrix &b, GemmBackend backend);
+Matrix matmulWith(const Matrix &a, const Matrix &b, GemmBackend backend,
+                  SimdTier simd = defaultSimdTier());
 
 /** C = A * B^T with an explicit backend. @pre A.cols() == B.cols(). */
 Matrix matmulTransposedWith(const Matrix &a, const Matrix &b,
-                            GemmBackend backend);
+                            GemmBackend backend,
+                            SimdTier simd = defaultSimdTier());
 
 /** Integer matmul with an explicit backend. @pre A.cols() == B.rows(). */
 Matrix matmulQuantWith(const QuantMatrix &a, const QuantMatrix &b,
-                       GemmBackend backend);
+                       GemmBackend backend,
+                       SimdTier simd = defaultSimdTier());
 
 } // namespace exion
 

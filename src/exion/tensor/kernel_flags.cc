@@ -1,0 +1,58 @@
+#include "exion/tensor/kernel_flags.h"
+
+namespace exion
+{
+
+namespace
+{
+
+constexpr const char *kGemmValues = "reference|blocked";
+constexpr const char *kSimdValues = "scalar|exact|fast";
+
+} // namespace
+
+KernelFlagStatus
+tryConsumeKernelFlag(int argc, const char *const *argv, int &i,
+                     KernelFlags &flags, std::string &error)
+{
+    const std::string arg = argv[i];
+    const bool is_gemm = arg == "--gemm";
+    const bool is_simd = arg == "--simd";
+    if (!is_gemm && !is_simd)
+        return KernelFlagStatus::NotMine;
+
+    const char *values = is_gemm ? kGemmValues : kSimdValues;
+    if (i + 1 >= argc) {
+        error = arg + " needs a value (" + values + ")";
+        return KernelFlagStatus::Error;
+    }
+    const std::string value = argv[++i];
+
+    if (is_gemm) {
+        const auto parsed = parseGemmBackend(value);
+        if (!parsed) {
+            error = "unknown --gemm backend '" + value
+                + "' (expected " + std::string(kGemmValues) + ")";
+            return KernelFlagStatus::Error;
+        }
+        flags.gemm = *parsed;
+        return KernelFlagStatus::Consumed;
+    }
+
+    const auto parsed = parseSimdTier(value);
+    if (!parsed) {
+        error = "unknown --simd tier '" + value + "' (expected "
+            + std::string(kSimdValues) + ")";
+        return KernelFlagStatus::Error;
+    }
+    flags.simd = *parsed;
+    return KernelFlagStatus::Consumed;
+}
+
+const char *
+kernelFlagsUsage()
+{
+    return "[--gemm reference|blocked] [--simd scalar|exact|fast]";
+}
+
+} // namespace exion

@@ -71,6 +71,14 @@ class QuantMatrix
     /** Unchecked access (mutable). */
     i32 &operator()(Index r, Index c) { return data_[r * cols_ + c]; }
 
+    /** Pointer to row r's contiguous values. */
+    const i32 *
+    rowPtr(Index r) const
+    {
+        EXION_ASSERT(r < rows_, "quant row out of range");
+        return data_.data() + r * cols_;
+    }
+
     /** Dequantises back to float. */
     Matrix toFloat() const;
 

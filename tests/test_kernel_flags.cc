@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Shared kernel-flag parsing tests: the --gemm/--simd helper every
+ * CLI binary routes its argv loop through. The unknown-value cases
+ * are regressions — each binary used to hand-roll this parse, and a
+ * typo'd value must be rejected with a message listing the accepted
+ * spellings, never silently fall back to a default.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exion/tensor/kernel_flags.h"
+
+namespace exion
+{
+namespace
+{
+
+/** Runs the caller-side argv loop over args; returns the outcome. */
+struct ParseRun
+{
+    KernelFlags flags;
+    std::vector<std::string> others; //!< positions reported NotMine
+    std::string error;               //!< first error, empty if none
+};
+
+ParseRun
+parseAll(const std::vector<const char *> &args)
+{
+    // argv[0] is the program name, as in a real main().
+    std::vector<const char *> argv = {"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    ParseRun run;
+    for (int i = 1; i < static_cast<int>(argv.size()); ++i) {
+        std::string err;
+        const KernelFlagStatus ks = tryConsumeKernelFlag(
+            static_cast<int>(argv.size()), argv.data(), i, run.flags,
+            err);
+        if (ks == KernelFlagStatus::Error) {
+            run.error = err;
+            break;
+        }
+        if (ks == KernelFlagStatus::NotMine)
+            run.others.push_back(argv[i]);
+    }
+    return run;
+}
+
+TEST(KernelFlagsTest, Defaults)
+{
+    const ParseRun run = parseAll({});
+    EXPECT_TRUE(run.error.empty());
+    EXPECT_EQ(run.flags.gemm, GemmBackend::Blocked);
+    EXPECT_EQ(run.flags.simd, SimdTier::Exact);
+}
+
+TEST(KernelFlagsTest, ParsesGemmValues)
+{
+    ParseRun run = parseAll({"--gemm", "reference"});
+    EXPECT_TRUE(run.error.empty());
+    EXPECT_EQ(run.flags.gemm, GemmBackend::Reference);
+
+    run = parseAll({"--gemm", "blocked"});
+    EXPECT_TRUE(run.error.empty());
+    EXPECT_EQ(run.flags.gemm, GemmBackend::Blocked);
+}
+
+TEST(KernelFlagsTest, ParsesSimdValues)
+{
+    ParseRun run = parseAll({"--simd", "scalar"});
+    EXPECT_TRUE(run.error.empty());
+    EXPECT_EQ(run.flags.simd, SimdTier::Scalar);
+
+    run = parseAll({"--simd", "exact"});
+    EXPECT_TRUE(run.error.empty());
+    EXPECT_EQ(run.flags.simd, SimdTier::Exact);
+
+    run = parseAll({"--simd", "fast"});
+    EXPECT_TRUE(run.error.empty());
+    EXPECT_EQ(run.flags.simd, SimdTier::Fast);
+}
+
+TEST(KernelFlagsTest, BothFlagsTogetherAndForeignArgsPassThrough)
+{
+    const ParseRun run = parseAll(
+        {"--quick", "--gemm", "reference", "--batch", "4", "--simd",
+         "fast"});
+    EXPECT_TRUE(run.error.empty());
+    EXPECT_EQ(run.flags.gemm, GemmBackend::Reference);
+    EXPECT_EQ(run.flags.simd, SimdTier::Fast);
+    // Foreign args (including consumed flags' neighbours) are left to
+    // the caller in order.
+    const std::vector<std::string> want = {"--quick", "--batch", "4"};
+    EXPECT_EQ(run.others, want);
+}
+
+TEST(KernelFlagsTest, LastValueWins)
+{
+    const ParseRun run =
+        parseAll({"--simd", "fast", "--simd", "scalar"});
+    EXPECT_TRUE(run.error.empty());
+    EXPECT_EQ(run.flags.simd, SimdTier::Scalar);
+}
+
+// Regression: a typo'd value must be an error naming the flag and
+// listing every accepted value — not a silent default.
+TEST(KernelFlagsTest, RejectsUnknownGemmValue)
+{
+    const ParseRun run = parseAll({"--gemm", "bocked"});
+    ASSERT_FALSE(run.error.empty());
+    EXPECT_NE(run.error.find("--gemm"), std::string::npos);
+    EXPECT_NE(run.error.find("bocked"), std::string::npos);
+    EXPECT_NE(run.error.find("reference|blocked"), std::string::npos);
+}
+
+TEST(KernelFlagsTest, RejectsUnknownSimdValue)
+{
+    const ParseRun run = parseAll({"--simd", "avx99"});
+    ASSERT_FALSE(run.error.empty());
+    EXPECT_NE(run.error.find("--simd"), std::string::npos);
+    EXPECT_NE(run.error.find("avx99"), std::string::npos);
+    EXPECT_NE(run.error.find("scalar|exact|fast"), std::string::npos);
+}
+
+TEST(KernelFlagsTest, RejectsCaseVariants)
+{
+    EXPECT_FALSE(parseAll({"--gemm", "Blocked"}).error.empty());
+    EXPECT_FALSE(parseAll({"--simd", "EXACT"}).error.empty());
+}
+
+TEST(KernelFlagsTest, MissingValueIsError)
+{
+    ParseRun run = parseAll({"--gemm"});
+    ASSERT_FALSE(run.error.empty());
+    EXPECT_NE(run.error.find("needs a value"), std::string::npos);
+    EXPECT_NE(run.error.find("reference|blocked"), std::string::npos);
+
+    run = parseAll({"--simd"});
+    ASSERT_FALSE(run.error.empty());
+    EXPECT_NE(run.error.find("needs a value"), std::string::npos);
+    EXPECT_NE(run.error.find("scalar|exact|fast"), std::string::npos);
+}
+
+TEST(KernelFlagsTest, ErrorDoesNotMutateFlags)
+{
+    KernelFlags flags;
+    flags.gemm = GemmBackend::Reference;
+    flags.simd = SimdTier::Fast;
+    const char *argv[] = {"prog", "--gemm", "wat"};
+    int i = 1;
+    std::string err;
+    EXPECT_EQ(tryConsumeKernelFlag(3, argv, i, flags, err),
+              KernelFlagStatus::Error);
+    EXPECT_EQ(flags.gemm, GemmBackend::Reference);
+    EXPECT_EQ(flags.simd, SimdTier::Fast);
+}
+
+TEST(KernelFlagsTest, UsageAdvertisesBothFlags)
+{
+    const std::string usage = kernelFlagsUsage();
+    EXPECT_NE(usage.find("--gemm"), std::string::npos);
+    EXPECT_NE(usage.find("--simd"), std::string::npos);
+}
+
+} // namespace
+} // namespace exion

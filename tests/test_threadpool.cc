@@ -73,13 +73,33 @@ class WorkerGate
         started_.get_future().wait();
     }
 
-    void release() { gate_.set_value(); }
+    /**
+     * Joins the blocker task: the lambda captures this stack object,
+     * so the gate must outlive the worker's last touch of it.
+     */
+    ~WorkerGate()
+    {
+        release();
+        if (blocker_.valid())
+            blocker_.get();
+    }
+
+    void
+    release()
+    {
+        if (!released_) {
+            released_ = true;
+            gate_.set_value();
+        }
+    }
+
     void wait() { blocker_.get(); }
 
   private:
     std::promise<void> started_;
     std::promise<void> gate_;
     std::future<void> blocker_;
+    bool released_ = false;
 };
 
 TEST(ThreadPool, HigherPriorityRunsFirst)
