@@ -23,11 +23,19 @@
  * EngineMetrics — the trajectory CI tracks for the serving layer.
  *
  * A third scenario compares the GEMM backends under cohort batching
- * on the paper-scale MLD workload: cohort-on with the Blocked
- * (cache-blocked, B-panel-packed) backend must be strictly faster
- * than cohort-on with the Reference backend — the gate that keeps the
- * cohort path's tall stacked MMULs an actual wall-clock win. Both
- * comparisons land in BENCH_batch.json.
+ * on the paper-scale MLD workload, gated per mode with an explicit
+ * tolerance: cohort-on dense with the Blocked (cache-blocked,
+ * B-panel-packed) backend must strictly beat the Reference backend,
+ * and the EXION mode — whose wall clock is dominated by sparse
+ * kernels the backend never touches — must clear a 5% regression
+ * allowance, with a stderr note whenever a mode lands below parity.
+ * Both comparisons land in BENCH_batch.json.
+ *
+ * A fifth scenario measures weight-store sharing: the full-scale
+ * model's store is built once and registered with two engines; the
+ * JSON's weights section records per-model store sizes and the RSS
+ * each registration added, gated on the second engine costing < 20%
+ * of the weight RSS (borrowed views, not a copy).
  *
  * Exits nonzero if any measured throughput is not positive, a gated
  * comparison regresses, or the overload accounting does not
@@ -47,6 +55,7 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -300,6 +309,8 @@ struct GemmComparison
     int requests = 0;
     double referenceRps = 0.0;
     double blockedRps = 0.0;
+    /** Per-mode acceptance bound on speedup() (the explicit gate). */
+    double minSpeedup = 1.0;
 
     double speedup() const
     {
@@ -415,6 +426,72 @@ compareGemmBackends(const ModelConfig &cfg, ExecMode mode, int n,
     return cmp;
 }
 
+/** Resident-set size from /proc/self/status, in KiB (0 if absent). */
+long
+rssKb()
+{
+    std::ifstream in("/proc/self/status");
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("VmRSS:", 0) == 0)
+            return std::strtol(line.c_str() + 6, nullptr, 10);
+    }
+    return 0;
+}
+
+/** Weight-memory accounting of the JSON artifact's weights section. */
+struct WeightsReport
+{
+    /** (model name, serialized store bytes) for every benchmark. */
+    std::vector<std::pair<std::string, u64>> storeSizes;
+    /** Store the two engines below share. */
+    u64 sharedStoreBytes = 0;
+    long storeRssKb = 0;        //!< RSS delta of building the store
+    long firstEngineRssKb = 0;  //!< delta of engine 1 registering it
+    long secondEngineRssKb = 0; //!< delta of engine 2 registering it
+    bool measured = false;      //!< false when /proc is unavailable
+};
+
+/**
+ * Measures what weight sharing saves: builds the full-scale store
+ * once, registers it with two engines in turn, and reads the RSS
+ * growth each step causes. The second engine borrows views into the
+ * same image, so its growth must be a small fraction of the weight
+ * RSS — the gate that keeps "N engines, one weight copy" true.
+ */
+WeightsReport
+measureWeightSharing(const ModelConfig &cfg)
+{
+    WeightsReport report;
+    for (Benchmark b : allBenchmarks()) {
+        const ModelConfig rc = makeConfig(b, Scale::Reduced);
+        report.storeSizes.emplace_back(
+            rc.name, WeightStore::build(rc)->sizeBytes());
+    }
+
+    BatchEngine::Options eopts;
+    eopts.workers = 1;
+    eopts.poolSeed = kPoolSeed;
+    eopts.queueResults = false;
+
+    const long base = rssKb();
+    const auto store = WeightStore::build(cfg);
+    report.sharedStoreBytes = store->sizeBytes();
+    const long after_build = rssKb();
+    BatchEngine first(eopts);
+    first.registerModel(cfg.benchmark, store);
+    const long after_first = rssKb();
+    BatchEngine second(eopts);
+    second.registerModel(cfg.benchmark, store);
+    const long after_second = rssKb();
+
+    report.storeRssKb = after_build - base;
+    report.firstEngineRssKb = after_first - after_build;
+    report.secondEngineRssKb = after_second - after_first;
+    report.measured = base > 0 && report.storeRssKb > 0;
+    return report;
+}
+
 /** Cohort-on SIMD tier comparison row of the JSON artifact. */
 struct SimdComparison
 {
@@ -467,7 +544,8 @@ void
 writeBenchJson(const std::string &path, const ModelConfig &cfg,
                bool quick, const std::vector<CohortComparison> &rows,
                const std::vector<GemmComparison> &gemm_rows,
-               const std::vector<SimdComparison> &simd_rows)
+               const std::vector<SimdComparison> &simd_rows,
+               const WeightsReport &weights)
 {
     std::ofstream out(path);
     if (!out) {
@@ -497,7 +575,8 @@ writeBenchJson(const std::string &path, const ModelConfig &cfg,
             << g.requests << ", \"cohort\": true,\n"
             << "     \"reference_rps\": " << g.referenceRps
             << ", \"blocked_rps\": " << g.blockedRps
-            << ", \"speedup\": " << g.speedup() << "}"
+            << ", \"speedup\": " << g.speedup()
+            << ", \"min_speedup\": " << g.minSpeedup << "}"
             << (i + 1 < gemm_rows.size() ? "," : "") << "\n";
     }
     out << "  ],\n";
@@ -516,6 +595,22 @@ writeBenchJson(const std::string &path, const ModelConfig &cfg,
             << (i + 1 < simd_rows.size() ? "," : "") << "\n";
     }
     out << "    ]\n";
+    out << "  },\n";
+    out << "  \"weights\": {\n";
+    out << "    \"stores\": [\n";
+    for (Index i = 0; i < weights.storeSizes.size(); ++i)
+        out << "      {\"model\": \"" << weights.storeSizes[i].first
+            << "\", \"bytes\": " << weights.storeSizes[i].second << "}"
+            << (i + 1 < weights.storeSizes.size() ? "," : "") << "\n";
+    out << "    ],\n";
+    out << "    \"shared_store_bytes\": " << weights.sharedStoreBytes
+        << ",\n";
+    out << "    \"measured\": "
+        << (weights.measured ? "true" : "false") << ",\n";
+    out << "    \"rss_kb\": {\"store\": " << weights.storeRssKb
+        << ", \"first_engine\": " << weights.firstEngineRssKb
+        << ", \"second_engine\": " << weights.secondEngineRssKb
+        << "}\n";
     out << "  }\n";
     out << "}\n";
     std::cout << "wrote " << path << "\n";
@@ -658,21 +753,36 @@ main(int argc, char **argv)
         GemmComparison cmp = compareGemmBackends(
             cohort_cfg, mode, cohort_n, /*max_rows=*/8, reps,
             sweep_simd);
+        // Per-mode acceptance bound. Dense is the pure tall-GEMM
+        // amortisation play and must strictly beat parity; the EXION
+        // mode spends most of its wall clock in sparse kernels the
+        // backend never touches, so its dense substrate only gates
+        // against a 5% regression allowance (it typically lands just
+        // under parity, ~0.99x).
+        cmp.minSpeedup = mode == ExecMode::Dense ? 1.0 : 0.95;
         std::cout << std::left << std::setw(8) << cmp.mode
                   << std::fixed << std::setprecision(2)
                   << "reference " << std::setw(10) << cmp.referenceRps
                   << "blocked " << std::setw(10) << cmp.blockedRps
-                  << "speedup " << cmp.speedup() << "x\n";
+                  << "speedup " << cmp.speedup() << "x (gate >= "
+                  << cmp.minSpeedup << ")\n";
         healthy &= cmp.referenceRps > 0.0 && cmp.blockedRps > 0.0;
+        if (cmp.speedup() < cmp.minSpeedup
+            || (mode == ExecMode::Dense
+                && cmp.blockedRps <= cmp.referenceRps)) {
+            std::cerr << "error: Blocked GEMM backend missed the "
+                      << cmp.mode << " cohort-on gate ("
+                      << cmp.speedup() << "x < " << cmp.minSpeedup
+                      << "x)\n";
+            healthy = false;
+        } else if (cmp.speedup() <= 1.0) {
+            std::cerr << "note: Blocked GEMM backend below parity on "
+                      << cmp.mode << " cohort-on throughput ("
+                      << cmp.speedup()
+                      << "x, within its tolerance gate of "
+                      << cmp.minSpeedup << "x)\n";
+        }
         gemm_rows.push_back(std::move(cmp));
-    }
-    // The acceptance gate: the blocked, packed kernel must be
-    // strictly faster than the reference kernel on the paper-scale
-    // cohort workload.
-    if (gemm_rows[0].blockedRps <= gemm_rows[0].referenceRps) {
-        std::cerr << "error: Blocked GEMM backend did not improve "
-                     "cohort-on dense throughput over Reference\n";
-        healthy = false;
     }
     // SIMD tiers under cohort batching: the Blocked backend's
     // kernels with the scalar table forced vs the host vector table
@@ -707,8 +817,43 @@ main(int argc, char **argv)
                      "throughput\n";
         healthy = false;
     }
+    // Weight sharing: the store built once, registered with two
+    // engines; the second engine must borrow, not copy.
+    const WeightsReport weights = measureWeightSharing(cohort_cfg);
+    std::cout << "\n== weight store sharing: " << cohort_cfg.name
+              << " (full-scale), "
+              << weights.sharedStoreBytes / (1024 * 1024)
+              << " MiB store, 2 engines ==\n";
+    if (weights.measured) {
+        const double frac = static_cast<double>(weights.secondEngineRssKb)
+            / static_cast<double>(weights.storeRssKb);
+        std::cout << std::fixed << std::setprecision(1)
+                  << "store RSS " << weights.storeRssKb
+                  << " KiB, first engine +" << weights.firstEngineRssKb
+                  << " KiB, second engine +"
+                  << weights.secondEngineRssKb << " KiB ("
+                  << std::setprecision(1) << frac * 100.0
+                  << "% of weight RSS, gate < 20%)\n";
+        // The acceptance gate: a second engine over the same store
+        // must cost a small fraction of the weights it would have
+        // duplicated before the store existed.
+        if (weights.secondEngineRssKb
+            >= weights.storeRssKb / 5) {
+            std::cerr << "error: second engine sharing the weight "
+                         "store grew RSS by "
+                      << weights.secondEngineRssKb << " KiB, >= 20% "
+                         "of the " << weights.storeRssKb
+                      << " KiB weight RSS — weights are being "
+                         "copied, not shared\n";
+            healthy = false;
+        }
+    } else {
+        std::cout << "RSS not measurable on this platform; size-only "
+                     "report\n";
+    }
+
     writeBenchJson("BENCH_batch.json", cohort_cfg, quick, cohort_rows,
-                   gemm_rows, simd_rows);
+                   gemm_rows, simd_rows, weights);
 
     healthy &= runOverload(cfg, quick);
     return healthy ? 0 : 1;

@@ -27,10 +27,8 @@ main(int argc, char **argv)
     table.setTitle("Fig. 6 — FFN-Reuse Configurations and Op Reduction");
 
     for (Benchmark b : allBenchmarks()) {
-        ModelConfig cfg = makeConfig(b, Scale::Reduced);
-        if (quick)
-            cfg.iterations = std::min(cfg.iterations, 12);
-        DiffusionPipeline pipe(cfg);
+        const ModelConfig cfg = reducedConfig(b, quick, 12);
+        const DiffusionPipeline pipe = storePipeline(cfg);
         const VariantResult run = runVariant(pipe, Variant::FfnReuse,
                                              77);
         const ExecStats &s = run.stats;

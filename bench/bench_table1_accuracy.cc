@@ -33,10 +33,8 @@ main(int argc, char **argv)
                    "(reduced-scale functional runs)");
 
     for (Benchmark b : allBenchmarks()) {
-        ModelConfig cfg = makeConfig(b, Scale::Reduced);
-        if (quick)
-            cfg.iterations = std::min(cfg.iterations, 16);
-        DiffusionPipeline pipe(cfg);
+        const ModelConfig cfg = reducedConfig(b, quick, 16);
+        const DiffusionPipeline pipe = storePipeline(cfg);
 
         // Batches for the Fréchet proxy (distinct noise seeds).
         std::vector<Matrix> vanilla_batch;

@@ -6,12 +6,14 @@
 #ifndef EXION_BENCH_BENCH_UTIL_H_
 #define EXION_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
 #include "exion/metrics/frechet.h"
 #include "exion/metrics/metrics.h"
 #include "exion/model/pipeline.h"
+#include "exion/model/weight_store.h"
 #include "exion/sparsity/sparse_executor.h"
 
 namespace exion
@@ -105,6 +107,39 @@ quickMode(int argc, char **argv)
         if (std::string(argv[i]) == "--quick")
             return true;
     return false;
+}
+
+/**
+ * Reduced-scale config for a benchmark, with iterations capped in
+ * quick mode — the construction prologue nearly every harness used
+ * to spell out by hand.
+ */
+inline ModelConfig
+reducedConfig(Benchmark b, bool quick, int quick_iterations = 16)
+{
+    ModelConfig cfg = makeConfig(b, Scale::Reduced);
+    if (quick)
+        cfg.iterations = std::min(cfg.iterations, quick_iterations);
+    return cfg;
+}
+
+/**
+ * Pipeline for cfg built through an explicit WeightStore snapshot —
+ * the exact path a serving engine registering this model takes
+ * (serialized image, borrowed views, quantized-at-rest weights), and
+ * bit-identical to DiffusionPipeline(cfg).
+ */
+inline DiffusionPipeline
+storePipeline(const ModelConfig &cfg)
+{
+    return DiffusionPipeline(WeightStore::build(cfg));
+}
+
+/** reducedConfig + storePipeline in one step. */
+inline DiffusionPipeline
+storePipeline(Benchmark b, bool quick, int quick_iterations = 16)
+{
+    return storePipeline(reducedConfig(b, quick, quick_iterations));
 }
 
 } // namespace bench

@@ -30,7 +30,7 @@ intWidthMax(IntWidth width)
 }
 
 QuantParams
-chooseQuantParams(const std::vector<float> &data, IntWidth width)
+chooseQuantParams(std::span<const float> data, IntWidth width)
 {
     QuantParams params;
     params.width = width;

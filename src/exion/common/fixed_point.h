@@ -11,6 +11,7 @@
 #ifndef EXION_COMMON_FIXED_POINT_H_
 #define EXION_COMMON_FIXED_POINT_H_
 
+#include <span>
 #include <vector>
 
 #include "exion/common/types.h"
@@ -46,7 +47,7 @@ struct QuantParams
  * @param width  target width
  * @return       parameters with scale = maxAbs / intMax (1.0 if empty)
  */
-QuantParams chooseQuantParams(const std::vector<float> &data,
+QuantParams chooseQuantParams(std::span<const float> data,
                               IntWidth width);
 
 /** Quantises one value: clamp(round(x / scale)). */

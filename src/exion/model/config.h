@@ -23,6 +23,9 @@
 namespace exion
 {
 
+/** Width of the sinusoidal timestep embedding every network uses. */
+inline constexpr Index kTimeEmbedDim = 64;
+
 /** The three diffusion network shapes of Fig. 3(a). */
 enum class NetworkType
 {

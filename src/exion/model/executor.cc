@@ -41,6 +41,20 @@ execMatmul(const Matrix &a, const Matrix &b, bool quantize,
     return matmulQuantWith(qa, qb, backend, simd);
 }
 
+Matrix
+execWeightMatmul(const Matrix &x, const Linear &lin, bool quantize,
+                 GemmBackend backend, SimdTier simd)
+{
+    if (!quantize)
+        return matmulWith(x, lin.weight(), backend, simd);
+    const QuantMatrix qx = QuantMatrix::fromFloat(x, IntWidth::Int12);
+    if (lin.hasQuantWeight())
+        return matmulQuantWith(qx, lin.quantWeight(), backend, simd);
+    return matmulQuantWith(
+        qx, QuantMatrix::fromFloat(lin.weight(), IntWidth::Int12),
+        backend, simd);
+}
+
 void
 denseAttentionCoreInto(const TransformerBlock &blk, const Matrix &q,
                        const Matrix &k, const Matrix &v, Index r0,
@@ -83,14 +97,11 @@ denseAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
     const Index t = x_norm.rows();
     const Index d = blk.dModel();
 
-    Matrix q =
-        execMatmul(x_norm, blk.wq().weight(), quantize, backend, simd);
+    Matrix q = execWeightMatmul(x_norm, blk.wq(), quantize, backend, simd);
     addRowVector(q, blk.wq().bias());
-    Matrix k =
-        execMatmul(x_norm, blk.wk().weight(), quantize, backend, simd);
+    Matrix k = execWeightMatmul(x_norm, blk.wk(), quantize, backend, simd);
     addRowVector(k, blk.wk().bias());
-    Matrix v =
-        execMatmul(x_norm, blk.wv().weight(), quantize, backend, simd);
+    Matrix v = execWeightMatmul(x_norm, blk.wv(), quantize, backend, simd);
     addRowVector(v, blk.wv().bias());
 
     stats.qkvOpsDense += 3 * mmulOps(t, d, d);
@@ -104,7 +115,7 @@ denseAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
                            concat, backend, simd);
 
     Matrix out =
-        execMatmul(concat, blk.wo().weight(), quantize, backend, simd);
+        execWeightMatmul(concat, blk.wo(), quantize, backend, simd);
     addRowVector(out, blk.wo().bias());
     stats.attnOpsDense += mmulOps(t, d, d);
     stats.attnOpsExecuted += mmulOps(t, d, d);
@@ -120,16 +131,16 @@ denseFfnImpl(const TransformerBlock &blk, const Matrix &x_norm,
     const Index d = blk.dModel();
     const Index hid = blk.ffnHidden();
 
-    Matrix gate = execMatmul(x_norm, blk.ffn1().weight(), quantize,
-                             backend, simd);
+    Matrix gate = execWeightMatmul(x_norm, blk.ffn1(), quantize,
+                                   backend, simd);
     addRowVector(gate, blk.ffn1().bias());
     stats.ffnOpsDense += mmulOps(t, d, hid);
     stats.ffnOpsExecuted += mmulOps(t, d, hid);
 
     Matrix hidden;
     if (blk.geglu()) {
-        Matrix value = execMatmul(x_norm, blk.ffn1Value().weight(),
-                                  quantize, backend, simd);
+        Matrix value = execWeightMatmul(x_norm, blk.ffn1Value(),
+                                        quantize, backend, simd);
         addRowVector(value, blk.ffn1Value().bias());
         stats.ffnOpsDense += mmulOps(t, d, hid);
         stats.ffnOpsExecuted += mmulOps(t, d, hid);
@@ -143,8 +154,8 @@ denseFfnImpl(const TransformerBlock &blk, const Matrix &x_norm,
     if (observers.onFfnHidden)
         observers.onFfnHidden(blk.id(), hidden);
 
-    Matrix out = execMatmul(hidden, blk.ffn2().weight(), quantize,
-                            backend, simd);
+    Matrix out = execWeightMatmul(hidden, blk.ffn2(), quantize,
+                                  backend, simd);
     addRowVector(out, blk.ffn2().bias());
     stats.ffnOpsDense += mmulOps(t, hid, d);
     stats.ffnOpsExecuted += mmulOps(t, hid, d);

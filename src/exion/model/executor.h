@@ -23,6 +23,7 @@
 namespace exion
 {
 
+class Linear;
 class TransformerBlock;
 
 /**
@@ -283,6 +284,20 @@ class CohortBlockExecutor : public BlockExecutor
 Matrix execMatmul(const Matrix &a, const Matrix &b, bool quantize,
                   GemmBackend backend = defaultGemmBackend(),
                   SimdTier simd = defaultSimdTier());
+
+/**
+ * x * W for a layer's weight, with optional INT12 operand
+ * quantisation. Identical numerics to
+ * execMatmul(x, lin.weight(), ...), but a layer carrying a
+ * quantized-at-rest image (one built from a WeightStore) feeds it to
+ * matmulQuant directly — the weight-side fromFloat disappears from
+ * the request path while the product stays bit-identical, because the
+ * at-rest image snapshots the same deterministic quantisation.
+ */
+Matrix execWeightMatmul(const Matrix &x, const Linear &lin,
+                        bool quantize,
+                        GemmBackend backend = defaultGemmBackend(),
+                        SimdTier simd = defaultSimdTier());
 
 /**
  * MACs-as-2-ops for an (m x k) * (k x n) MMUL — the paper's TOPS

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "exion/common/rng.h"
+#include "exion/model/weight_store.h"
 #include "exion/tensor/ops.h"
 
 namespace exion
@@ -14,6 +15,17 @@ Linear::Linear(Index in, Index out, Rng &rng)
 {
     const float stddev = 1.0f / std::sqrt(static_cast<float>(in));
     weight_.fillNormal(rng, 0.0f, stddev);
+}
+
+Linear
+Linear::fromStore(const WeightStore &ws, const std::string &name)
+{
+    Linear lin;
+    lin.weight_ = ws.matrix(name + ".w");
+    lin.bias_ = ws.matrix(name + ".b");
+    if (ws.has(name + ".w.q"))
+        lin.quantWeight_ = ws.quant(name + ".w.q");
+    return lin;
 }
 
 Matrix

@@ -6,13 +6,17 @@
 #ifndef EXION_MODEL_LAYERS_H_
 #define EXION_MODEL_LAYERS_H_
 
+#include <string>
+
 #include "exion/tensor/gemm.h"
 #include "exion/tensor/matrix.h"
+#include "exion/tensor/quant_matrix.h"
 
 namespace exion
 {
 
 class Rng;
+class WeightStore;
 
 /**
  * Fully connected layer: y = x W + b.
@@ -25,6 +29,14 @@ class Linear
 
     /** in x out layer with N(0, 1/sqrt(in)) weights, zero bias. */
     Linear(Index in, Index out, Rng &rng);
+
+    /**
+     * Layer viewing a WeightStore's tensors "<name>.w" / "<name>.b",
+     * with the at-rest INT12 image "<name>.w.q" attached when present.
+     * Borrows storage: the store must outlive the layer.
+     */
+    static Linear fromStore(const WeightStore &ws,
+                            const std::string &name);
 
     /**
      * Applies the layer to x (rows = tokens).
@@ -45,7 +57,25 @@ class Linear
     /** Bias row vector (1 x out). */
     const Matrix &bias() const { return bias_; }
 
-    /** Mutable weight access (tests / custom initialisation). */
+    /**
+     * Quantized-at-rest INT12 weight image (empty unless the layer
+     * came from a WeightStore). Identical to
+     * QuantMatrix::fromFloat(weight(), IntWidth::Int12) — the store
+     * snapshots the same deterministic quantisation — so consumers
+     * skip the per-request quantisation, not change its numerics.
+     */
+    const QuantMatrix &quantWeight() const { return quantWeight_; }
+
+    /** Whether an at-rest quantized weight image is attached. */
+    bool hasQuantWeight() const
+    {
+        return quantWeight_.rows() == weight_.rows()
+            && quantWeight_.cols() == weight_.cols()
+            && weight_.size() != 0;
+    }
+
+    /** Mutable weight access (tests / custom initialisation; never
+        paired with an at-rest quant image). */
     Matrix &weight() { return weight_; }
 
     /** Mutable bias access. */
@@ -60,6 +90,7 @@ class Linear
   private:
     Matrix weight_;
     Matrix bias_;
+    QuantMatrix quantWeight_;
 };
 
 /** GELU activation (tanh approximation, matching common deployments). */

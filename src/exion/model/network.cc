@@ -1,6 +1,7 @@
 #include "exion/model/network.h"
 
 #include "exion/common/rng.h"
+#include "exion/model/weight_store.h"
 #include "exion/tensor/ops.h"
 
 namespace exion
@@ -35,30 +36,37 @@ upsampleTokens(const Matrix &x, Index factor)
     return out;
 }
 
-DenoisingNetwork::DenoisingNetwork(const ModelConfig &cfg) : cfg_(cfg)
+DenoisingNetwork::DenoisingNetwork(const ModelConfig &cfg)
+    : DenoisingNetwork(WeightStore::build(cfg))
 {
-    EXION_ASSERT(!cfg.stages.empty(), "network needs at least one stage");
-    Rng rng(cfg.seed);
+}
 
-    inProj_ = Linear(cfg.latentDim, cfg.stages.front().dModel, rng);
-    outProj_ = Linear(cfg.stages.back().dModel, cfg.latentDim, rng);
-    condEmbed_ = Matrix(1, cfg.stages.front().dModel);
-    condEmbed_.fillNormal(rng, 0.0f, 0.5f);
+DenoisingNetwork::DenoisingNetwork(std::shared_ptr<const WeightStore> store)
+    : cfg_(store->config()), store_(std::move(store))
+{
+    EXION_ASSERT(!cfg_.stages.empty(), "network needs at least one stage");
+    const WeightStore &ws = *store_;
+
+    inProj_ = Linear::fromStore(ws, "inProj");
+    outProj_ = Linear::fromStore(ws, "outProj");
+    condEmbed_ = ws.matrix("condEmbed");
 
     int block_id = 0;
-    Index prev_d = cfg.stages.front().dModel;
-    for (const auto &sc : cfg.stages) {
+    Index prev_d = cfg_.stages.front().dModel;
+    Index stage_id = 0;
+    for (const auto &sc : cfg_.stages) {
+        const std::string sp = "s" + std::to_string(stage_id++);
         Stage stage;
         stage.cfg = sc;
         if (sc.dModel != prev_d)
-            stage.channelProj = Linear(prev_d, sc.dModel, rng);
-        stage.timeProj = Linear(kTimeEmbedDim, sc.dModel, rng);
+            stage.channelProj = Linear::fromStore(ws, sp + ".channelProj");
+        stage.timeProj = Linear::fromStore(ws, sp + ".timeProj");
         for (Index i = 0; i < sc.nResBlocks; ++i)
-            stage.resBlocks.emplace_back(sc.dModel, rng);
+            stage.resBlocks.emplace_back(
+                ws, sp + ".res" + std::to_string(i));
         for (Index i = 0; i < sc.nBlocks; ++i) {
             stage.blocks.emplace_back(block_id++, sc.dModel, sc.nHeads,
-                                      sc.ffnMult, cfg.geglu, rng,
-                                      sc.scoreTemp);
+                                      cfg_.geglu, sc.scoreTemp, ws);
         }
         prev_d = sc.dModel;
         stages_.push_back(std::move(stage));

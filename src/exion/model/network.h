@@ -31,11 +31,26 @@ Matrix upsampleTokens(const Matrix &x, Index factor);
 /**
  * The diffusion denoiser: predicts the noise of a latent at timestep t.
  */
+class WeightStore;
+
 class DenoisingNetwork
 {
   public:
-    /** Builds all stages and weights deterministically from cfg.seed. */
+    /**
+     * Builds all stages and weights deterministically from cfg.seed.
+     * Internally snapshots the build into an in-memory WeightStore
+     * and views it — bit-identical to the historical direct build,
+     * with the at-rest quantized/transposed images along for free.
+     */
     explicit DenoisingNetwork(const ModelConfig &cfg);
+
+    /**
+     * Builds the network over an existing (typically mmap'd, shared)
+     * store: every layer borrows the store's tensors, so N networks
+     * over one store share one physical copy of the weights and
+     * construction does no Rng work.
+     */
+    explicit DenoisingNetwork(std::shared_ptr<const WeightStore> store);
 
     /**
      * Predicts noise for latent x at the given (training) timestep.
@@ -74,6 +89,12 @@ class DenoisingNetwork
     /** Access to block i in execution order. */
     const TransformerBlock &block(Index i) const { return *blockPtrs_[i]; }
 
+    /** The weight store this network views. */
+    const std::shared_ptr<const WeightStore> &store() const
+    {
+        return store_;
+    }
+
   private:
     Matrix forwardImpl(const Matrix &x, const int *timesteps,
                        Index segments, BlockExecutor &exec) const;
@@ -87,9 +108,9 @@ class DenoisingNetwork
         Linear timeProj;    //!< time embedding -> this d
     };
 
-    static constexpr Index kTimeEmbedDim = 64;
-
     ModelConfig cfg_;
+    /** Keeps every borrowed view below alive. */
+    std::shared_ptr<const WeightStore> store_;
     Linear inProj_;
     Linear outProj_;
     Matrix condEmbed_;

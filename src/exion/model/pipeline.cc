@@ -11,6 +11,13 @@ DiffusionPipeline::DiffusionPipeline(const ModelConfig &cfg)
 {
 }
 
+DiffusionPipeline::DiffusionPipeline(
+    std::shared_ptr<const WeightStore> store)
+    : network_(std::move(store)),
+      scheduler_(network_.config().iterations)
+{
+}
+
 Matrix
 DiffusionPipeline::run(BlockExecutor &exec, u64 noise_seed) const
 {

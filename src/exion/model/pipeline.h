@@ -72,8 +72,17 @@ struct RunOutcome
 class DiffusionPipeline
 {
   public:
-    /** Builds the network and scheduler for cfg. */
+    /** Builds the network and scheduler for cfg (snapshotting the
+        build into an in-memory WeightStore; see DenoisingNetwork). */
     explicit DiffusionPipeline(const ModelConfig &cfg);
+
+    /**
+     * Builds the pipeline over an existing WeightStore — no Rng
+     * weight construction; every layer borrows the (possibly mmap'd,
+     * possibly shared-across-engines) store's tensors. Bit-identical
+     * to the cfg constructor for the store's config.
+     */
+    explicit DiffusionPipeline(std::shared_ptr<const WeightStore> store);
 
     /**
      * Runs the full reverse process.
@@ -123,6 +132,12 @@ class DiffusionPipeline
 
     /** Model configuration. */
     const ModelConfig &config() const { return network_.config(); }
+
+    /** The weight store backing the network. */
+    const std::shared_ptr<const WeightStore> &store() const
+    {
+        return network_.store();
+    }
 
   private:
     DenoisingNetwork network_;

@@ -12,6 +12,14 @@ ResBlock::ResBlock(Index d_model, Rng &rng)
 {
 }
 
+ResBlock::ResBlock(const WeightStore &ws, const std::string &prefix)
+    : conv1_(Linear::fromStore(ws, prefix + ".conv1")),
+      conv2_(Linear::fromStore(ws, prefix + ".conv2")),
+      normGamma_(1, conv1_.inDim(), 1.0f),
+      normBeta_(1, conv1_.inDim(), 0.0f)
+{
+}
+
 Matrix
 ResBlock::forward(const Matrix &x, GemmBackend backend,
                   SimdTier simd) const

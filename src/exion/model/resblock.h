@@ -27,6 +27,12 @@ class ResBlock
     ResBlock(Index d_model, Rng &rng);
 
     /**
+     * Block viewing a WeightStore's "<prefix>.conv1" / "<prefix>.conv2"
+     * layers. Borrows storage: the store must outlive the block.
+     */
+    ResBlock(const WeightStore &ws, const std::string &prefix);
+
+    /**
      * Applies the block to x (tokens x d_model). Every op here
      * (norm, channel-mixing linears, GELU, residual) is
      * row-independent, so a cohort stack of several members' tokens

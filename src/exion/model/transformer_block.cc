@@ -1,6 +1,7 @@
 #include "exion/model/transformer_block.h"
 
 #include "exion/common/rng.h"
+#include "exion/model/weight_store.h"
 #include "exion/tensor/ops.h"
 
 namespace exion
@@ -22,6 +23,34 @@ TransformerBlock::TransformerBlock(int id, Index d_model, Index n_heads,
                  "d_model ", d_model, " not divisible by heads ", n_heads);
     if (geglu_)
         ffn1Value_ = Linear(d_model, ffn_mult * d_model, rng);
+}
+
+TransformerBlock::TransformerBlock(int id, Index d_model, Index n_heads,
+                                   bool geglu, double score_temp,
+                                   const WeightStore &ws)
+    : id_(id), dModel_(d_model), nHeads_(n_heads), geglu_(geglu),
+      scoreTemp_(score_temp),
+      ln1Gamma_(1, d_model, 1.0f), ln1Beta_(1, d_model, 0.0f),
+      ln2Gamma_(1, d_model, 1.0f), ln2Beta_(1, d_model, 0.0f)
+{
+    EXION_ASSERT(d_model % n_heads == 0,
+                 "d_model ", d_model, " not divisible by heads ", n_heads);
+    const std::string bp = "blk" + std::to_string(id);
+    wq_ = Linear::fromStore(ws, bp + ".wq");
+    wk_ = Linear::fromStore(ws, bp + ".wk");
+    wv_ = Linear::fromStore(ws, bp + ".wv");
+    wo_ = Linear::fromStore(ws, bp + ".wo");
+    ffn1_ = Linear::fromStore(ws, bp + ".ffn1");
+    ffn2_ = Linear::fromStore(ws, bp + ".ffn2");
+    ffnAtRest_.w1t = ws.matrix(bp + ".ffn1.wT");
+    ffnAtRest_.qw1t = ws.quant(bp + ".ffn1.wT.q");
+    if (geglu_) {
+        ffn1Value_ = Linear::fromStore(ws, bp + ".ffn1v");
+        ffnAtRest_.w1vt = ws.matrix(bp + ".ffn1v.wT");
+        ffnAtRest_.qw1vt = ws.quant(bp + ".ffn1v.wT.q");
+    }
+    EXION_ASSERT(wq_.inDim() == dModel_ && ffn1_.inDim() == dModel_,
+                 "store shapes disagree with block ", id, " config");
 }
 
 Matrix

@@ -34,6 +34,15 @@ class TransformerBlock
                      double score_temp = 1.0);
 
     /**
+     * Block viewing a WeightStore's "blk<id>.*" layers, including the
+     * at-rest transposed first-FFN-layer images ffn1AtRest() exposes
+     * for the FFN-Reuse sparse path. Borrows storage: the store must
+     * outlive the block.
+     */
+    TransformerBlock(int id, Index d_model, Index n_heads, bool geglu,
+                     double score_temp, const WeightStore &ws);
+
+    /**
      * Runs the block on x (tokens x d_model) via the executor.
      *
      * x may also be a cohort stack (members x tokens rows): the
@@ -79,6 +88,29 @@ class TransformerBlock
     /** Second FFN layer. */
     const Linear &ffn2() const { return ffn2_; }
 
+    /**
+     * At-rest images of the transposed first FFN layer(s): W1^T (and
+     * W1v^T under GEGLU) as float plus their INT12 quantisations —
+     * what FfnReuse's sparse recompute reads column-wise. Identical
+     * to transposing/quantising the live weights (per-tensor scales
+     * are element-order-independent), just precomputed in the store.
+     */
+    struct FfnAtRest
+    {
+        Matrix w1t;
+        Matrix w1vt;
+        QuantMatrix qw1t;
+        QuantMatrix qw1vt;
+    };
+
+    /** At-rest transposed FFN images, or nullptr for Rng-built
+        blocks (FfnReuse then builds its own copies). */
+    const FfnAtRest *
+    ffn1AtRest() const
+    {
+        return ffnAtRest_.w1t.size() != 0 ? &ffnAtRest_ : nullptr;
+    }
+
   private:
     int id_;
     Index dModel_;
@@ -98,6 +130,8 @@ class TransformerBlock
     Matrix ln1Beta_;
     Matrix ln2Gamma_;
     Matrix ln2Beta_;
+
+    FfnAtRest ffnAtRest_;
 };
 
 } // namespace exion

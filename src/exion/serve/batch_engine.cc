@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "exion/common/logging.h"
+#include "exion/model/weight_store.h"
 #include "exion/sparsity/cohort_executor.h"
 
 namespace exion
@@ -88,8 +89,36 @@ BatchEngine::~BatchEngine()
 void
 BatchEngine::addModel(const ModelConfig &cfg)
 {
-    models_[cfg.benchmark] =
-        std::make_unique<const DiffusionPipeline>(cfg);
+    registerModel(cfg.benchmark, WeightStore::build(cfg));
+}
+
+void
+BatchEngine::registerModel(Benchmark b,
+                           std::shared_ptr<const WeightStore> store)
+{
+    if (!store)
+        throw std::invalid_argument("registerModel: null weight store");
+    if (store->config().benchmark != b)
+        throw std::invalid_argument(
+            "registerModel: store holds "
+            + benchmarkName(store->config().benchmark)
+            + ", not " + benchmarkName(b));
+    // Pipeline construction (cheap for a store: borrowed views, no
+    // Rng build) happens outside the lock; the stopped check and the
+    // map insert are atomic with respect to shutdown().
+    auto pipe = std::make_unique<const DiffusionPipeline>(std::move(store));
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_)
+        throw ThreadPoolStopped();
+    models_[b] = std::move(pipe);
+}
+
+void
+BatchEngine::registerModelFromFile(const std::string &path)
+{
+    auto store = WeightStore::load(path);
+    const Benchmark b = store->config().benchmark;
+    registerModel(b, std::move(store));
 }
 
 const DiffusionPipeline &

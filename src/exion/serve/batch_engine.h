@@ -284,9 +284,40 @@ class BatchEngine
 
     /**
      * Builds and registers the pipeline serving a benchmark at the
-     * given scale. Re-registering a benchmark replaces its pipeline.
+     * given scale (snapshotting the build into an engine-private
+     * WeightStore). Re-registering a benchmark replaces its pipeline.
+     *
+     * @throws ThreadPoolStopped after shutdown() has begun
      */
     void addModel(const ModelConfig &cfg);
+
+    /**
+     * Registers a pipeline over an existing (possibly mmap'd,
+     * possibly shared-with-other-engines) weight store. No Rng weight
+     * build runs; every layer borrows the store's tensors, so N
+     * engines registering the same store share one physical copy of
+     * the weights. Serves bit-identically to addModel() of the
+     * store's config.
+     *
+     * Like addModel(), registration is not thread-safe against
+     * concurrent submits — register before serving.
+     *
+     * @throws std::invalid_argument when the store is null or its
+     *                               config's benchmark is not b
+     * @throws ThreadPoolStopped     after shutdown() has begun
+     */
+    void registerModel(Benchmark b,
+                       std::shared_ptr<const WeightStore> store);
+
+    /**
+     * Loads a serialized weight store from path (mmap'd read-only
+     * where the platform allows) and registers it under its config's
+     * benchmark.
+     *
+     * @throws WeightStoreError  on a malformed or corrupt file
+     * @throws ThreadPoolStopped after shutdown() has begun
+     */
+    void registerModelFromFile(const std::string &path);
 
     /**
      * Registered pipeline for a benchmark.

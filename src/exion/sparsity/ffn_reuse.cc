@@ -10,7 +10,7 @@ namespace exion
 {
 
 double
-sparsityQuantile(const std::vector<float> &values, double target_sparsity)
+sparsityQuantile(std::span<const float> values, double target_sparsity)
 {
     EXION_ASSERT(!values.empty(), "quantile of empty data");
     EXION_ASSERT(target_sparsity >= 0.0 && target_sparsity <= 1.0,
@@ -41,14 +41,29 @@ FfnReuse::transposedFfn1(const TransformerBlock &blk)
     const auto [it, inserted] = w1tCache_.try_emplace(blk.id());
     if (inserted) {
         TransposedFfn1 &tw = it->second;
-        tw.w1t = transpose(blk.ffn1().weight());
-        if (blk.geglu())
-            tw.w1vt = transpose(blk.ffn1Value().weight());
-        if (quantize_) {
-            tw.qw1t = QuantMatrix::fromFloat(tw.w1t, IntWidth::Int12);
+        if (const auto *at_rest = blk.ffn1AtRest()) {
+            // Store-built block: borrow the at-rest transposed images
+            // (shallow copies of views into the store). The store
+            // snapshots transpose(W1) and its INT12 image with the
+            // same deterministic quantisation, so these are
+            // bit-identical to the live build below.
+            tw.w1t = at_rest->w1t;
+            tw.w1vt = at_rest->w1vt;
+            if (quantize_) {
+                tw.qw1t = at_rest->qw1t;
+                tw.qw1vt = at_rest->qw1vt;
+            }
+        } else {
+            tw.w1t = transpose(blk.ffn1().weight());
             if (blk.geglu())
-                tw.qw1vt =
-                    QuantMatrix::fromFloat(tw.w1vt, IntWidth::Int12);
+                tw.w1vt = transpose(blk.ffn1Value().weight());
+            if (quantize_) {
+                tw.qw1t =
+                    QuantMatrix::fromFloat(tw.w1t, IntWidth::Int12);
+                if (blk.geglu())
+                    tw.qw1vt =
+                        QuantMatrix::fromFloat(tw.w1vt, IntWidth::Int12);
+            }
         }
     }
     return it->second;
@@ -95,13 +110,13 @@ Matrix
 denseHidden(const TransformerBlock &blk, const Matrix &x_norm,
             bool quantize, GemmBackend backend)
 {
-    Matrix gate = execMatmul(x_norm, blk.ffn1().weight(), quantize,
-                             backend);
+    Matrix gate = execWeightMatmul(x_norm, blk.ffn1(), quantize,
+                                   backend);
     addRowVector(gate, blk.ffn1().bias());
     Matrix hidden = gelu(gate);
     if (blk.geglu()) {
-        Matrix value = execMatmul(x_norm, blk.ffn1Value().weight(),
-                                  quantize, backend);
+        Matrix value = execWeightMatmul(x_norm, blk.ffn1Value(),
+                                        quantize, backend);
         addRowVector(value, blk.ffn1Value().bias());
         for (Index i = 0; i < hidden.size(); ++i)
             hidden.data()[i] *= value.data()[i];
@@ -195,8 +210,8 @@ FfnReuse::runDense(const TransformerBlock &blk, const Matrix &x_norm,
         h_reuse(r, c) = 0.0f;
         h_keep(r, c) = hidden(r, c);
     });
-    st.psumSparse = execMatmul(h_reuse, blk.ffn2().weight(), quantize_,
-                               backend_);
+    st.psumSparse = execWeightMatmul(h_reuse, blk.ffn2(), quantize_,
+                                     backend_);
     st.hiddenCache = std::move(hidden);
     st.initialized = true;
 
@@ -204,8 +219,8 @@ FfnReuse::runDense(const TransformerBlock &blk, const Matrix &x_norm,
     // the float path accumulate only its masked positions.
     Matrix out = quantize_
         ? add(st.psumSparse,
-              execMatmul(h_keep, blk.ffn2().weight(), quantize_,
-                         backend_))
+              execWeightMatmul(h_keep, blk.ffn2(), quantize_,
+                               backend_))
         : addMaskedProduct(st.psumSparse, h_keep, st.mask,
                            blk.ffn2().weight(), simd_);
     addRowVector(out, blk.ffn2().bias());
@@ -290,8 +305,8 @@ FfnReuse::runSparse(const TransformerBlock &blk, const Matrix &x_norm,
     // shape.
     Matrix out = quantize_
         ? add(st.psumSparse,
-              execMatmul(h_keep, blk.ffn2().weight(), quantize_,
-                         backend_))
+              execWeightMatmul(h_keep, blk.ffn2(), quantize_,
+                               backend_))
         : addMaskedProduct(st.psumSparse, h_keep, st.mask,
                            blk.ffn2().weight(), simd_);
     addRowVector(out, blk.ffn2().bias());

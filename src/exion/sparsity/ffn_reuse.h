@@ -149,7 +149,7 @@ class FfnReuse
 };
 
 /** targetSparsity quantile of |values| (the calibrated threshold). */
-double sparsityQuantile(const std::vector<float> &values,
+double sparsityQuantile(std::span<const float> values,
                         double target_sparsity);
 
 } // namespace exion

@@ -74,8 +74,8 @@ projectNeededRows(const Matrix &x, const Linear &proj,
             packed(w, c) = x(r, c);
         ++w;
     }
-    Matrix projected = execMatmul(packed, proj.weight(), quantize,
-                                  backend, simd);
+    Matrix projected = execWeightMatmul(packed, proj, quantize,
+                                        backend, simd);
     addRowVector(projected, proj.bias());
     w = 0;
     for (Index r = 0; r < x.rows(); ++r) {
@@ -227,8 +227,8 @@ epAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
     }
 
     // Output projection stays dense (all rows have outputs).
-    Matrix out = execMatmul(concat, blk.wo().weight(), quantize,
-                            backend, simd);
+    Matrix out = execWeightMatmul(concat, blk.wo(), quantize,
+                                  backend, simd);
     addRowVector(out, blk.wo().bias());
     stats.attnOpsDense += mmulOps(t, d, d);
     stats.attnOpsExecuted += mmulOps(t, d, d);

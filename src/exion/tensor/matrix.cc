@@ -13,15 +13,29 @@ Matrix::Matrix(Index rows, Index cols, float fill)
 {
 }
 
+Matrix
+Matrix::borrow(const float *data, Index rows, Index cols)
+{
+    EXION_ASSERT(data != nullptr || rows * cols == 0,
+                 "borrowing null storage for ", rows, "x", cols);
+    Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.view_ = data;
+    return m;
+}
+
 void
 Matrix::fill(float v)
 {
+    EXION_ASSERT(!borrowed(), "mutating a borrowed matrix");
     std::fill(data_.begin(), data_.end(), v);
 }
 
 void
 Matrix::fillNormal(Rng &rng, float mean, float stddev)
 {
+    EXION_ASSERT(!borrowed(), "mutating a borrowed matrix");
     for (auto &v : data_)
         v = static_cast<float>(rng.normal(mean, stddev));
 }
@@ -29,6 +43,7 @@ Matrix::fillNormal(Rng &rng, float mean, float stddev)
 void
 Matrix::fillUniform(Rng &rng, float lo, float hi)
 {
+    EXION_ASSERT(!borrowed(), "mutating a borrowed matrix");
     for (auto &v : data_)
         v = static_cast<float>(rng.uniform(lo, hi));
 }
@@ -37,9 +52,22 @@ float
 Matrix::maxAbs() const
 {
     float out = 0.0f;
-    for (float v : data_)
+    for (float v : data())
         out = std::max(out, std::abs(v));
     return out;
+}
+
+bool
+Matrix::operator==(const Matrix &other) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        return false;
+    const float *a = cptr();
+    const float *b = other.cptr();
+    for (Index i = 0; i < size(); ++i)
+        if (a[i] != b[i])
+            return false;
+    return true;
 }
 
 } // namespace exion

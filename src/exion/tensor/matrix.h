@@ -5,11 +5,19 @@
  * The model substrate runs in float32; the accelerator path quantises
  * through QuantMatrix. Kept deliberately simple: contiguous storage,
  * bounds-checked access in debug, explicit ops in ops.h.
+ *
+ * Storage comes in two modes. The default owns its elements in a
+ * vector and is fully mutable. borrow() instead wraps caller-owned
+ * read-only memory (e.g. a tensor section of an mmap'd WeightStore)
+ * without copying: reads are identical, mutation is a contract
+ * violation (asserted), and copies of a borrowed matrix are shallow —
+ * whoever owns the underlying bytes must outlive every view.
  */
 
 #ifndef EXION_TENSOR_MATRIX_H_
 #define EXION_TENSOR_MATRIX_H_
 
+#include <span>
 #include <vector>
 
 #include "exion/common/logging.h"
@@ -32,6 +40,16 @@ class Matrix
     /** rows x cols matrix initialised to fill. */
     Matrix(Index rows, Index cols, float fill = 0.0f);
 
+    /**
+     * Non-owning read-only view over caller-owned row-major storage.
+     * data must stay valid (and unchanged) for the view's lifetime;
+     * copies of the view alias the same memory.
+     */
+    static Matrix borrow(const float *data, Index rows, Index cols);
+
+    /** True when this matrix is a non-owning view. */
+    bool borrowed() const { return view_ != nullptr; }
+
     /** Number of rows. */
     Index rows() const { return rows_; }
 
@@ -39,15 +57,16 @@ class Matrix
     Index cols() const { return cols_; }
 
     /** Total element count. */
-    Index size() const { return data_.size(); }
+    Index size() const { return rows_ * cols_; }
 
-    /** Element access. */
+    /** Element access. @pre not borrowed */
     float &
     at(Index r, Index c)
     {
         EXION_ASSERT(r < rows_ && c < cols_,
                      "index (", r, ",", c, ") out of (", rows_, ",",
                      cols_, ")");
+        EXION_ASSERT(!borrowed(), "mutating a borrowed matrix");
         return data_[r * cols_ + c];
     }
 
@@ -58,50 +77,67 @@ class Matrix
         EXION_ASSERT(r < rows_ && c < cols_,
                      "index (", r, ",", c, ") out of (", rows_, ",",
                      cols_, ")");
-        return data_[r * cols_ + c];
+        return cptr()[r * cols_ + c];
     }
 
-    /** Unchecked element access for hot loops. */
+    /** Unchecked element access for hot loops. @pre not borrowed */
     float &operator()(Index r, Index c) { return data_[r * cols_ + c]; }
 
     /** Unchecked element access for hot loops (const). */
     float
     operator()(Index r, Index c) const
     {
-        return data_[r * cols_ + c];
+        return cptr()[r * cols_ + c];
     }
 
-    /** Raw pointer to row r. */
-    float *rowPtr(Index r) { return data_.data() + r * cols_; }
+    /** Raw pointer to row r. @pre not borrowed */
+    float *
+    rowPtr(Index r)
+    {
+        EXION_ASSERT(!borrowed(), "mutating a borrowed matrix");
+        return data_.data() + r * cols_;
+    }
 
     /** Raw pointer to row r (const). */
-    const float *rowPtr(Index r) const { return data_.data() + r * cols_; }
+    const float *rowPtr(Index r) const { return cptr() + r * cols_; }
 
-    /** Underlying storage. */
-    std::vector<float> &data() { return data_; }
+    /** Underlying storage. @pre not borrowed */
+    std::vector<float> &
+    data()
+    {
+        EXION_ASSERT(!borrowed(), "mutating a borrowed matrix");
+        return data_;
+    }
 
-    /** Underlying storage (const). */
-    const std::vector<float> &data() const { return data_; }
+    /** Elements in row-major order (works for views too). */
+    std::span<const float> data() const { return {cptr(), size()}; }
 
-    /** Sets all elements to v. */
+    /** Sets all elements to v. @pre not borrowed */
     void fill(float v);
 
-    /** Fills with N(mean, stddev) draws from rng. */
+    /** Fills with N(mean, stddev) draws from rng. @pre not borrowed */
     void fillNormal(Rng &rng, float mean, float stddev);
 
-    /** Fills with U[lo, hi) draws from rng. */
+    /** Fills with U[lo, hi) draws from rng. @pre not borrowed */
     void fillUniform(Rng &rng, float lo, float hi);
 
     /** Largest |element| (0 for empty). */
     float maxAbs() const;
 
-    /** True when shapes match and all elements are bitwise equal. */
-    bool operator==(const Matrix &other) const = default;
+    /**
+     * True when shapes match and all elements compare equal (float
+     * semantics: NaN != NaN, -0.0 == +0.0 — same as the historical
+     * defaulted comparison over the storage vector).
+     */
+    bool operator==(const Matrix &other) const;
 
   private:
+    const float *cptr() const { return view_ ? view_ : data_.data(); }
+
     Index rows_ = 0;
     Index cols_ = 0;
     std::vector<float> data_;
+    const float *view_ = nullptr;
 };
 
 } // namespace exion

@@ -19,17 +19,33 @@ QuantMatrix
 QuantMatrix::fromFloat(const Matrix &m, const QuantParams &params)
 {
     QuantMatrix out(m.rows(), m.cols(), params);
-    for (Index i = 0; i < m.rows() * m.cols(); ++i)
-        out.data_[i] = quantize(m.data()[i], params);
+    const std::span<const float> src = m.data();
+    for (Index i = 0; i < out.size(); ++i)
+        out.data_[i] = quantize(src[i], params);
     return out;
+}
+
+QuantMatrix
+QuantMatrix::borrow(const i32 *data, Index rows, Index cols,
+                    QuantParams params)
+{
+    EXION_ASSERT(data != nullptr || rows * cols == 0,
+                 "borrowing null quant storage for ", rows, "x", cols);
+    QuantMatrix q;
+    q.rows_ = rows;
+    q.cols_ = cols;
+    q.params_ = params;
+    q.view_ = data;
+    return q;
 }
 
 Matrix
 QuantMatrix::toFloat() const
 {
     Matrix out(rows_, cols_);
-    for (Index i = 0; i < rows_ * cols_; ++i)
-        out.data()[i] = dequantize(data_[i], params_);
+    const i32 *src = cptr();
+    for (Index i = 0; i < size(); ++i)
+        out.data()[i] = dequantize(src[i], params_);
     return out;
 }
 

@@ -6,6 +6,10 @@
  * are stored as i32 (the hardware registers are narrower; quantize()
  * already clamped to the target width) together with the scale needed
  * to interpret accumulator outputs.
+ *
+ * Like Matrix, storage is either owned or borrowed: borrow() wraps a
+ * caller-owned read-only integer image (e.g. a quantized-at-rest
+ * tensor of an mmap'd WeightStore) without copying.
  */
 
 #ifndef EXION_TENSOR_QUANT_MATRIX_H_
@@ -40,20 +44,35 @@ class QuantMatrix
     static QuantMatrix fromFloat(const Matrix &m,
                                  const QuantParams &params);
 
+    /**
+     * Non-owning read-only view over caller-owned row-major integer
+     * storage with the given params. data must stay valid (and
+     * unchanged) for the view's lifetime.
+     */
+    static QuantMatrix borrow(const i32 *data, Index rows, Index cols,
+                              QuantParams params);
+
+    /** True when this matrix is a non-owning view. */
+    bool borrowed() const { return view_ != nullptr; }
+
     /** Number of rows. */
     Index rows() const { return rows_; }
 
     /** Number of columns. */
     Index cols() const { return cols_; }
 
+    /** Total element count. */
+    Index size() const { return rows_ * cols_; }
+
     /** Quantisation parameters. */
     const QuantParams &params() const { return params_; }
 
-    /** Element access. */
+    /** Element access. @pre not borrowed */
     i32 &
     at(Index r, Index c)
     {
         EXION_ASSERT(r < rows_ && c < cols_, "quant index out of range");
+        EXION_ASSERT(!borrowed(), "mutating a borrowed quant matrix");
         return data_[r * cols_ + c];
     }
 
@@ -62,13 +81,13 @@ class QuantMatrix
     at(Index r, Index c) const
     {
         EXION_ASSERT(r < rows_ && c < cols_, "quant index out of range");
-        return data_[r * cols_ + c];
+        return cptr()[r * cols_ + c];
     }
 
     /** Unchecked access. */
-    i32 operator()(Index r, Index c) const { return data_[r * cols_ + c]; }
+    i32 operator()(Index r, Index c) const { return cptr()[r * cols_ + c]; }
 
-    /** Unchecked access (mutable). */
+    /** Unchecked access (mutable). @pre not borrowed */
     i32 &operator()(Index r, Index c) { return data_[r * cols_ + c]; }
 
     /** Pointer to row r's contiguous values. */
@@ -76,7 +95,7 @@ class QuantMatrix
     rowPtr(Index r) const
     {
         EXION_ASSERT(r < rows_, "quant row out of range");
-        return data_.data() + r * cols_;
+        return cptr() + r * cols_;
     }
 
     /** Dequantises back to float. */
@@ -86,10 +105,13 @@ class QuantMatrix
     double scale() const { return params_.scale; }
 
   private:
+    const i32 *cptr() const { return view_ ? view_ : data_.data(); }
+
     Index rows_ = 0;
     Index cols_ = 0;
     QuantParams params_;
     std::vector<i32> data_;
+    const i32 *view_ = nullptr;
 };
 
 } // namespace exion
