@@ -1,0 +1,553 @@
+/**
+ * @file
+ * Serving front-door load generator: latency under throughput for
+ * the HTTP API (net/http_server + serve/http_front) over a real
+ * socket, in two disciplines.
+ *
+ * Closed loop — N client connections, each submitting a job and
+ * waiting for its SSE stream to finish before submitting the next.
+ * Sweeping N produces the latency-under-throughput curve and the
+ * saturation throughput (capacity) of the engine behind the API.
+ *
+ * Open loop — a dispatcher submits at a *fixed* arrival rate
+ * regardless of completions (the discipline that exposes overload
+ * behaviour: a closed loop self-throttles, an open loop does not),
+ * at 0.5x / 1x / 2x the measured capacity. Half the arrivals ride
+ * the Low priority class, so both refusal paths are exercised:
+ * QueueFull (HTTP 429) at the class bound and LoadShedLow (HTTP
+ * 503) past the shed watermark. A prober thread polls /healthz
+ * throughout to measure responsiveness under overload.
+ *
+ * An SSE scenario measures the streaming overhead (SSE-waited vs
+ * status-polled completion) and verifies the per-iteration event
+ * contract: every streamed job must deliver exactly
+ * config().iterations progress events.
+ *
+ * Acceptance gates (exit nonzero on failure):
+ *   - every closed-loop level completes work at positive throughput
+ *   - at 2x capacity the server *sheds* (429/503 observed) rather
+ *     than queueing without bound
+ *   - at 2x capacity /healthz p99 stays under 1 second and no
+ *     transport errors occur (responsive, not stalled)
+ *   - SSE jobs deliver exactly one progress event per iteration
+ *   - the engine drains to idle after the overload run
+ *
+ * Writes BENCH_serve.json. --quick shrinks durations and the sweep
+ * for CI.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exion/model/config.h"
+#include "exion/net/http_client.h"
+#include "exion/net/http_server.h"
+#include "exion/serve/batch_engine.h"
+#include "exion/serve/http_front.h"
+
+#include "bench_util.h"
+
+namespace
+{
+
+using namespace exion;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double
+percentileMs(std::vector<double> seconds, double p)
+{
+    if (seconds.empty())
+        return 0.0;
+    std::sort(seconds.begin(), seconds.end());
+    const double rank = p * static_cast<double>(seconds.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, seconds.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return (seconds[lo] * (1.0 - frac) + seconds[hi] * frac) * 1e3;
+}
+
+/** First integer following "\"<key>\": " in a JSON body (-1: none). */
+long long
+jsonInt(const std::string &body, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\": ";
+    const size_t at = body.find(needle);
+    if (at == std::string::npos)
+        return -1;
+    return std::atoll(body.c_str() + at + needle.size());
+}
+
+/** The in-process server under test. */
+struct Fixture
+{
+    BatchEngine engine;
+    HttpFront front;
+    HttpServer server;
+
+    static BatchEngine::Options engineOptions()
+    {
+        BatchEngine::Options opts;
+        opts.workers = 2;
+        opts.queueResults = false;
+        // Admission: small per-class bound so the open-loop overload
+        // hits QueueFull quickly; a shed watermark above it so Low
+        // arrivals are refused with LoadShedLow first.
+        opts.admission.maxQueuedPerClass = 8;
+        opts.admission.shedThreshold = 10;
+        opts.admission.shedBelow = Priority::Normal;
+        return opts;
+    }
+
+    static HttpFront::Options frontOptions()
+    {
+        HttpFront::Options opts;
+        opts.sseHeartbeatSeconds = 0.1;
+        return opts;
+    }
+
+    Fixture()
+        : engine(engineOptions()), front(engine, frontOptions()),
+          server(HttpServer::Options{},
+                 [this](const HttpRequest &req, ResponseWriter &w) {
+                     front.handle(req, w);
+                 })
+    {
+        engine.addModel(makeTinyConfig());
+        server.start();
+    }
+};
+
+const char *kSubmitNormal =
+    "{\"benchmark\": \"MLD\", \"mode\": \"exion\"}";
+const char *kSubmitLow =
+    "{\"benchmark\": \"MLD\", \"mode\": \"exion\", "
+    "\"priority\": \"low\"}";
+
+/**
+ * Submits one job and blocks on its SSE stream until the `done`
+ * event; returns the number of progress events seen, or -1 on any
+ * protocol failure. Reconnects the connection if it was closed.
+ */
+int
+submitAndStream(HttpConnection &conn, u16 port)
+{
+    HttpClientResponse resp;
+    if (!conn.connected())
+        conn = HttpConnection::connect("127.0.0.1", port);
+    if (!conn.request("POST", "/v1/jobs", resp, kSubmitNormal))
+        return -1;
+    if (resp.status != 201)
+        return -1;
+    const long long id = jsonInt(resp.body, "id");
+    if (id < 0)
+        return -1;
+    HttpClientResponse head;
+    if (!conn.startStream("/v1/jobs/" + std::to_string(id) + "/events",
+                          head)
+        || head.status != 200)
+        return -1;
+    int events = 0;
+    bool done = false;
+    std::string data;
+    std::string pending;
+    while (conn.readStreamData(data)) {
+        pending += data;
+        data.clear();
+        size_t at;
+        while ((at = pending.find("\n\n")) != std::string::npos) {
+            const std::string event = pending.substr(0, at);
+            pending.erase(0, at + 2);
+            if (event.rfind("event: progress", 0) == 0)
+                ++events;
+            else if (event.rfind("event: done", 0) == 0)
+                done = true;
+        }
+    }
+    return done ? events : -1;
+}
+
+/** One closed-loop sweep point. */
+struct ClosedLoopRow
+{
+    int clients = 0;
+    u64 completed = 0;
+    u64 errors = 0;
+    double seconds = 0.0;
+    double rps = 0.0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+};
+
+ClosedLoopRow
+runClosedLoop(const Fixture &fx, int clients, double duration)
+{
+    ClosedLoopRow row;
+    row.clients = clients;
+    std::atomic<u64> completed{0};
+    std::atomic<u64> errors{0};
+    std::mutex latMutex;
+    std::vector<double> latencies;
+    const Clock::time_point t0 = Clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&] {
+            HttpConnection conn =
+                HttpConnection::connect("127.0.0.1", fx.server.port());
+            std::vector<double> mine;
+            while (secondsSince(t0) < duration) {
+                const Clock::time_point r0 = Clock::now();
+                if (submitAndStream(conn, fx.server.port()) >= 0) {
+                    completed.fetch_add(1);
+                    mine.push_back(secondsSince(r0));
+                } else {
+                    errors.fetch_add(1);
+                }
+            }
+            std::lock_guard<std::mutex> lock(latMutex);
+            latencies.insert(latencies.end(), mine.begin(),
+                             mine.end());
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    row.seconds = secondsSince(t0);
+    row.completed = completed.load();
+    row.errors = errors.load();
+    row.rps = row.seconds > 0.0
+        ? static_cast<double>(row.completed) / row.seconds
+        : 0.0;
+    row.p50Ms = percentileMs(latencies, 0.50);
+    row.p99Ms = percentileMs(latencies, 0.99);
+    return row;
+}
+
+/** One open-loop rate point. */
+struct OpenLoopRow
+{
+    double targetRps = 0.0;
+    u64 offered = 0;
+    u64 accepted = 0;
+    u64 rejected429 = 0;
+    u64 rejected503 = 0;
+    u64 transportErrors = 0;
+    double seconds = 0.0;
+    double submitP99Ms = 0.0;
+    double healthzP99Ms = 0.0;
+    double drainSeconds = 0.0;
+};
+
+OpenLoopRow
+runOpenLoop(Fixture &fx, double targetRps, double duration)
+{
+    OpenLoopRow row;
+    row.targetRps = targetRps;
+    std::atomic<bool> probing{true};
+    std::vector<double> healthz;
+    // Responsiveness prober: a server that stalls under overload
+    // (instead of shedding) shows up here long before any gate on
+    // the submit path.
+    std::thread prober([&] {
+        HttpConnection conn =
+            HttpConnection::connect("127.0.0.1", fx.server.port());
+        while (probing.load()) {
+            const Clock::time_point p0 = Clock::now();
+            HttpClientResponse resp;
+            if (!conn.connected())
+                conn = HttpConnection::connect("127.0.0.1",
+                                               fx.server.port());
+            if (conn.request("GET", "/healthz", resp)
+                && resp.status == 200)
+                healthz.push_back(secondsSince(p0));
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+    });
+
+    HttpConnection conn =
+        HttpConnection::connect("127.0.0.1", fx.server.port());
+    std::vector<double> submitLat;
+    const std::chrono::duration<double> interval(1.0 / targetRps);
+    const Clock::time_point t0 = Clock::now();
+    Clock::time_point next = t0;
+    while (secondsSince(t0) < duration) {
+        std::this_thread::sleep_until(next);
+        next += std::chrono::duration_cast<Clock::duration>(interval);
+        ++row.offered;
+        const bool low = row.offered % 2 == 0;
+        const Clock::time_point s0 = Clock::now();
+        HttpClientResponse resp;
+        if (!conn.connected())
+            conn = HttpConnection::connect("127.0.0.1",
+                                           fx.server.port());
+        if (!conn.request("POST", "/v1/jobs", resp,
+                          low ? kSubmitLow : kSubmitNormal)) {
+            ++row.transportErrors;
+            continue;
+        }
+        submitLat.push_back(secondsSince(s0));
+        if (resp.status == 201)
+            ++row.accepted;
+        else if (resp.status == 429)
+            ++row.rejected429;
+        else if (resp.status == 503)
+            ++row.rejected503;
+        else
+            ++row.transportErrors;
+    }
+    row.seconds = secondsSince(t0);
+    // Overload is only survived if the backlog drains once arrivals
+    // stop: time it.
+    const Clock::time_point d0 = Clock::now();
+    fx.engine.waitIdle();
+    row.drainSeconds = secondsSince(d0);
+    probing.store(false);
+    prober.join();
+    row.submitP99Ms = percentileMs(submitLat, 0.99);
+    row.healthzP99Ms = percentileMs(healthz, 0.99);
+    return row;
+}
+
+/** SSE-vs-polling completion-wait comparison + event-count check. */
+struct SseReport
+{
+    int jobs = 0;
+    int iterations = 0;
+    bool eventsMatch = true;
+    double sseRps = 0.0;
+    double pollRps = 0.0;
+
+    double overheadPct() const
+    {
+        return pollRps > 0.0 && sseRps > 0.0
+            ? (pollRps / sseRps - 1.0) * 100.0
+            : 0.0;
+    }
+};
+
+SseReport
+runSseScenario(const Fixture &fx, int jobs, int iterations)
+{
+    SseReport report;
+    report.jobs = jobs;
+    report.iterations = iterations;
+    HttpConnection conn =
+        HttpConnection::connect("127.0.0.1", fx.server.port());
+
+    const Clock::time_point s0 = Clock::now();
+    for (int j = 0; j < jobs; ++j) {
+        const int events = submitAndStream(conn, fx.server.port());
+        if (events != iterations) {
+            std::cerr << "SSE job " << j << ": " << events
+                      << " progress events, expected " << iterations
+                      << "\n";
+            report.eventsMatch = false;
+        }
+    }
+    const double sseSeconds = secondsSince(s0);
+
+    const Clock::time_point p0 = Clock::now();
+    for (int j = 0; j < jobs; ++j) {
+        HttpClientResponse resp;
+        if (!conn.connected())
+            conn = HttpConnection::connect("127.0.0.1",
+                                           fx.server.port());
+        if (!conn.request("POST", "/v1/jobs", resp, kSubmitNormal)
+            || resp.status != 201)
+            continue;
+        const long long id = jsonInt(resp.body, "id");
+        const std::string target = "/v1/jobs/" + std::to_string(id);
+        while (true) {
+            if (!conn.request("GET", target, resp))
+                break;
+            if (resp.body.find("\"state\": \"queued\"")
+                    == std::string::npos
+                && resp.body.find("\"state\": \"running\"")
+                    == std::string::npos)
+                break;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        }
+    }
+    const double pollSeconds = secondsSince(p0);
+
+    report.sseRps = sseSeconds > 0.0 ? jobs / sseSeconds : 0.0;
+    report.pollRps = pollSeconds > 0.0 ? jobs / pollSeconds : 0.0;
+    return report;
+}
+
+void
+writeJson(const std::string &path, bool quick, int iterations,
+          const std::vector<ClosedLoopRow> &closed, double capacity,
+          const std::vector<OpenLoopRow> &open, const SseReport &sse,
+          u64 connections)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "warning: cannot write " << path << "\n";
+        return;
+    }
+    out << "{\n";
+    out << "  \"bench\": \"bench_serve\",\n";
+    out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    out << "  \"model\": \"tiny\",\n";
+    out << "  \"iterations\": " << iterations << ",\n";
+    out << "  \"closed_loop\": [\n";
+    for (size_t i = 0; i < closed.size(); ++i) {
+        const ClosedLoopRow &r = closed[i];
+        out << "    {\"clients\": " << r.clients
+            << ", \"completed\": " << r.completed << ", \"errors\": "
+            << r.errors << ", \"rps\": " << r.rps
+            << ",\n     \"latency_p50_ms\": " << r.p50Ms
+            << ", \"latency_p99_ms\": " << r.p99Ms << "}"
+            << (i + 1 < closed.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"capacity_rps\": " << capacity << ",\n";
+    out << "  \"open_loop\": [\n";
+    for (size_t i = 0; i < open.size(); ++i) {
+        const OpenLoopRow &r = open[i];
+        out << "    {\"target_rps\": " << r.targetRps
+            << ", \"offered\": " << r.offered << ", \"accepted\": "
+            << r.accepted << ",\n     \"rejected_429\": "
+            << r.rejected429 << ", \"rejected_503\": "
+            << r.rejected503 << ", \"transport_errors\": "
+            << r.transportErrors << ",\n     \"submit_p99_ms\": "
+            << r.submitP99Ms << ", \"healthz_p99_ms\": "
+            << r.healthzP99Ms << ", \"drain_seconds\": "
+            << r.drainSeconds << "}"
+            << (i + 1 < open.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"sse\": {\n";
+    out << "    \"jobs\": " << sse.jobs << ",\n";
+    out << "    \"iterations\": " << sse.iterations << ",\n";
+    out << "    \"events_match\": "
+        << (sse.eventsMatch ? "true" : "false") << ",\n";
+    out << "    \"sse_waited_rps\": " << sse.sseRps << ",\n";
+    out << "    \"status_polled_rps\": " << sse.pollRps << ",\n";
+    out << "    \"overhead_pct\": " << sse.overheadPct() << "\n";
+    out << "  },\n";
+    out << "  \"connections_accepted\": " << connections << "\n";
+    out << "}\n";
+    std::cout << "wrote " << path << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = bench::quickMode(argc, argv);
+    const double closedSeconds = quick ? 0.4 : 1.5;
+    const double openSeconds = quick ? 1.0 : 2.5;
+    const std::vector<int> levels =
+        quick ? std::vector<int>{1, 2, 4}
+              : std::vector<int>{1, 2, 4, 8};
+
+    Fixture fx;
+    const int iterations = makeTinyConfig().iterations;
+    std::cout << "serving tiny MLD (" << iterations
+              << " iterations) on 127.0.0.1:" << fx.server.port()
+              << ", 2 workers\n\n";
+
+    // Closed loop: the latency-under-throughput curve.
+    std::cout << "closed loop (" << closedSeconds << "s per level):\n";
+    std::vector<ClosedLoopRow> closed;
+    double capacity = 0.0;
+    for (int clients : levels) {
+        closed.push_back(runClosedLoop(fx, clients, closedSeconds));
+        const ClosedLoopRow &r = closed.back();
+        capacity = std::max(capacity, r.rps);
+        std::cout << "  " << r.clients << " clients: " << r.completed
+                  << " done, " << r.rps << " req/s, p50 " << r.p50Ms
+                  << " ms, p99 " << r.p99Ms << " ms, " << r.errors
+                  << " errors\n";
+    }
+
+    // Open loop at fractions of the measured capacity.
+    std::cout << "\nopen loop (" << openSeconds
+              << "s per rate, capacity " << capacity << " req/s):\n";
+    std::vector<OpenLoopRow> open;
+    for (double factor : {0.5, 1.0, 2.0}) {
+        const double rate = std::max(capacity * factor, 1.0);
+        open.push_back(runOpenLoop(fx, rate, openSeconds));
+        const OpenLoopRow &r = open.back();
+        std::cout << "  " << factor << "x (" << r.targetRps
+                  << " req/s): offered " << r.offered << ", accepted "
+                  << r.accepted << ", 429 " << r.rejected429
+                  << ", 503 " << r.rejected503 << ", healthz p99 "
+                  << r.healthzP99Ms << " ms, drain "
+                  << r.drainSeconds << " s\n";
+    }
+
+    // SSE overhead + the per-iteration event contract.
+    const SseReport sse =
+        runSseScenario(fx, quick ? 8 : 24, iterations);
+    std::cout << "\nSSE: " << sse.jobs << " jobs, events match "
+              << (sse.eventsMatch ? "yes" : "NO") << ", sse-waited "
+              << sse.sseRps << " req/s vs status-polled "
+              << sse.pollRps << " req/s (overhead "
+              << sse.overheadPct() << "%)\n";
+
+    const u64 connections = fx.server.connectionsAccepted();
+    writeJson("BENCH_serve.json", quick, iterations, closed, capacity,
+              open, sse, connections);
+
+    // ------------------------------------------------------- gates
+    bool ok = true;
+    for (const ClosedLoopRow &r : closed) {
+        if (r.completed == 0 || r.rps <= 0.0 || r.errors > 0) {
+            std::cerr << "GATE: closed loop at " << r.clients
+                      << " clients: " << r.completed << " done, "
+                      << r.errors << " errors\n";
+            ok = false;
+        }
+    }
+    const OpenLoopRow &overload = open.back();
+    if (overload.rejected429 + overload.rejected503 == 0) {
+        std::cerr << "GATE: no shedding at 2x capacity (accepted "
+                  << overload.accepted << "/" << overload.offered
+                  << ") — the server queued without bound\n";
+        ok = false;
+    }
+    if (overload.transportErrors > 0
+        || overload.healthzP99Ms > 1000.0) {
+        std::cerr << "GATE: server stalled under 2x overload ("
+                  << overload.transportErrors
+                  << " transport errors, healthz p99 "
+                  << overload.healthzP99Ms << " ms)\n";
+        ok = false;
+    }
+    if (!sse.eventsMatch) {
+        std::cerr << "GATE: SSE progress events != iterations\n";
+        ok = false;
+    }
+    const EngineMetrics m = fx.engine.snapshot();
+    if (fx.engine.inFlight() != 0) {
+        std::cerr << "GATE: engine did not drain (in flight: "
+                  << fx.engine.inFlight() << ")\n";
+        ok = false;
+    }
+    std::cout << "\nengine totals: accepted " << m.accepted()
+              << ", completed " << m.completed() << ", shed "
+              << m.shed() << ", over " << connections
+              << " connections\n";
+    std::cout << (ok ? "all gates passed\n" : "GATES FAILED\n");
+    return ok ? 0 : 1;
+}

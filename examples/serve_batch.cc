@@ -13,6 +13,8 @@
  *   ./build/examples/serve_batch
  */
 
+#include <chrono>
+#include <csignal>
 #include <iomanip>
 #include <iostream>
 #include <map>
@@ -23,9 +25,27 @@
 
 using namespace exion;
 
+namespace
+{
+
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void
+onSignal(int sig)
+{
+    g_signal = sig;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
+    // SIGINT/SIGTERM drain gracefully instead of killing mid-batch:
+    // the handler only raises a flag; the drain loop below notices
+    // it, lets the engine finish what it accepted, and exits cleanly.
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
     // --gemm selects the engine's GEMM backend (default Blocked) and
     // --simd its kernel tier (default Exact). Outputs are
     // bit-identical for every backend and for the scalar/exact tiers
@@ -137,12 +157,30 @@ main(int argc, char **argv)
 
     // 5. Drain completions in whatever order the scheduler finishes
     //    them; only the labelled core stream is printed in detail.
+    //    The timed pop keeps the loop responsive to SIGINT/SIGTERM:
+    //    on a signal the engine drains what it accepted (shutdown
+    //    runs — never abandons — admitted work) and the run ends
+    //    with a partial summary instead of a killed process.
+    bool interrupted = false;
     std::map<u64, RequestResult> results;
     const u64 expected = accepted + extras_accepted;
     for (u64 drained = 0; drained < expected; ++drained) {
-        auto popped = engine.results().pop();
+        std::optional<RequestResult> popped;
+        while (!popped.has_value()) {
+            if (g_signal != 0 && !interrupted) {
+                interrupted = true;
+                std::cout << "\nsignal " << static_cast<int>(g_signal)
+                          << ": draining in-flight requests...\n";
+                engine.shutdown();
+            }
+            popped =
+                engine.results().popFor(std::chrono::milliseconds(200));
+            if (!popped.has_value() && interrupted
+                && engine.inFlight() == 0)
+                break;
+        }
         if (!popped.has_value())
-            break; // queue closed (not expected here)
+            break; // queue closed after the drain
         const RequestResult &r = *popped;
         const auto req_it = by_id.find(r.id);
         if (req_it == by_id.end())
@@ -197,6 +235,15 @@ main(int argc, char **argv)
               << std::setprecision(1) << m.queueWaitP50 * 1e3 << "/"
               << m.queueWaitP99 * 1e3 << " ms over "
               << m.queueWaitSamples << " starts\n";
+
+    // An interrupted run stops here: the engine has drained, the
+    // partial summary above is honest, and the reference re-run
+    // below would need an engine that is now shut down.
+    if (interrupted) {
+        std::cout << "\ninterrupted: " << results.size() << "/"
+                  << expected << " results drained before exit\n";
+        return 130;
+    }
 
     // 7. Every streamed result is bit-identical to its single-stream
     //    run, regardless of the completion order above — and the

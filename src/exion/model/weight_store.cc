@@ -378,10 +378,10 @@ WeightStore::parse()
 }
 
 std::shared_ptr<const WeightStore>
-WeightStore::load(const std::string &path)
+WeightStore::load(const std::string &path, bool pin)
 {
     std::shared_ptr<WeightStore> store(new WeightStore());
-    store->file_ = MmapFile::open(path);
+    store->file_ = MmapFile::open(path, pin);
     store->size_ = store->file_.size();
     store->parse();
     return store;

@@ -96,11 +96,15 @@ class WeightStore
 
     /**
      * Opens a serialized store, preferring a read-only shared memory
-     * mapping (heap read when mmap is unavailable).
+     * mapping (heap read when mmap is unavailable). With pin set the
+     * mapped pages are mlock()'d best-effort (see MmapFile::open) so
+     * serving latency never pays a page re-fault; a failed pin
+     * degrades to an unpinned mapping with a warning.
      * @throws WeightStoreError on malformed/corrupt images
      * @throws std::runtime_error when the file cannot be read
      */
-    static std::shared_ptr<const WeightStore> load(const std::string &path);
+    static std::shared_ptr<const WeightStore> load(const std::string &path,
+                                                   bool pin = false);
 
     /**
      * Writes the image to path (atomically replaceable: plain
@@ -137,6 +141,10 @@ class WeightStore
     /** True when the image is an actual file mapping (pages shared
         across processes); false for in-memory / heap-read images. */
     bool mapped() const { return file_.mapped(); }
+
+    /** True when load(path, pin=true) succeeded in mlock()'ing the
+        mapping; always false for build()-mode and unpinned stores. */
+    bool pinned() const { return file_.pinned(); }
 
   private:
     friend class WeightStoreBuilder;

@@ -1,0 +1,293 @@
+#include "exion/net/http_client.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace exion
+{
+
+namespace
+{
+
+std::string
+toLower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+} // namespace
+
+const std::string *
+HttpClientResponse::header(const std::string &lowercaseName) const
+{
+    for (const auto &[name, value] : headers)
+        if (name == lowercaseName)
+            return &value;
+    return nullptr;
+}
+
+HttpConnection::~HttpConnection()
+{
+    close();
+}
+
+HttpConnection::HttpConnection(HttpConnection &&other) noexcept
+    : fd_(other.fd_), buf_(std::move(other.buf_))
+{
+    other.fd_ = -1;
+}
+
+HttpConnection &
+HttpConnection::operator=(HttpConnection &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        buf_ = std::move(other.buf_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+HttpConnection::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buf_.clear();
+}
+
+HttpConnection
+HttpConnection::connect(const std::string &host, u16 port,
+                        double timeoutSeconds)
+{
+    HttpConnection conn;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return conn;
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    const std::string ip = host == "localhost" ? "127.0.0.1" : host;
+    if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        return conn;
+    }
+    timeval tv{};
+    tv.tv_sec = static_cast<long>(timeoutSeconds);
+    tv.tv_usec = static_cast<long>(
+        (timeoutSeconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        ::close(fd);
+        return conn;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    conn.fd_ = fd;
+    return conn;
+}
+
+bool
+HttpConnection::sendAll(const std::string &bytes)
+{
+    u64 off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n = ::send(fd_, bytes.data() + off,
+                                 bytes.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<u64>(n);
+    }
+    return true;
+}
+
+bool
+HttpConnection::fill()
+{
+    char tmp[8192];
+    while (true) {
+        const ssize_t n = ::recv(fd_, tmp, sizeof tmp, 0);
+        if (n > 0) {
+            buf_.append(tmp, static_cast<u64>(n));
+            return true;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false; // EOF, timeout or error
+    }
+}
+
+bool
+HttpConnection::readLine(std::string &line)
+{
+    while (true) {
+        const u64 nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            line = buf_.substr(0, nl);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            buf_.erase(0, nl + 1);
+            return true;
+        }
+        if (!fill())
+            return false;
+    }
+}
+
+bool
+HttpConnection::readExact(u64 len, std::string &out)
+{
+    while (buf_.size() < len)
+        if (!fill())
+            return false;
+    out.append(buf_, 0, len);
+    buf_.erase(0, len);
+    return true;
+}
+
+bool
+HttpConnection::readHead(HttpClientResponse &response)
+{
+    response = HttpClientResponse{};
+    std::string line;
+    if (!readLine(line))
+        return false;
+    // Status line: HTTP/1.x SP code SP reason.
+    if (line.size() < 12 || line.compare(0, 7, "HTTP/1.") != 0)
+        return false;
+    response.status = std::atoi(line.c_str() + 9);
+    while (true) {
+        if (!readLine(line))
+            return false;
+        if (line.empty())
+            return true;
+        const u64 colon = line.find(':');
+        if (colon == std::string::npos)
+            return false;
+        std::string value = line.substr(colon + 1);
+        u64 b = 0;
+        while (b < value.size()
+               && (value[b] == ' ' || value[b] == '\t'))
+            ++b;
+        response.headers.emplace_back(
+            toLower(line.substr(0, colon)), value.substr(b));
+    }
+}
+
+bool
+HttpConnection::request(const std::string &method,
+                        const std::string &target,
+                        HttpClientResponse &response,
+                        const std::string &body,
+                        const std::string &contentType)
+{
+    if (fd_ < 0)
+        return false;
+    std::string req;
+    req.reserve(256 + body.size());
+    req += method;
+    req += ' ';
+    req += target;
+    req += " HTTP/1.1\r\nHost: exion\r\n";
+    if (!body.empty()) {
+        req += "Content-Type: ";
+        req += contentType;
+        req += "\r\n";
+    }
+    req += "Content-Length: ";
+    req += std::to_string(body.size());
+    req += "\r\n\r\n";
+    req += body;
+    if (!sendAll(req) || !readHead(response)) {
+        close();
+        return false;
+    }
+    // Body: Content-Length framing or chunked (drained to the end).
+    if (const std::string *te = response.header("transfer-encoding");
+        te != nullptr && toLower(*te) == "chunked") {
+        std::string data;
+        while (readStreamData(data)) {
+            response.body += data;
+            data.clear();
+        }
+        return true;
+    }
+    u64 len = 0;
+    if (const std::string *cl = response.header("content-length"))
+        len = static_cast<u64>(std::strtoull(cl->c_str(), nullptr, 10));
+    if (len > 0 && !readExact(len, response.body)) {
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+HttpConnection::startStream(const std::string &target,
+                            HttpClientResponse &head)
+{
+    if (fd_ < 0)
+        return false;
+    std::string req = "GET " + target
+        + " HTTP/1.1\r\nHost: exion\r\nAccept: text/event-stream"
+          "\r\n\r\n";
+    if (!sendAll(req) || !readHead(head)) {
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+HttpConnection::readStreamData(std::string &data)
+{
+    std::string line;
+    if (!readLine(line))
+        return false;
+    const u64 len =
+        static_cast<u64>(std::strtoull(line.c_str(), nullptr, 16));
+    if (len == 0) {
+        readLine(line); // trailing CRLF of the last-chunk
+        return false;
+    }
+    if (!readExact(len, data))
+        return false;
+    return readLine(line); // CRLF after the chunk payload
+}
+
+HttpClientResponse
+httpRequest(const std::string &host, u16 port,
+            const std::string &method, const std::string &target,
+            const std::string &body, double timeoutSeconds)
+{
+    HttpClientResponse response;
+    HttpConnection conn =
+        HttpConnection::connect(host, port, timeoutSeconds);
+    if (!conn.connected())
+        return response;
+    if (!conn.request(method, target, response, body))
+        response.status = 0;
+    return response;
+}
+
+} // namespace exion

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Minimal blocking HTTP/1.1 client.
+ *
+ * Exists for the pieces of this repository that must speak to the
+ * serving front door over a real socket: the socket-level tests, the
+ * bench_serve load generator and ad-hoc tooling. Supports exactly
+ * what the HttpServer emits — Content-Length one-shot responses and
+ * chunked streaming (SSE) — plus keep-alive request cycling on one
+ * connection. Not a general-purpose client (no TLS, no redirects, no
+ * proxies, IPv4 only).
+ */
+
+#ifndef EXION_NET_HTTP_CLIENT_H_
+#define EXION_NET_HTTP_CLIENT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exion/common/types.h"
+
+namespace exion
+{
+
+/** A received response. Header names are stored lowercased. */
+struct HttpClientResponse
+{
+    int status = 0;
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /** Value of a header (name lowercased), nullptr when absent. */
+    const std::string *header(const std::string &lowercaseName) const;
+
+    bool ok() const { return status >= 200 && status < 300; }
+};
+
+/**
+ * One client connection. connect() establishes it; request() runs a
+ * full exchange (and can be called repeatedly — keep-alive); the
+ * startStream()/readStreamData() pair consumes a chunked streaming
+ * response incrementally (the SSE reader). All reads observe the
+ * connect() timeout. Failures are reported by return value — a load
+ * generator must count errors, not die on the first RST.
+ */
+class HttpConnection
+{
+  public:
+    HttpConnection() = default;
+    ~HttpConnection();
+
+    HttpConnection(HttpConnection &&other) noexcept;
+    HttpConnection &operator=(HttpConnection &&other) noexcept;
+
+    HttpConnection(const HttpConnection &) = delete;
+    HttpConnection &operator=(const HttpConnection &) = delete;
+
+    /**
+     * Connects to host:port (IPv4 dotted quad or "localhost").
+     * timeoutSeconds bounds connect and every subsequent read.
+     * Failure leaves the connection !connected().
+     */
+    static HttpConnection connect(const std::string &host, u16 port,
+                                  double timeoutSeconds = 10.0);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /**
+     * Sends a request and reads the complete response (draining a
+     * chunked body to its end). Content-Type is sent whenever a body
+     * is present.
+     * @return false on any socket/parse failure (connection is
+     *         closed; response is partial)
+     */
+    bool request(const std::string &method, const std::string &target,
+                 HttpClientResponse &response,
+                 const std::string &body = "",
+                 const std::string &contentType = "application/json");
+
+    /**
+     * Sends a GET and reads only the status line + headers of a
+     * chunked streaming response, leaving the connection positioned
+     * on the chunk stream for readStreamData().
+     */
+    bool startStream(const std::string &target,
+                     HttpClientResponse &head);
+
+    /**
+     * Reads the next decoded chunk payload of the streaming response.
+     * @return false on stream end (zero-length chunk), timeout, or
+     *         connection loss
+     */
+    bool readStreamData(std::string &data);
+
+    /** Closes the socket (also done by the destructor). */
+    void close();
+
+  private:
+    bool sendAll(const std::string &bytes);
+    /** Reads more bytes into buf_; false on EOF/timeout/error. */
+    bool fill();
+    /** Reads until buf_ contains a full header block; parses it. */
+    bool readHead(HttpClientResponse &response);
+    /** Reads len body bytes from buf_/socket into out. */
+    bool readExact(u64 len, std::string &out);
+    /** Reads one CRLF-terminated line from buf_/socket. */
+    bool readLine(std::string &line);
+
+    int fd_ = -1;
+    std::string buf_;
+};
+
+/**
+ * Convenience one-shot: connect, exchange, close.
+ * @return response with status 0 on connection/transport failure
+ */
+HttpClientResponse httpRequest(
+    const std::string &host, u16 port, const std::string &method,
+    const std::string &target, const std::string &body = "",
+    double timeoutSeconds = 10.0);
+
+} // namespace exion
+
+#endif // EXION_NET_HTTP_CLIENT_H_

@@ -1,0 +1,619 @@
+#include "exion/net/http_server.h"
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "exion/common/logging.h"
+
+namespace exion
+{
+
+namespace
+{
+
+std::string
+toLower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+std::string
+trim(const std::string &s)
+{
+    u64 b = 0;
+    u64 e = s.size();
+    while (b < e && (s[b] == ' ' || s[b] == '\t'))
+        ++b;
+    while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t'))
+        --e;
+    return s.substr(b, e - b);
+}
+
+} // namespace
+
+const std::string *
+HttpRequest::header(const std::string &lowercaseName) const
+{
+    for (const auto &[name, value] : headers)
+        if (name == lowercaseName)
+            return &value;
+    return nullptr;
+}
+
+int
+httpStatusFor(HttpParseStatus s)
+{
+    switch (s) {
+      case HttpParseStatus::BadRequest:
+        return 400;
+      case HttpParseStatus::HeaderTooLarge:
+        return 431;
+      case HttpParseStatus::BodyTooLarge:
+        return 413;
+      case HttpParseStatus::LengthRequired:
+        return 411;
+      case HttpParseStatus::NeedMore:
+      case HttpParseStatus::Ok:
+        break;
+    }
+    return 500;
+}
+
+std::string
+httpStatusText(int status)
+{
+    switch (status) {
+      case 200:
+        return "OK";
+      case 201:
+        return "Created";
+      case 204:
+        return "No Content";
+      case 400:
+        return "Bad Request";
+      case 404:
+        return "Not Found";
+      case 405:
+        return "Method Not Allowed";
+      case 409:
+        return "Conflict";
+      case 411:
+        return "Length Required";
+      case 413:
+        return "Content Too Large";
+      case 429:
+        return "Too Many Requests";
+      case 431:
+        return "Request Header Fields Too Large";
+      case 500:
+        return "Internal Server Error";
+      case 503:
+        return "Service Unavailable";
+    }
+    return "Unknown";
+}
+
+// --------------------------------------------------------------- parser
+
+HttpParseStatus
+HttpParser::feed(const char *data, u64 n)
+{
+    if (status_ != HttpParseStatus::NeedMore)
+        return status_;
+    buf_.append(data, n);
+    status_ = parse();
+    return status_;
+}
+
+void
+HttpParser::resetForNext()
+{
+    req_ = HttpRequest{};
+    headParsed_ = false;
+    bodyRemaining_ = 0;
+    status_ = HttpParseStatus::NeedMore;
+    // Pipelined bytes already buffered may complete the next request
+    // without another feed().
+    status_ = parse();
+}
+
+HttpParseStatus
+HttpParser::parse()
+{
+    if (!headParsed_) {
+        // Find the end of the header block: CRLFCRLF, tolerating bare
+        // LF line endings (earliest terminator wins).
+        u64 headEnd = std::string::npos; // one past the last head byte
+        u64 bodyStart = 0;
+        const u64 crlf = buf_.find("\r\n\r\n");
+        const u64 lflf = buf_.find("\n\n");
+        if (crlf != std::string::npos
+            && (lflf == std::string::npos || crlf < lflf)) {
+            headEnd = crlf;
+            bodyStart = crlf + 4;
+        } else if (lflf != std::string::npos) {
+            headEnd = lflf;
+            bodyStart = lflf + 2;
+        }
+        if (headEnd == std::string::npos) {
+            return buf_.size() > limits_.maxHeaderBytes
+                ? HttpParseStatus::HeaderTooLarge
+                : HttpParseStatus::NeedMore;
+        }
+        if (headEnd > limits_.maxHeaderBytes)
+            return HttpParseStatus::HeaderTooLarge;
+        const HttpParseStatus head = parseHead(headEnd);
+        if (head != HttpParseStatus::NeedMore)
+            return head;
+        headParsed_ = true;
+        buf_.erase(0, bodyStart);
+    }
+    // Drain the declared body from the buffer.
+    if (bodyRemaining_ > 0) {
+        const u64 take = std::min<u64>(bodyRemaining_, buf_.size());
+        req_.body.append(buf_, 0, take);
+        buf_.erase(0, take);
+        bodyRemaining_ -= take;
+    }
+    return bodyRemaining_ == 0 ? HttpParseStatus::Ok
+                               : HttpParseStatus::NeedMore;
+}
+
+/**
+ * Parses the request line and headers in buf_[0, headEnd). Returns
+ * NeedMore on success (the caller flips to body mode) or a terminal
+ * error status.
+ */
+HttpParseStatus
+HttpParser::parseHead(u64 headEnd)
+{
+    const std::string head = buf_.substr(0, headEnd);
+
+    // Split into lines at LF, stripping a trailing CR per line.
+    std::vector<std::string> lines;
+    u64 pos = 0;
+    while (pos <= head.size()) {
+        u64 nl = head.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = head.size();
+        std::string line = head.substr(pos, nl - pos);
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        lines.push_back(std::move(line));
+        if (nl == head.size())
+            break;
+        pos = nl + 1;
+    }
+    if (lines.empty() || lines[0].empty())
+        return HttpParseStatus::BadRequest;
+
+    // Request line: METHOD SP TARGET SP VERSION, single spaces.
+    const std::string &rl = lines[0];
+    const u64 sp1 = rl.find(' ');
+    const u64 sp2 = sp1 == std::string::npos
+        ? std::string::npos : rl.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos
+        || rl.find(' ', sp2 + 1) != std::string::npos)
+        return HttpParseStatus::BadRequest;
+    req_.method = rl.substr(0, sp1);
+    req_.target = rl.substr(sp1 + 1, sp2 - sp1 - 1);
+    req_.version = rl.substr(sp2 + 1);
+    if (req_.method.empty() || req_.target.empty()
+        || req_.target[0] != '/')
+        return HttpParseStatus::BadRequest;
+    if (req_.version != "HTTP/1.1" && req_.version != "HTTP/1.0")
+        return HttpParseStatus::BadRequest;
+
+    // Header fields.
+    bool haveLength = false;
+    for (u64 i = 1; i < lines.size(); ++i) {
+        const std::string &line = lines[i];
+        if (line.empty())
+            continue;
+        if (line[0] == ' ' || line[0] == '\t')
+            return HttpParseStatus::BadRequest; // obs-fold: refused
+        const u64 colon = line.find(':');
+        if (colon == std::string::npos || colon == 0)
+            return HttpParseStatus::BadRequest;
+        std::string name = toLower(line.substr(0, colon));
+        if (name.find(' ') != std::string::npos
+            || name.find('\t') != std::string::npos)
+            return HttpParseStatus::BadRequest;
+        req_.headers.emplace_back(std::move(name),
+                                  trim(line.substr(colon + 1)));
+    }
+
+    // Body framing: Content-Length only. A Transfer-Encoding body
+    // (chunked uploads) is out of scope for this front door.
+    if (req_.header("transfer-encoding") != nullptr)
+        return HttpParseStatus::LengthRequired;
+    if (const std::string *cl = req_.header("content-length")) {
+        if (cl->empty())
+            return HttpParseStatus::BadRequest;
+        u64 len = 0;
+        for (char c : *cl) {
+            if (c < '0' || c > '9')
+                return HttpParseStatus::BadRequest;
+            const u64 digit = static_cast<u64>(c - '0');
+            if (len > (UINT64_MAX - digit) / 10)
+                return HttpParseStatus::BadRequest;
+            len = len * 10 + digit;
+        }
+        // Duplicate Content-Length headers must agree.
+        for (const auto &[name, value] : req_.headers)
+            if (name == "content-length" && value != *cl)
+                return HttpParseStatus::BadRequest;
+        if (len > limits_.maxBodyBytes)
+            return HttpParseStatus::BodyTooLarge;
+        bodyRemaining_ = len;
+        haveLength = true;
+    }
+    (void)haveLength;
+
+    // Connection persistence.
+    const std::string *conn = req_.header("connection");
+    const std::string connLower = conn ? toLower(*conn) : "";
+    if (req_.version == "HTTP/1.1")
+        req_.keepAlive = connLower != "close";
+    else
+        req_.keepAlive = connLower == "keep-alive";
+
+    return HttpParseStatus::NeedMore;
+}
+
+// -------------------------------------------------------------- writer
+
+bool
+ResponseWriter::sendHead(int status, const std::string &contentType,
+                         const Headers &extra, bool chunked,
+                         u64 contentLength)
+{
+    std::string head;
+    head.reserve(256);
+    head += "HTTP/1.1 ";
+    head += std::to_string(status);
+    head += ' ';
+    head += httpStatusText(status);
+    head += "\r\n";
+    if (!contentType.empty()) {
+        head += "Content-Type: ";
+        head += contentType;
+        head += "\r\n";
+    }
+    for (const auto &[name, value] : extra) {
+        head += name;
+        head += ": ";
+        head += value;
+        head += "\r\n";
+    }
+    head += "Connection: ";
+    head += (forceClose_ || !keepAlive_) ? "close" : "keep-alive";
+    head += "\r\n";
+    if (chunked) {
+        head += "Transfer-Encoding: chunked\r\n";
+    } else {
+        head += "Content-Length: ";
+        head += std::to_string(contentLength);
+        head += "\r\n";
+    }
+    head += "\r\n";
+    return send(head.data(), head.size());
+}
+
+bool
+ResponseWriter::respond(int status, const std::string &contentType,
+                        const std::string &body, const Headers &extra)
+{
+    EXION_ASSERT(!responded_, "response already started");
+    responded_ = true;
+    if (!sendHead(status, contentType, extra, /*chunked=*/false,
+                  body.size()))
+        return false;
+    return body.empty() || send(body.data(), body.size());
+}
+
+bool
+ResponseWriter::beginChunked(int status, const std::string &contentType,
+                             const Headers &extra)
+{
+    EXION_ASSERT(!responded_, "response already started");
+    responded_ = true;
+    chunking_ = true;
+    return sendHead(status, contentType, extra, /*chunked=*/true, 0);
+}
+
+bool
+ResponseWriter::writeChunk(const std::string &data)
+{
+    EXION_ASSERT(chunking_, "writeChunk outside a chunked response");
+    if (data.empty())
+        return true;
+    char size[32];
+    std::snprintf(size, sizeof size, "%llx\r\n",
+                  static_cast<unsigned long long>(data.size()));
+    std::string frame;
+    frame.reserve(data.size() + 36);
+    frame += size;
+    frame += data;
+    frame += "\r\n";
+    return send(frame.data(), frame.size());
+}
+
+bool
+ResponseWriter::endChunked()
+{
+    EXION_ASSERT(chunking_, "endChunked outside a chunked response");
+    chunking_ = false;
+    static const char kEnd[] = "0\r\n\r\n";
+    return send(kEnd, sizeof kEnd - 1);
+}
+
+// -------------------------------------------------------------- server
+
+namespace
+{
+
+/** ResponseWriter over a connected socket (MSG_NOSIGNAL sends). */
+class SocketResponseWriter : public ResponseWriter
+{
+  public:
+    explicit SocketResponseWriter(int fd) : fd_(fd) {}
+
+    bool peerClosed() override
+    {
+        // A closed peer makes a peek return 0 immediately; an open
+        // idle peer returns EAGAIN. Pending pipelined bytes (> 0)
+        // mean the peer is definitely still there.
+        char b;
+        const ssize_t n =
+            ::recv(fd_, &b, 1, MSG_PEEK | MSG_DONTWAIT);
+        return n == 0;
+    }
+
+  protected:
+    bool send(const char *data, u64 n) override
+    {
+        u64 off = 0;
+        while (off < n) {
+            const ssize_t sent = ::send(fd_, data + off, n - off,
+                                        MSG_NOSIGNAL);
+            if (sent < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            off += static_cast<u64>(sent);
+        }
+        return true;
+    }
+
+  private:
+    int fd_;
+};
+
+} // namespace
+
+struct HttpServer::Connection
+{
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+};
+
+HttpServer::HttpServer(Options opts, Handler handler)
+    : opts_(std::move(opts)), handler_(std::move(handler))
+{
+}
+
+HttpServer::~HttpServer()
+{
+    stop();
+}
+
+void
+HttpServer::start()
+{
+    EXION_ASSERT(!running_.load(), "server already started");
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        throw std::runtime_error("http: socket() failed: "
+                                 + std::string(std::strerror(errno)));
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(opts_.port);
+    if (::inet_pton(AF_INET, opts_.bindAddress.c_str(),
+                    &addr.sin_addr) != 1) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw std::runtime_error("http: bad bind address "
+                                 + opts_.bindAddress);
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0
+        || ::listen(listenFd_, 64) != 0) {
+        const std::string err = std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw std::runtime_error("http: cannot listen on "
+                                 + opts_.bindAddress + ":"
+                                 + std::to_string(opts_.port) + ": "
+                                 + err);
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                  &len);
+    port_ = ntohs(addr.sin_port);
+
+    // Non-blocking accept polled with a short timeout keeps stop()
+    // responsive without signal tricks.
+    ::fcntl(listenFd_, F_SETFL, O_NONBLOCK);
+    stopping_.store(false);
+    running_.store(true);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+HttpServer::acceptLoop()
+{
+    while (!stopping_.load()) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 200);
+        if (stopping_.load())
+            break;
+        reapFinished();
+        if (ready <= 0)
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        // Short receive timeout: the per-connection loop wakes
+        // regularly to check the stop flag and the idle deadline.
+        timeval tv{0, 250 * 1000};
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        accepted_.fetch_add(1);
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        {
+            std::lock_guard<std::mutex> lock(connMutex_);
+            conns_.push_back(conn);
+        }
+        conn->thread = std::thread(
+            [this, conn] { serveConnection(conn); });
+    }
+}
+
+void
+HttpServer::serveConnection(std::shared_ptr<Connection> conn)
+{
+    HttpParser parser(opts_.limits);
+    const auto idle = std::chrono::duration<double>(
+        opts_.idleTimeoutSeconds);
+    auto deadline = std::chrono::steady_clock::now() + idle;
+    char buf[8192];
+    bool open = true;
+    while (open && !stopping_.load()) {
+        const ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
+        if (n == 0)
+            break; // peer closed
+        if (n < 0) {
+            if ((errno == EAGAIN || errno == EWOULDBLOCK
+                 || errno == EINTR)
+                && std::chrono::steady_clock::now() < deadline)
+                continue;
+            break; // timeout or hard error
+        }
+        deadline = std::chrono::steady_clock::now() + idle;
+        HttpParseStatus status =
+            parser.feed(buf, static_cast<u64>(n));
+        // Handle every complete request already buffered (pipelined
+        // requests included).
+        while (status == HttpParseStatus::Ok) {
+            SocketResponseWriter writer(conn->fd);
+            writer.setKeepAlive(parser.request().keepAlive);
+            try {
+                handler_(parser.request(), writer);
+            } catch (const std::exception &e) {
+                if (!writer.responded()) {
+                    writer.setConnectionClose();
+                    writer.respond(500, "text/plain",
+                                   std::string("error: ") + e.what()
+                                       + "\n");
+                } else {
+                    EXION_WARN("http handler threw mid-response: ",
+                               e.what());
+                }
+                open = false;
+                break;
+            }
+            if (!writer.responded())
+                writer.respond(500, "text/plain",
+                               "handler produced no response\n");
+            if (!parser.request().keepAlive
+                || writer.connectionClose()) {
+                open = false;
+                break;
+            }
+            parser.resetForNext();
+            status = parser.status();
+        }
+        if (status != HttpParseStatus::Ok
+            && status != HttpParseStatus::NeedMore) {
+            // Malformed or oversized input: report and close (the
+            // connection's framing can no longer be trusted).
+            const int code = httpStatusFor(status);
+            SocketResponseWriter writer(conn->fd);
+            writer.setConnectionClose();
+            writer.respond(code, "text/plain",
+                           httpStatusText(code) + "\n");
+            break;
+        }
+    }
+    ::shutdown(conn->fd, SHUT_RDWR);
+    conn->done.store(true);
+}
+
+void
+HttpServer::reapFinished()
+{
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+        if ((*it)->done.load()) {
+            if ((*it)->thread.joinable())
+                (*it)->thread.join();
+            ::close((*it)->fd);
+            it = conns_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+HttpServer::stop()
+{
+    if (!running_.exchange(false))
+        return;
+    stopping_.store(true);
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    // Wake every connection blocked in recv() and join its thread.
+    std::vector<std::shared_ptr<Connection>> conns;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        conns.swap(conns_);
+    }
+    for (const auto &conn : conns)
+        ::shutdown(conn->fd, SHUT_RDWR);
+    for (const auto &conn : conns) {
+        if (conn->thread.joinable())
+            conn->thread.join();
+        ::close(conn->fd);
+    }
+}
+
+} // namespace exion

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Dependency-free HTTP/1.1 server: the engine's network front door.
+ *
+ * Three separable layers, so the protocol logic is testable on byte
+ * buffers without ever opening a socket:
+ *
+ *   HttpParser      incremental request parser (request line, headers,
+ *                   Content-Length body) with explicit header- and
+ *                   body-size limits; malformed or oversized input
+ *                   yields a typed HttpParseStatus the server maps to
+ *                   400 / 413 / 431
+ *   ResponseWriter  response formatting (status line, headers,
+ *                   Content-Length one-shots and chunked streaming for
+ *                   SSE) over an abstract byte sink; the socket-backed
+ *                   writer and the test buffer-backed writer share the
+ *                   exact wire format
+ *   HttpServer      the socket layer: listen, thread-per-connection
+ *                   accept loop, keep-alive request cycling, bounded
+ *                   read timeouts, graceful stop (wakes and joins
+ *                   every connection thread)
+ *
+ * The server is deliberately minimal — HTTP/1.1 with Content-Length
+ * bodies and chunked *responses* only (chunked request bodies are
+ * refused with 411/400) — because its one job is putting the
+ * BatchEngine's submit/stream/cancel/metrics surface on the wire, not
+ * general-purpose web serving.
+ */
+
+#ifndef EXION_NET_HTTP_SERVER_H_
+#define EXION_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "exion/common/types.h"
+
+namespace exion
+{
+
+/** Size bounds the parser enforces while a request arrives. */
+struct HttpLimits
+{
+    /** Request line + header block bound; beyond it: 431. */
+    u64 maxHeaderBytes = 16 * 1024;
+    /** Content-Length bound; beyond it: 413. */
+    u64 maxBodyBytes = 1024 * 1024;
+};
+
+/** One parsed request. Header names are stored lowercased. */
+struct HttpRequest
+{
+    std::string method;  //!< e.g. "GET" (methods are case-sensitive)
+    std::string target;  //!< request target, e.g. "/v1/jobs/7/events"
+    std::string version; //!< "HTTP/1.1" or "HTTP/1.0"
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+    /**
+     * Connection persistence after this exchange: HTTP/1.1 defaults
+     * to keep-alive unless "Connection: close"; HTTP/1.0 defaults to
+     * close unless "Connection: keep-alive".
+     */
+    bool keepAlive = true;
+
+    /** Value of a header (name lowercased), nullptr when absent. */
+    const std::string *header(const std::string &lowercaseName) const;
+};
+
+/** Outcome of feeding bytes to the parser. */
+enum class HttpParseStatus
+{
+    NeedMore,       //!< incomplete; feed more bytes
+    Ok,             //!< one full request parsed (request())
+    BadRequest,     //!< malformed request line / headers / length
+    HeaderTooLarge, //!< header block over HttpLimits::maxHeaderBytes
+    BodyTooLarge,   //!< declared body over HttpLimits::maxBodyBytes
+    LengthRequired, //!< body transfer we don't support (chunked)
+};
+
+/** HTTP status code a parse failure maps to (400/413/431/411). */
+int httpStatusFor(HttpParseStatus s);
+
+/** Canonical reason phrase of the status codes this server emits. */
+std::string httpStatusText(int status);
+
+/**
+ * Incremental HTTP/1.1 request parser over byte buffers.
+ *
+ * Feed arbitrary byte slices as they arrive; once feed() returns Ok,
+ * request() holds the parsed request and resetForNext() arms the
+ * parser for the next request on the same connection (keep-alive),
+ * preserving any already-buffered pipelined bytes. Any error status
+ * is terminal for the connection.
+ *
+ * Line endings: CRLF per RFC 9112, with bare LF tolerated (robustness
+ * principle; every mainstream server accepts it).
+ */
+class HttpParser
+{
+  public:
+    explicit HttpParser(HttpLimits limits = {}) : limits_(limits) {}
+
+    /** Consumes n bytes, returns the parse state after them. */
+    HttpParseStatus feed(const char *data, u64 n);
+
+    /** Parse state without new input (e.g. after resetForNext()). */
+    HttpParseStatus status() const { return status_; }
+
+    /** The parsed request. Valid only while status() == Ok. */
+    const HttpRequest &request() const { return req_; }
+
+    /** Consumes the parsed request; keeps buffered pipelined bytes. */
+    void resetForNext();
+
+  private:
+    HttpParseStatus parse();
+    HttpParseStatus parseHead(u64 headEnd);
+
+    HttpLimits limits_;
+    std::string buf_;
+    HttpRequest req_;
+    HttpParseStatus status_ = HttpParseStatus::NeedMore;
+    /** Body bytes still expected (valid once the head is parsed). */
+    u64 bodyRemaining_ = 0;
+    bool headParsed_ = false;
+};
+
+/**
+ * Response formatting over an abstract byte sink.
+ *
+ * Exactly one of the two shapes per request:
+ *   - respond(): one-shot, Content-Length framed
+ *   - beginChunked() + writeChunk()* + endChunked(): streaming
+ *     (Transfer-Encoding: chunked) — the SSE path
+ *
+ * All wire formatting lives here, shared by the socket writer and
+ * the test buffer writer, so golden tests pin the real bytes. Write
+ * failures (client went away) are reported, not thrown: streaming
+ * handlers use the false return to stop and cancel server-side work.
+ */
+class ResponseWriter
+{
+  public:
+    using Headers = std::vector<std::pair<std::string, std::string>>;
+
+    virtual ~ResponseWriter() = default;
+
+    /** One-shot response with a Content-Length body. */
+    bool respond(int status, const std::string &contentType,
+                 const std::string &body, const Headers &extra = {});
+
+    /** Starts a chunked streaming response. */
+    bool beginChunked(int status, const std::string &contentType,
+                      const Headers &extra = {});
+
+    /**
+     * Sends one chunk (empty data is a no-op: a zero-length chunk
+     * would terminate the stream).
+     * @return false when the client is gone; stop streaming
+     */
+    bool writeChunk(const std::string &data);
+
+    /** Terminates the chunked stream (the zero-length chunk). */
+    bool endChunked();
+
+    /**
+     * Whether the peer has closed its end (half or full). Streaming
+     * handlers poll this between chunks so an idle stream notices a
+     * departed client without waiting for a write to fail. The
+     * buffer-backed test writer returns a settable flag.
+     */
+    virtual bool peerClosed() { return false; }
+
+    /** Whether a response has been started on this writer. */
+    bool responded() const { return responded_; }
+
+    /**
+     * Force "Connection: close" on the response (and report it to
+     * the server's keep-alive loop). Call before respond()/
+     * beginChunked().
+     */
+    void setConnectionClose() { forceClose_ = true; }
+
+    /** Whether this exchange ends the connection (forced close or
+        no keep-alive) — matches the Connection header on the wire. */
+    bool connectionClose() const { return forceClose_ || !keepAlive_; }
+
+    /**
+     * Keep-alive advertised in the response headers; the server sets
+     * it from the request before invoking the handler.
+     */
+    void setKeepAlive(bool keepAlive) { keepAlive_ = keepAlive; }
+
+  protected:
+    /** Raw bytes to the wire; false when the peer is gone. */
+    virtual bool send(const char *data, u64 n) = 0;
+
+  private:
+    bool sendHead(int status, const std::string &contentType,
+                  const Headers &extra, bool chunked, u64 contentLength);
+
+    bool responded_ = false;
+    bool chunking_ = false;
+    bool forceClose_ = false;
+    bool keepAlive_ = true;
+};
+
+/**
+ * ResponseWriter over a growable byte buffer — the golden-test and
+ * socketless-routing writer. peerClosed() reports a settable flag so
+ * disconnect-handling logic is testable without a socket.
+ */
+class BufferResponseWriter : public ResponseWriter
+{
+  public:
+    /** Everything "sent" so far, byte-for-byte as it would hit the
+        wire. */
+    const std::string &bytes() const { return out_; }
+
+    /** Simulates the peer closing its end. */
+    void setPeerClosed(bool closed) { peerClosed_ = closed; }
+
+    bool peerClosed() override { return peerClosed_; }
+
+  protected:
+    bool send(const char *data, u64 n) override
+    {
+        if (peerClosed_)
+            return false;
+        out_.append(data, n);
+        return true;
+    }
+
+  private:
+    std::string out_;
+    bool peerClosed_ = false;
+};
+
+/**
+ * Thread-per-connection HTTP/1.1 server.
+ *
+ * start() binds and listens (port 0 picks an ephemeral port; port()
+ * reports the actual one) and spawns the accept loop; every accepted
+ * connection gets a thread running the keep-alive request cycle:
+ * parse -> handler(request, writer) -> repeat until the client
+ * closes, an error occurs, or stop() is called. stop() closes the
+ * listener, shuts down every open connection socket (waking blocked
+ * reads) and joins all threads; it is idempotent and also run by the
+ * destructor.
+ *
+ * The handler runs on the connection's thread and may block (that is
+ * the point of thread-per-connection: an SSE stream parks its
+ * thread). A handler that never responds gets a 500 generated on its
+ * behalf.
+ */
+class HttpServer
+{
+  public:
+    using Handler = std::function<void(const HttpRequest &,
+                                       ResponseWriter &)>;
+
+    struct Options
+    {
+        /** Bind address. Default loopback: exposing the engine to a
+            network is an explicit operator decision. */
+        std::string bindAddress = "127.0.0.1";
+        /** TCP port; 0 = ephemeral (see port()). */
+        u16 port = 0;
+        HttpLimits limits;
+        /**
+         * Idle-connection timeout: a keep-alive connection with no
+         * request activity for this long is closed. Also bounds how
+         * long stop() waits for a connection blocked in a read.
+         */
+        double idleTimeoutSeconds = 30.0;
+    };
+
+    HttpServer(Options opts, Handler handler);
+
+    /** stop()s. */
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /**
+     * Binds, listens and starts accepting.
+     * @throws std::runtime_error when the socket/bind/listen fails
+     */
+    void start();
+
+    /** Actual bound port (after start()). */
+    u16 port() const { return port_; }
+
+    /** Whether start() has run and stop() has not. */
+    bool running() const { return running_.load(); }
+
+    /** Connections accepted since start() (observability/tests). */
+    u64 connectionsAccepted() const { return accepted_.load(); }
+
+    /** Graceful stop: close listener + connections, join threads. */
+    void stop();
+
+  private:
+    struct Connection;
+
+    void acceptLoop();
+    void serveConnection(std::shared_ptr<Connection> conn);
+    /** Drops finished connection threads (called from acceptLoop). */
+    void reapFinished();
+
+    Options opts_;
+    Handler handler_;
+    int listenFd_ = -1;
+    u16 port_ = 0;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<u64> accepted_{0};
+    std::thread acceptThread_;
+    std::mutex connMutex_;
+    std::vector<std::shared_ptr<Connection>> conns_;
+};
+
+} // namespace exion
+
+#endif // EXION_NET_HTTP_SERVER_H_

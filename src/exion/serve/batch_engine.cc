@@ -114,9 +114,9 @@ BatchEngine::registerModel(Benchmark b,
 }
 
 void
-BatchEngine::registerModelFromFile(const std::string &path)
+BatchEngine::registerModelFromFile(const std::string &path, bool pin)
 {
-    auto store = WeightStore::load(path);
+    auto store = WeightStore::load(path, pin);
     const Benchmark b = store->config().benchmark;
     registerModel(b, std::move(store));
 }

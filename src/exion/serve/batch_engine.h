@@ -312,12 +312,14 @@ class BatchEngine
     /**
      * Loads a serialized weight store from path (mmap'd read-only
      * where the platform allows) and registers it under its config's
-     * benchmark.
+     * benchmark. With pin set the mapping is mlock()'d best-effort
+     * (WeightStore::load) so weight pages cannot be evicted under
+     * memory pressure; a failed pin warns and serves unpinned.
      *
      * @throws WeightStoreError  on a malformed or corrupt file
      * @throws ThreadPoolStopped after shutdown() has begun
      */
-    void registerModelFromFile(const std::string &path);
+    void registerModelFromFile(const std::string &path, bool pin = false);
 
     /**
      * Registered pipeline for a benchmark.

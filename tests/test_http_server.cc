@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Tests for the net layer: the HTTP/1.1 request parser and response
+ * writer as pure byte-level golden tests (no sockets), then the
+ * socket server itself — lifecycle, keep-alive, pipelining, limits
+ * and error generation — driven through the net/http_client.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "exion/net/http_client.h"
+#include "exion/net/http_server.h"
+
+namespace exion
+{
+namespace
+{
+
+HttpParseStatus
+feedAll(HttpParser &parser, const std::string &bytes)
+{
+    return parser.feed(bytes.data(), bytes.size());
+}
+
+// ----------------------------------------------------------- parser
+
+TEST(HttpParser, ParsesSimpleGet)
+{
+    HttpParser parser{HttpLimits{}};
+    ASSERT_EQ(feedAll(parser,
+                      "GET /healthz HTTP/1.1\r\nHost: x\r\n"
+                      "X-Custom: hi\r\n\r\n"),
+              HttpParseStatus::Ok);
+    const HttpRequest &req = parser.request();
+    EXPECT_EQ(req.method, "GET");
+    EXPECT_EQ(req.target, "/healthz");
+    EXPECT_EQ(req.version, "HTTP/1.1");
+    EXPECT_TRUE(req.keepAlive);
+    ASSERT_NE(req.header("x-custom"), nullptr);
+    EXPECT_EQ(*req.header("x-custom"), "hi");
+    EXPECT_EQ(req.header("absent"), nullptr);
+    EXPECT_TRUE(req.body.empty());
+}
+
+TEST(HttpParser, ParsesPostBody)
+{
+    HttpParser parser{HttpLimits{}};
+    ASSERT_EQ(feedAll(parser,
+                      "POST /v1/jobs HTTP/1.1\r\nHost: x\r\n"
+                      "Content-Type: application/json\r\n"
+                      "Content-Length: 11\r\n\r\nhello world"),
+              HttpParseStatus::Ok);
+    EXPECT_EQ(parser.request().method, "POST");
+    EXPECT_EQ(parser.request().body, "hello world");
+}
+
+TEST(HttpParser, IncrementalFeedingNeedsMoreThenCompletes)
+{
+    const std::string wire =
+        "POST /x HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc";
+    HttpParser parser{HttpLimits{}};
+    for (size_t i = 0; i + 1 < wire.size(); ++i)
+        ASSERT_EQ(parser.feed(wire.data() + i, 1),
+                  HttpParseStatus::NeedMore)
+            << "byte " << i;
+    EXPECT_EQ(parser.feed(wire.data() + wire.size() - 1, 1),
+              HttpParseStatus::Ok);
+    EXPECT_EQ(parser.request().body, "abc");
+}
+
+TEST(HttpParser, PipelinedRequestsSurviveReset)
+{
+    HttpParser parser{HttpLimits{}};
+    ASSERT_EQ(feedAll(parser,
+                      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n"),
+              HttpParseStatus::Ok);
+    EXPECT_EQ(parser.request().target, "/a");
+    // The second request was buffered; resetForNext() re-parses it
+    // without another feed().
+    parser.resetForNext();
+    ASSERT_EQ(parser.status(), HttpParseStatus::Ok);
+    EXPECT_EQ(parser.request().target, "/b");
+}
+
+TEST(HttpParser, KeepAliveSemanticsPerVersion)
+{
+    HttpParser parser{HttpLimits{}};
+    ASSERT_EQ(feedAll(parser, "GET / HTTP/1.0\r\n\r\n"),
+              HttpParseStatus::Ok);
+    EXPECT_FALSE(parser.request().keepAlive);
+
+    HttpParser parser10ka{HttpLimits{}};
+    ASSERT_EQ(feedAll(parser10ka,
+                      "GET / HTTP/1.0\r\n"
+                      "Connection: keep-alive\r\n\r\n"),
+              HttpParseStatus::Ok);
+    EXPECT_TRUE(parser10ka.request().keepAlive);
+
+    HttpParser parser11close{HttpLimits{}};
+    ASSERT_EQ(feedAll(parser11close,
+                      "GET / HTTP/1.1\r\n"
+                      "Connection: close\r\n\r\n"),
+              HttpParseStatus::Ok);
+    EXPECT_FALSE(parser11close.request().keepAlive);
+}
+
+TEST(HttpParser, MalformedRequestLinesAreBadRequests)
+{
+    for (const char *wire : {
+             "GARBAGE\r\n\r\n",
+             "GET\r\n\r\n",
+             "GET /\r\n\r\n",
+             "GET / HTTP/2.0\r\n\r\n",
+             "GET nopath HTTP/1.1\r\n\r\n",
+             "GET / HTTP/1.1 extra\r\n\r\n",
+         }) {
+        HttpParser parser{HttpLimits{}};
+        EXPECT_EQ(feedAll(parser, wire), HttpParseStatus::BadRequest)
+            << wire;
+    }
+}
+
+TEST(HttpParser, HeaderWithoutColonIsBadRequest)
+{
+    HttpParser parser{HttpLimits{}};
+    EXPECT_EQ(feedAll(parser, "GET / HTTP/1.1\r\nnocolon\r\n\r\n"),
+              HttpParseStatus::BadRequest);
+}
+
+TEST(HttpParser, ConflictingContentLengthsAreBadRequests)
+{
+    HttpParser parser{HttpLimits{}};
+    EXPECT_EQ(feedAll(parser,
+                      "POST / HTTP/1.1\r\nContent-Length: 3\r\n"
+                      "Content-Length: 4\r\n\r\n"),
+              HttpParseStatus::BadRequest);
+
+    HttpParser nonNumeric{HttpLimits{}};
+    EXPECT_EQ(feedAll(nonNumeric,
+                      "POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n"),
+              HttpParseStatus::BadRequest);
+}
+
+TEST(HttpParser, TransferEncodingIsLengthRequired)
+{
+    HttpParser parser{HttpLimits{}};
+    EXPECT_EQ(feedAll(parser,
+                      "POST / HTTP/1.1\r\n"
+                      "Transfer-Encoding: chunked\r\n\r\n"),
+              HttpParseStatus::LengthRequired);
+}
+
+TEST(HttpParser, OversizedHeaderIsHeaderTooLarge)
+{
+    HttpLimits limits;
+    limits.maxHeaderBytes = 64;
+    HttpParser parser{limits};
+    const std::string wire = "GET / HTTP/1.1\r\nX-Pad: "
+        + std::string(128, 'a') + "\r\n\r\n";
+    EXPECT_EQ(feedAll(parser, wire), HttpParseStatus::HeaderTooLarge);
+}
+
+TEST(HttpParser, OversizedBodyIsBodyTooLarge)
+{
+    HttpLimits limits;
+    limits.maxBodyBytes = 8;
+    HttpParser parser{limits};
+    EXPECT_EQ(feedAll(parser,
+                      "POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n"),
+              HttpParseStatus::BodyTooLarge);
+}
+
+TEST(HttpParser, StatusCodeMapping)
+{
+    EXPECT_EQ(httpStatusFor(HttpParseStatus::BadRequest), 400);
+    EXPECT_EQ(httpStatusFor(HttpParseStatus::LengthRequired), 411);
+    EXPECT_EQ(httpStatusFor(HttpParseStatus::BodyTooLarge), 413);
+    EXPECT_EQ(httpStatusFor(HttpParseStatus::HeaderTooLarge), 431);
+    EXPECT_EQ(httpStatusText(404), "Not Found");
+    EXPECT_EQ(httpStatusText(429), "Too Many Requests");
+    EXPECT_EQ(httpStatusText(503), "Service Unavailable");
+}
+
+// ---------------------------------------------------------- writer
+
+TEST(ResponseWriter, OneShotWireFormat)
+{
+    BufferResponseWriter writer;
+    writer.setKeepAlive(true);
+    EXPECT_TRUE(writer.respond(200, "text/plain", "ok\n",
+                               {{"X-Extra", "1"}}));
+    EXPECT_TRUE(writer.responded());
+    EXPECT_EQ(writer.bytes(),
+              "HTTP/1.1 200 OK\r\n"
+              "Content-Type: text/plain\r\n"
+              "X-Extra: 1\r\n"
+              "Connection: keep-alive\r\n"
+              "Content-Length: 3\r\n\r\nok\n");
+}
+
+TEST(ResponseWriter, ConnectionCloseHeader)
+{
+    BufferResponseWriter writer;
+    writer.setKeepAlive(false);
+    EXPECT_TRUE(writer.respond(404, "application/json", "{}"));
+    EXPECT_NE(writer.bytes().find("Connection: close\r\n"),
+              std::string::npos);
+    EXPECT_TRUE(writer.connectionClose());
+}
+
+TEST(ResponseWriter, ChunkedFraming)
+{
+    BufferResponseWriter writer;
+    writer.setKeepAlive(true);
+    EXPECT_TRUE(writer.beginChunked(200, "text/event-stream",
+                                    {{"Cache-Control", "no-cache"}}));
+    EXPECT_TRUE(writer.writeChunk("hello"));
+    EXPECT_TRUE(writer.writeChunk("world!"));
+    EXPECT_TRUE(writer.endChunked());
+    const std::string &wire = writer.bytes();
+    EXPECT_NE(wire.find("Transfer-Encoding: chunked\r\n"),
+              std::string::npos);
+    EXPECT_NE(wire.find("Cache-Control: no-cache\r\n"),
+              std::string::npos);
+    EXPECT_NE(wire.find("\r\n\r\n5\r\nhello\r\n6\r\nworld!\r\n"
+                        "0\r\n\r\n"),
+              std::string::npos);
+}
+
+TEST(ResponseWriter, PeerClosedFailsWrites)
+{
+    BufferResponseWriter writer;
+    writer.setPeerClosed(true);
+    EXPECT_TRUE(writer.peerClosed());
+    EXPECT_FALSE(writer.respond(200, "text/plain", "x"));
+}
+
+// ---------------------------------------------------------- server
+
+TEST(HttpServer, ServesOverARealSocket)
+{
+    HttpServer::Options opts; // ephemeral port
+    HttpServer server(
+        opts, [](const HttpRequest &req, ResponseWriter &writer) {
+            writer.respond(200, "text/plain",
+                           req.method + " " + req.target + "\n");
+        });
+    server.start();
+    ASSERT_NE(server.port(), 0);
+    ASSERT_TRUE(server.running());
+
+    const HttpClientResponse resp =
+        httpRequest("127.0.0.1", server.port(), "GET", "/hello");
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body, "GET /hello\n");
+    server.stop();
+    EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServer, KeepAliveServesManyRequestsOnOneConnection)
+{
+    std::atomic<int> handled{0};
+    HttpServer::Options opts;
+    HttpServer server(
+        opts, [&](const HttpRequest &req, ResponseWriter &writer) {
+            handled.fetch_add(1);
+            writer.respond(200, "text/plain", req.body);
+        });
+    server.start();
+    HttpConnection conn =
+        HttpConnection::connect("127.0.0.1", server.port());
+    ASSERT_TRUE(conn.connected());
+    for (int i = 0; i < 5; ++i) {
+        HttpClientResponse resp;
+        ASSERT_TRUE(conn.request("POST", "/echo", resp,
+                                 "payload " + std::to_string(i)));
+        EXPECT_EQ(resp.status, 200);
+        EXPECT_EQ(resp.body, "payload " + std::to_string(i));
+    }
+    EXPECT_EQ(handled.load(), 5);
+    EXPECT_EQ(server.connectionsAccepted(), 1u);
+    server.stop();
+}
+
+TEST(HttpServer, GeneratesParseErrorResponses)
+{
+    HttpLimits limits;
+    limits.maxBodyBytes = 16;
+    HttpServer::Options opts;
+    opts.limits = limits;
+    HttpServer server(
+        opts, [](const HttpRequest &, ResponseWriter &writer) {
+            writer.respond(200, "text/plain", "unreachable");
+        });
+    server.start();
+
+    // Malformed request line -> 400.
+    EXPECT_EQ(httpRequest("127.0.0.1", server.port(), "BAD REQUEST",
+                          "nopath")
+                  .status,
+              400);
+    // Oversized body -> 413 before the handler ever runs.
+    EXPECT_EQ(httpRequest("127.0.0.1", server.port(), "POST", "/x",
+                          std::string(64, 'a'))
+                  .status,
+              413);
+    server.stop();
+}
+
+TEST(HttpServer, HandlerExceptionBecomes500)
+{
+    HttpServer::Options opts;
+    HttpServer server(opts,
+                      [](const HttpRequest &, ResponseWriter &) {
+                          throw std::runtime_error("boom");
+                      });
+    server.start();
+    EXPECT_EQ(httpRequest("127.0.0.1", server.port(), "GET", "/")
+                  .status,
+              500);
+    server.stop();
+}
+
+TEST(HttpServer, StopIsIdempotentAndJoinsStreams)
+{
+    HttpServer::Options opts;
+    HttpServer server(
+        opts, [](const HttpRequest &, ResponseWriter &writer) {
+            writer.beginChunked(200, "text/event-stream");
+            // Stream until the connection dies under us (stop()).
+            while (writer.writeChunk(": tick\n\n"))
+                ;
+        });
+    server.start();
+    HttpConnection conn =
+        HttpConnection::connect("127.0.0.1", server.port());
+    HttpClientResponse head;
+    ASSERT_TRUE(conn.startStream("/stream", head));
+    EXPECT_EQ(head.status, 200);
+    std::string data;
+    ASSERT_TRUE(conn.readStreamData(data)); // the stream is live
+    server.stop();
+    server.stop(); // idempotent
+    EXPECT_FALSE(server.running());
+}
+
+} // namespace
+} // namespace exion

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -496,6 +497,64 @@ TEST(WeightStoreEngineTest, RegistrationOnStoppedEngineThrowsTyped)
     const std::string path = tempPath("stopped.exws");
     store->save(path);
     EXPECT_THROW(engine.registerModelFromFile(path), ThreadPoolStopped);
+    std::remove(path.c_str());
+}
+
+TEST(WeightStoreTest, PinPlumbingAndBestEffortDegradation)
+{
+    const ModelConfig cfg = shortConfig(Benchmark::MLD);
+    const auto built = WeightStore::build(cfg);
+    const std::string path = tempPath("pinned.exws");
+    built->save(path);
+
+    // Without a pin request the mapping is never locked.
+    const auto unpinned = WeightStore::load(path);
+    EXPECT_FALSE(unpinned->pinned());
+
+    // With one, pinning is best-effort: mlock may be refused by
+    // RLIMIT_MEMLOCK in constrained environments, and that must
+    // degrade to a served-but-unpinned store, never an error. Either
+    // outcome loads the identical image.
+    const auto pinned = WeightStore::load(path, /*pin=*/true);
+    if (pinned->pinned()) {
+        EXPECT_TRUE(pinned->mapped());
+    }
+    EXPECT_EQ(pinned->checksum(), unpinned->checksum());
+    EXPECT_EQ(pinned->sizeBytes(), unpinned->sizeBytes());
+
+    // build()-mode stores have no mapping to pin.
+    EXPECT_FALSE(built->pinned());
+    std::remove(path.c_str());
+}
+
+TEST(WeightStoreEngineTest, PinnedRegistrationServesIdentically)
+{
+    const ModelConfig cfg = shortConfig(Benchmark::MLD);
+    const auto store = WeightStore::build(cfg);
+    const std::string path = tempPath("pinned_engine.exws");
+    store->save(path);
+
+    ServeRequest req;
+    req.benchmark = cfg.benchmark;
+    req.mode = ExecMode::Exion;
+    req.noiseSeed = 11;
+
+    BatchEngine::Options opts;
+    opts.workers = 1;
+    opts.queueResults = false;
+    BatchEngine plain(opts);
+    plain.registerModel(cfg.benchmark, store);
+    const RequestResult reference = plain.submit(req).get();
+
+    BatchEngine viaPin(opts);
+    viaPin.registerModelFromFile(path, /*pin=*/true);
+    const RequestResult result = viaPin.submit(req).get();
+
+    ASSERT_EQ(result.output.rows(), reference.output.rows());
+    ASSERT_EQ(result.output.cols(), reference.output.cols());
+    const auto got = result.output.data();
+    const auto want = reference.output.data();
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin()));
     std::remove(path.c_str());
 }
 
