@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <utility>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "exion/common/logging.h"
 
 namespace exion
@@ -40,6 +45,41 @@ ThreadPool::ThreadPool(int workers, u64 seed) : seed_(seed)
         shutdown();
         throw;
     }
+}
+
+int
+ThreadPool::pinWorkers(const std::vector<std::vector<int>> &cpuSets)
+{
+    if (cpuSets.empty())
+        return 0;
+#if defined(__linux__)
+    int pinned = 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t i = 0; i < workers_.size(); ++i) {
+        const std::vector<int> &cpus = cpuSets[i % cpuSets.size()];
+        if (cpus.empty())
+            continue;
+        cpu_set_t set;
+        CPU_ZERO(&set);
+        for (int cpu : cpus)
+            if (cpu >= 0 && cpu < CPU_SETSIZE)
+                CPU_SET(cpu, &set);
+        const int rc = ::pthread_setaffinity_np(
+            workers_[i].native_handle(), sizeof(set), &set);
+        if (rc != 0) {
+            EXION_WARN("pinWorkers: pthread_setaffinity_np failed for "
+                       "worker ",
+                       i, " (errno ", rc, "); leaving it floating");
+            continue;
+        }
+        ++pinned;
+    }
+    return pinned;
+#else
+    EXION_WARN("pinWorkers: thread affinity unsupported on this "
+               "platform; workers stay floating");
+    return 0;
+#endif
 }
 
 ThreadPool::~ThreadPool()

@@ -191,6 +191,17 @@ class ThreadPool
     /** Number of worker threads. */
     int workerCount() const { return static_cast<int>(workers_.size()); }
 
+    /**
+     * Best-effort CPU affinity: pins worker thread i to the CPUs in
+     * cpuSets[i % cpuSets.size()] (each entry typically one NUMA
+     * node's CPU list). Platform-gated: on systems without
+     * pthread_setaffinity_np this warns and pins nothing. A failed
+     * pin warns and leaves that worker floating.
+     *
+     * @return number of workers successfully pinned
+     */
+    int pinWorkers(const std::vector<std::vector<int>> &cpuSets);
+
     /** Tasks submitted so far (plain and seeded). */
     u64 submittedCount() const;
 

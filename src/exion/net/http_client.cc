@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <climits>
 #include <cstdlib>
 #include <cstring>
 
@@ -35,6 +36,23 @@ HttpClientResponse::header(const std::string &lowercaseName) const
         if (name == lowercaseName)
             return &value;
     return nullptr;
+}
+
+int
+HttpClientResponse::retryAfterSeconds() const
+{
+    const std::string *value = header("retry-after");
+    if (value == nullptr || value->empty())
+        return -1;
+    int seconds = 0;
+    for (char c : *value) {
+        if (c < '0' || c > '9')
+            return -1;
+        if (seconds > (INT_MAX - (c - '0')) / 10)
+            return INT_MAX;
+        seconds = seconds * 10 + (c - '0');
+    }
+    return seconds;
 }
 
 HttpConnection::~HttpConnection()

@@ -33,6 +33,15 @@ struct HttpClientResponse
     /** Value of a header (name lowercased), nullptr when absent. */
     const std::string *header(const std::string &lowercaseName) const;
 
+    /**
+     * Parsed `Retry-After` header, whole seconds: the server's
+     * back-off hint on 429/503 (HttpFront derives it from the
+     * engine's suggestedBackoffSeconds). -1 when the header is
+     * absent or not a non-negative integer (the HTTP-date form is
+     * not supported — our server never sends it).
+     */
+    int retryAfterSeconds() const;
+
     bool ok() const { return status >= 200 && status < 300; }
 };
 

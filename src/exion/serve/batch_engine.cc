@@ -595,11 +595,38 @@ BatchEngine::runCohort(CohortMember first)
     const ServeRequest key = first.req;
     admit(std::move(first));
 
+    // Publish this cohort's key and live row count for
+    // cohortOccupancy() (the router's affinity signal); erased on
+    // every exit path, including a poisoned iteration.
+    u64 cohort_id = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        cohort_id = nextCohortInstance_++;
+        activeCohorts_.emplace(
+            cohort_id, ActiveCohort{key.benchmark, key.mode,
+                                    key.quantize, run.activeCount()});
+    }
+    struct CohortRegistration
+    {
+        BatchEngine *engine;
+        u64 id;
+        ~CohortRegistration()
+        {
+            std::lock_guard<std::mutex> lock(engine->mutex_);
+            engine->activeCohorts_.erase(id);
+        }
+    } registration{this, cohort_id};
+    const auto publish_rows = [&]() {
+        std::lock_guard<std::mutex> lock(mutex_);
+        activeCohorts_[cohort_id].activeRows = run.activeCount();
+    };
+
     const auto absorb = [&]() {
         const Index space = max_rows - std::min(max_rows,
                                                 run.activeCount());
         for (CohortMember &m : absorbCohortPeers(key, space))
             admit(std::move(m));
+        publish_rows();
     };
     absorb();
 
@@ -752,6 +779,47 @@ BatchEngine::snapshot() const
         m.perClass[c].peakQueued = pool_.peakQueuedAtLevel(c);
     }
     return m;
+}
+
+std::string
+BatchEngine::metricsText() const
+{
+    return snapshot().toPrometheusText();
+}
+
+BatchEngine::CohortOccupancy
+BatchEngine::cohortOccupancy(const ServeRequest &req) const
+{
+    CohortOccupancy occ;
+    const u64 max_rows =
+        static_cast<u64>(std::max<Index>(1, opts_.cohortMaxRows));
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[id, p] : pending_) {
+        if (p.req.benchmark == req.benchmark && p.req.mode == req.mode
+            && p.req.quantize == req.quantize)
+            ++occ.queued;
+    }
+    for (const auto &[id, c] : activeCohorts_) {
+        if (c.benchmark != req.benchmark || c.mode != req.mode
+            || c.quantize != req.quantize)
+            continue;
+        occ.running += c.activeRows;
+        occ.spareRows += max_rows - std::min(max_rows, c.activeRows);
+    }
+    return occ;
+}
+
+bool
+BatchEngine::stoppedFlag() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stopped_;
+}
+
+int
+BatchEngine::pinWorkers(const std::vector<std::vector<int>> &cpuSets)
+{
+    return pool_.pinWorkers(cpuSets);
 }
 
 u64

@@ -164,6 +164,60 @@ struct SubmitOutcome
 };
 
 /**
+ * The submission surface a serving front end consumes — implemented
+ * by one BatchEngine and, identically, by a ShardRouter over N of
+ * them, so HttpFront / the daemons / the load generators work
+ * unchanged over either. The contract mirrors BatchEngine's: typed
+ * trySubmit() outcomes, a throwing submit(), snapshot() +
+ * Prometheus metricsText(), one completion callback, pause/resume
+ * staging and a draining shutdown().
+ */
+class ServeBackend
+{
+  public:
+    /** Invoked on a worker thread as each request completes. */
+    using CompletionCallback = std::function<void(const RequestResult &)>;
+
+    virtual ~ServeBackend() = default;
+
+    /** Admission-checked submission — the non-throwing path. */
+    virtual SubmitOutcome trySubmit(const ServeRequest &req) = 0;
+
+    /** The throwing fast path (typed exceptions on refusal). */
+    virtual Ticket submit(const ServeRequest &req) = 0;
+
+    /** Point-in-time serving metrics (aggregated across shards). */
+    virtual EngineMetrics snapshot() const = 0;
+
+    /**
+     * Prometheus text exposition of snapshot(); a sharded backend
+     * additionally labels per-shard samples with shard="i".
+     */
+    virtual std::string metricsText() const = 0;
+
+    /** Installs the completion hook; nullptr removes it. */
+    virtual void setOnComplete(CompletionCallback cb) = 0;
+
+    /** Requests admitted but not yet completed or cancelled. */
+    virtual u64 inFlight() const = 0;
+
+    /** Blocks until every admitted request has completed. */
+    virtual void waitIdle() const = 0;
+
+    /** Pauses scheduling (submissions still queue). */
+    virtual void pause() = 0;
+
+    /** Resumes scheduling after pause(). */
+    virtual void resume() = 0;
+
+    /** Graceful drain-then-stop; idempotent. */
+    virtual void shutdown() = 0;
+
+    /** Total worker threads behind this surface. */
+    virtual int workerCount() const = 0;
+};
+
+/**
  * Batched multi-request serving engine.
  *
  * Usage: addModel() every benchmark the request mix needs (not
@@ -179,7 +233,7 @@ struct SubmitOutcome
  * depends only on the request and the registered weights, never on
  * worker count, priorities, scheduling order or admission policy.
  */
-class BatchEngine
+class BatchEngine : public ServeBackend
 {
   public:
     struct Options
@@ -268,8 +322,7 @@ class BatchEngine
         SimdTier simdTier = SimdTier::Exact;
     };
 
-    /** Invoked on a worker thread as each request completes. */
-    using CompletionCallback = std::function<void(const RequestResult &)>;
+    using CompletionCallback = ServeBackend::CompletionCallback;
 
     /** Engine with default options (hardware-concurrency workers). */
     BatchEngine();
@@ -277,7 +330,7 @@ class BatchEngine
     explicit BatchEngine(const Options &opts);
 
     /** Drains in-flight requests, then stops (see shutdown()). */
-    ~BatchEngine();
+    ~BatchEngine() override;
 
     BatchEngine(const BatchEngine &) = delete;
     BatchEngine &operator=(const BatchEngine &) = delete;
@@ -342,7 +395,7 @@ class BatchEngine
      * @throws AdmissionRejected  when admission policy refuses the
      *                            request (QueueFull / LoadShedLow)
      */
-    Ticket submit(const ServeRequest &req);
+    Ticket submit(const ServeRequest &req) override;
 
     /**
      * Admission-checked submission — the non-throwing path.
@@ -356,7 +409,7 @@ class BatchEngine
      * whose shutdown() has begun is Stopped. Every decision is
      * counted in snapshot().
      */
-    SubmitOutcome trySubmit(const ServeRequest &req);
+    SubmitOutcome trySubmit(const ServeRequest &req) override;
 
     /**
      * Installs the completion hook; pass nullptr to remove it. Takes
@@ -366,7 +419,7 @@ class BatchEngine
      * an escaped exception is logged and swallowed (it cannot be
      * attached to the already-delivered result).
      */
-    void setOnComplete(CompletionCallback cb);
+    void setOnComplete(CompletionCallback cb) override;
 
     /**
      * Completion queue fed by every submit() (unless
@@ -383,7 +436,52 @@ class BatchEngine
      * window. Counters reconcile exactly with the outcomes callers
      * observed.
      */
-    EngineMetrics snapshot() const;
+    EngineMetrics snapshot() const override;
+
+    /** snapshot() rendered as Prometheus text (no shard labels). */
+    std::string metricsText() const override;
+
+    /**
+     * Same-cohort-key occupancy of this engine — the affinity signal
+     * a router scores shards by. queued counts ready requests with
+     * the request's (benchmark, mode, quantize) key; running counts
+     * rows of live cohorts stepping that key; spareRows is the
+     * unfilled capacity of those cohorts (rows a routed request could
+     * occupy at the next iteration boundary without waiting for a
+     * free worker). Only meaningful with cohortBatching on — running
+     * and spareRows stay 0 otherwise.
+     */
+    struct CohortOccupancy
+    {
+        u64 queued = 0;
+        u64 running = 0;
+        u64 spareRows = 0;
+    };
+    CohortOccupancy cohortOccupancy(const ServeRequest &req) const;
+
+    /** Ready depth of each class, from the pool's level accounting. */
+    ClassDepths readyDepths() const;
+
+    /**
+     * Median queue wait of one class over the recent window, seconds
+     * (0 with no samples). The congestion signal behind retry-after
+     * hints and the router's deadline-aware scoring.
+     */
+    double classQueueWaitP50(Priority cls) const
+    {
+        return metrics_.classQueueWaitP50(cls);
+    }
+
+    /** Whether shutdown() has begun. */
+    bool stoppedFlag() const;
+
+    /**
+     * Best-effort CPU affinity: pins worker thread i to
+     * cpuSets[i % cpuSets.size()] (each entry a CPU-id list, e.g. one
+     * NUMA node). Returns the number of workers pinned; failures warn
+     * and leave the worker unpinned.
+     */
+    int pinWorkers(const std::vector<std::vector<int>> &cpuSets);
 
     /**
      * Pauses scheduling: workers finish their current request, then
@@ -392,16 +490,16 @@ class BatchEngine
      * submissions be ordered purely by priority before any of them
      * starts. shutdown() overrides a pause and drains.
      */
-    void pause();
+    void pause() override;
 
     /** Resumes scheduling after pause(). */
-    void resume();
+    void resume() override;
 
     /** Requests admitted but not yet completed or cancelled. */
-    u64 inFlight() const;
+    u64 inFlight() const override;
 
     /** Blocks until every admitted request has completed. */
-    void waitIdle() const;
+    void waitIdle() const override;
 
     /**
      * Graceful shutdown: refuses new submissions, runs every request
@@ -411,7 +509,7 @@ class BatchEngine
      * draining it until this returns — a full queue blocks the
      * draining workers. Idempotent; also called by the destructor.
      */
-    void shutdown();
+    void shutdown() override;
 
     /**
      * Compatibility wrapper around submit(): enqueues the whole batch
@@ -438,7 +536,7 @@ class BatchEngine
         const std::vector<ServeRequest> &requests);
 
     /** Number of pool workers. */
-    int workerCount() const { return pool_.workerCount(); }
+    int workerCount() const override { return pool_.workerCount(); }
 
   private:
     friend class Ticket;
@@ -488,9 +586,6 @@ class BatchEngine
      */
     i64 poolPriority(const ServeRequest &req) const;
 
-    /** Ready depth of each class, from the pool's level accounting. */
-    ClassDepths readyDepths() const;
-
     /** Retry-after hint for a load-driven refusal of class cls. */
     double suggestedBackoff(Priority cls) const;
 
@@ -520,6 +615,20 @@ class BatchEngine
         it ever absorbed are delivered. */
     void runCohort(CohortMember first);
 
+    /**
+     * One live cohort, published for cohortOccupancy(): its key and
+     * how many rows are stepping right now. Leaders register at
+     * start, refresh activeRows at every absorb/finish boundary and
+     * erase on exit.
+     */
+    struct ActiveCohort
+    {
+        Benchmark benchmark = Benchmark::MLD;
+        ExecMode mode = ExecMode::Exion;
+        bool quantize = false;
+        u64 activeRows = 0;
+    };
+
     const std::chrono::steady_clock::time_point epoch_ =
         std::chrono::steady_clock::now();
     Options opts_;
@@ -542,6 +651,9 @@ class BatchEngine
     std::map<u64, Pending> pending_;
     /** Cancel flags of started (running) requests, by ticket id. */
     std::map<u64, std::shared_ptr<std::atomic<bool>>> running_;
+    /** Live cohorts by leader instance id (see ActiveCohort). */
+    std::map<u64, ActiveCohort> activeCohorts_;
+    u64 nextCohortInstance_ = 1;
     u64 nextTicket_ = 1;
     u64 inFlight_ = 0;
     bool stopped_ = false;

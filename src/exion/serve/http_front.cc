@@ -321,7 +321,7 @@ retryAfterSeconds(double suggestedBackoffSeconds)
 
 // ------------------------------------------------------------- HttpFront
 
-HttpFront::HttpFront(BatchEngine &engine, Options opts)
+HttpFront::HttpFront(ServeBackend &engine, Options opts)
     : engine_(engine), opts_(opts)
 {
     // The front owns the engine's completion slot: the callback wakes
@@ -723,6 +723,22 @@ HttpFront::handleEvents(Job &job, ResponseWriter &writer)
             // delivery away).
             if (job.ticket.valid())
                 job.ticket.wait();
+            // The job may have finished between the locked read of
+            // iterationsDone and the settled probe above; flush the
+            // progress events that landed in that window so the
+            // stream still delivers one event per iteration.
+            int finalAvail;
+            {
+                std::lock_guard<std::mutex> lock(job.m);
+                finalAvail = job.iterationsDone;
+            }
+            for (int i = sent + 1; i <= finalAvail && alive; ++i) {
+                alive = writer.writeChunk(
+                    "event: progress\ndata: {\"iteration\": "
+                    + std::to_string(i) + "}\n\n");
+                if (alive)
+                    sent = i;
+            }
             writer.writeChunk("event: done\ndata: "
                               + statusJson(job) + "\n\n");
             writer.endChunked();
@@ -736,7 +752,7 @@ HttpFront::handleMetrics(ResponseWriter &writer)
 {
     writer.respond(200,
                    "text/plain; version=0.0.4; charset=utf-8",
-                   engine_.snapshot().toPrometheusText());
+                   engine_.metricsText());
 }
 
 } // namespace exion

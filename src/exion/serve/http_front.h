@@ -1,6 +1,6 @@
 /**
  * @file
- * HTTP front door of the BatchEngine: the REST mapping layer.
+ * HTTP front door of the serving backend: the REST mapping layer.
  *
  * HttpFront::handle() is an HttpServer handler (and is equally
  * callable on hand-built HttpRequest values, so every route is golden-
@@ -27,7 +27,7 @@
  *                                terminal `done` event; a client that
  *                                disconnects mid-stream cancels the
  *                                running request cooperatively
- *   GET    /metrics              EngineMetrics::toPrometheusText()
+ *   GET    /metrics              ServeBackend::metricsText()
  *   GET    /healthz              200 "ok"
  *
  * Submission body — a flat JSON object, all fields except
@@ -58,7 +58,8 @@ namespace exion
 {
 
 /**
- * Stateful REST facade over one BatchEngine.
+ * Stateful REST facade over one ServeBackend (a solo BatchEngine
+ * or a ShardRouter over N of them — the facade cannot tell).
  *
  * Owns the job table (engine tickets keyed by the job ids it hands
  * out) and the engine's completion callback (installed at
@@ -87,8 +88,8 @@ class HttpFront
         u64 maxFinishedJobs = 1024;
     };
 
-    explicit HttpFront(BatchEngine &engine) : HttpFront(engine, Options()) {}
-    HttpFront(BatchEngine &engine, Options opts);
+    explicit HttpFront(ServeBackend &engine) : HttpFront(engine, Options()) {}
+    HttpFront(ServeBackend &engine, Options opts);
 
     /** Uninstalls the completion callback. */
     ~HttpFront();
@@ -144,7 +145,7 @@ class HttpFront
     /** Status JSON of a job (also the SSE `done` payload). */
     std::string statusJson(const Job &job) const;
 
-    BatchEngine &engine_;
+    ServeBackend &engine_;
     Options opts_;
     mutable std::mutex jobsMutex_;
     std::map<u64, std::shared_ptr<Job>> jobs_;

@@ -159,19 +159,37 @@ promValue(double v)
     return buf;
 }
 
-/** One counter family: HELP/TYPE header plus a sample per class. */
+/**
+ * One row of a family emission: the label suffix appended after the
+ * `class` label (empty for the aggregate, `,shard="i"` per shard)
+ * plus the per-class table the samples come from.
+ */
+struct FamilyRow
+{
+    std::string labelSuffix;
+    const std::array<ClassMetrics, kNumPriorityClasses> *perClass;
+};
+
+/**
+ * One family: HELP/TYPE header once, then a sample per class for
+ * every row — the aggregate first, shards after, all under the same
+ * metric name so Prometheus sees a single consistent family.
+ */
 void
 emitClassFamily(std::ostringstream &out, const char *name,
                 const char *help, const char *type,
-                const std::array<ClassMetrics, kNumPriorityClasses> &per,
+                const std::vector<FamilyRow> &rows,
                 u64 ClassMetrics::*field)
 {
     out << "# HELP " << name << " " << help << "\n";
     out << "# TYPE " << name << " " << type << "\n";
-    for (int c = 0; c < kNumPriorityClasses; ++c) {
-        out << name << "{class=\""
-            << priorityName(static_cast<Priority>(c)) << "\"} "
-            << per[c].*field << "\n";
+    for (const FamilyRow &row : rows) {
+        for (int c = 0; c < kNumPriorityClasses; ++c) {
+            out << name << "{class=\""
+                << priorityName(static_cast<Priority>(c)) << "\""
+                << row.labelSuffix << "} "
+                << (*row.perClass)[c].*field << "\n";
+        }
     }
 }
 
@@ -180,63 +198,139 @@ emitClassFamily(std::ostringstream &out, const char *name,
 std::string
 EngineMetrics::toPrometheusText() const
 {
+    return renderPrometheusText(*this, {});
+}
+
+EngineMetrics
+aggregateMetrics(const std::vector<LabeledMetrics> &shards)
+{
+    EngineMetrics agg;
+    double wait_p50 = 0.0, wait_p99 = 0.0;
+    std::array<double, kNumPriorityClasses> class_p50{};
+    for (const LabeledMetrics &s : shards) {
+        const EngineMetrics &m = s.metrics;
+        for (int c = 0; c < kNumPriorityClasses; ++c) {
+            ClassMetrics &a = agg.perClass[c];
+            const ClassMetrics &b = m.perClass[c];
+            a.accepted += b.accepted;
+            a.rejectedQueueFull += b.rejectedQueueFull;
+            a.shed += b.shed;
+            a.rejectedUnknownModel += b.rejectedUnknownModel;
+            a.rejectedStopped += b.rejectedStopped;
+            a.started += b.started;
+            a.completed += b.completed;
+            a.failed += b.failed;
+            a.cancelled += b.cancelled;
+            a.deadlineMisses += b.deadlineMisses;
+            a.queued += b.queued;
+            a.peakQueued += b.peakQueued;
+            a.queueWaitSamples += b.queueWaitSamples;
+            class_p50[c] += b.queueWaitP50
+                * static_cast<double>(b.queueWaitSamples);
+        }
+        agg.queueWaitSamples += m.queueWaitSamples;
+        wait_p50 +=
+            m.queueWaitP50 * static_cast<double>(m.queueWaitSamples);
+        wait_p99 +=
+            m.queueWaitP99 * static_cast<double>(m.queueWaitSamples);
+    }
+    if (agg.queueWaitSamples > 0) {
+        agg.queueWaitP50 =
+            wait_p50 / static_cast<double>(agg.queueWaitSamples);
+        agg.queueWaitP99 =
+            wait_p99 / static_cast<double>(agg.queueWaitSamples);
+    }
+    for (int c = 0; c < kNumPriorityClasses; ++c) {
+        if (agg.perClass[c].queueWaitSamples > 0)
+            agg.perClass[c].queueWaitP50 = class_p50[c]
+                / static_cast<double>(agg.perClass[c].queueWaitSamples);
+    }
+    return agg;
+}
+
+std::string
+renderPrometheusText(const EngineMetrics &aggregate,
+                     const std::vector<LabeledMetrics> &shards)
+{
+    std::vector<FamilyRow> rows;
+    rows.push_back(FamilyRow{"", &aggregate.perClass});
+    for (const LabeledMetrics &s : shards)
+        rows.push_back(FamilyRow{",shard=\"" + s.shard + "\"",
+                                 &s.metrics.perClass});
+
     std::ostringstream out;
-    emitClassFamily(out, "exion_serve_accepted_total",
-                    "Requests admitted into the ready queue.",
-                    "counter", perClass, &ClassMetrics::accepted);
-    emitClassFamily(out, "exion_serve_rejected_queue_full_total",
-                    "Requests refused because their class was at its "
-                    "ready-depth bound.",
-                    "counter", perClass,
-                    &ClassMetrics::rejectedQueueFull);
-    emitClassFamily(out, "exion_serve_shed_total",
-                    "Requests refused by load shedding.", "counter",
-                    perClass, &ClassMetrics::shed);
-    emitClassFamily(out, "exion_serve_rejected_unknown_model_total",
-                    "Requests naming an unregistered model.", "counter",
-                    perClass, &ClassMetrics::rejectedUnknownModel);
-    emitClassFamily(out, "exion_serve_rejected_stopped_total",
-                    "Requests refused after shutdown began.", "counter",
-                    perClass, &ClassMetrics::rejectedStopped);
-    emitClassFamily(out, "exion_serve_started_total",
-                    "Requests picked up by a worker.", "counter",
-                    perClass, &ClassMetrics::started);
-    emitClassFamily(out, "exion_serve_completed_total",
-                    "Requests finished (success or failure).",
-                    "counter", perClass, &ClassMetrics::completed);
-    emitClassFamily(out, "exion_serve_failed_total",
-                    "Requests completed with an error.", "counter",
-                    perClass, &ClassMetrics::failed);
-    emitClassFamily(out, "exion_serve_cancelled_total",
-                    "Requests cancelled before or during execution.",
-                    "counter", perClass, &ClassMetrics::cancelled);
-    emitClassFamily(out, "exion_serve_deadline_misses_total",
-                    "Requests completed after their deadline.",
-                    "counter", perClass, &ClassMetrics::deadlineMisses);
-    emitClassFamily(out, "exion_serve_ready_queue_depth",
-                    "Ready (queued, not started) requests.", "gauge",
-                    perClass, &ClassMetrics::queued);
-    emitClassFamily(out, "exion_serve_ready_queue_depth_peak",
-                    "High-water ready-queue depth.", "gauge", perClass,
-                    &ClassMetrics::peakQueued);
+    const auto family = [&](const char *name, const char *help,
+                            const char *type, u64 ClassMetrics::*field) {
+        emitClassFamily(out, name, help, type, rows, field);
+    };
+    family("exion_serve_accepted_total",
+           "Requests admitted into the ready queue.", "counter",
+           &ClassMetrics::accepted);
+    family("exion_serve_rejected_queue_full_total",
+           "Requests refused because their class was at its "
+           "ready-depth bound.",
+           "counter", &ClassMetrics::rejectedQueueFull);
+    family("exion_serve_shed_total",
+           "Requests refused by load shedding.", "counter",
+           &ClassMetrics::shed);
+    family("exion_serve_rejected_unknown_model_total",
+           "Requests naming an unregistered model.", "counter",
+           &ClassMetrics::rejectedUnknownModel);
+    family("exion_serve_rejected_stopped_total",
+           "Requests refused after shutdown began.", "counter",
+           &ClassMetrics::rejectedStopped);
+    family("exion_serve_started_total",
+           "Requests picked up by a worker.", "counter",
+           &ClassMetrics::started);
+    family("exion_serve_completed_total",
+           "Requests finished (success or failure).", "counter",
+           &ClassMetrics::completed);
+    family("exion_serve_failed_total",
+           "Requests completed with an error.", "counter",
+           &ClassMetrics::failed);
+    family("exion_serve_cancelled_total",
+           "Requests cancelled before or during execution.", "counter",
+           &ClassMetrics::cancelled);
+    family("exion_serve_deadline_misses_total",
+           "Requests completed after their deadline.", "counter",
+           &ClassMetrics::deadlineMisses);
+    family("exion_serve_ready_queue_depth",
+           "Ready (queued, not started) requests.", "gauge",
+           &ClassMetrics::queued);
+    family("exion_serve_ready_queue_depth_peak",
+           "High-water ready-queue depth.", "gauge",
+           &ClassMetrics::peakQueued);
 
     out << "# HELP exion_serve_queue_wait_seconds Queue wait from "
            "acceptance to worker start, over the recent window.\n";
     out << "# TYPE exion_serve_queue_wait_seconds summary\n";
     out << "exion_serve_queue_wait_seconds{quantile=\"0.5\"} "
-        << promValue(queueWaitP50) << "\n";
+        << promValue(aggregate.queueWaitP50) << "\n";
     out << "exion_serve_queue_wait_seconds{quantile=\"0.99\"} "
-        << promValue(queueWaitP99) << "\n";
-    out << "exion_serve_queue_wait_seconds_count " << queueWaitSamples
-        << "\n";
+        << promValue(aggregate.queueWaitP99) << "\n";
+    out << "exion_serve_queue_wait_seconds_count "
+        << aggregate.queueWaitSamples << "\n";
+    for (const LabeledMetrics &s : shards) {
+        out << "exion_serve_queue_wait_seconds{quantile=\"0.5\",shard=\""
+            << s.shard << "\"} " << promValue(s.metrics.queueWaitP50)
+            << "\n";
+        out << "exion_serve_queue_wait_seconds{quantile=\"0.99\",shard=\""
+            << s.shard << "\"} " << promValue(s.metrics.queueWaitP99)
+            << "\n";
+        out << "exion_serve_queue_wait_seconds_count{shard=\""
+            << s.shard << "\"} " << s.metrics.queueWaitSamples << "\n";
+    }
 
     out << "# HELP exion_serve_class_queue_wait_p50_seconds Median "
            "queue wait per class over its recent window.\n";
     out << "# TYPE exion_serve_class_queue_wait_p50_seconds gauge\n";
-    for (int c = 0; c < kNumPriorityClasses; ++c) {
-        out << "exion_serve_class_queue_wait_p50_seconds{class=\""
-            << priorityName(static_cast<Priority>(c)) << "\"} "
-            << promValue(perClass[c].queueWaitP50) << "\n";
+    for (const FamilyRow &row : rows) {
+        for (int c = 0; c < kNumPriorityClasses; ++c) {
+            out << "exion_serve_class_queue_wait_p50_seconds{class=\""
+                << priorityName(static_cast<Priority>(c)) << "\""
+                << row.labelSuffix << "} "
+                << promValue((*row.perClass)[c].queueWaitP50) << "\n";
+        }
     }
     return out.str();
 }

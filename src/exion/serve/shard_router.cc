@@ -1,0 +1,363 @@
+#include "exion/serve/shard_router.h"
+
+#include <algorithm>
+#include <array>
+#include <thread>
+#include <utility>
+
+#include "exion/common/logging.h"
+#include "exion/common/numa.h"
+#include "exion/model/weight_store.h"
+
+namespace exion
+{
+
+std::string
+routePolicyName(RoutePolicy p)
+{
+    switch (p) {
+      case RoutePolicy::LeastDepth:
+        return "least-depth";
+      case RoutePolicy::DeadlineAware:
+        return "deadline-aware";
+      case RoutePolicy::CohortAffinity:
+        return "cohort-affinity";
+    }
+    return "unknown";
+}
+
+bool
+parseRoutePolicy(const std::string &name, RoutePolicy &out)
+{
+    for (RoutePolicy p :
+         {RoutePolicy::LeastDepth, RoutePolicy::DeadlineAware,
+          RoutePolicy::CohortAffinity}) {
+        if (name == routePolicyName(p)) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+ShardRouter::ShardRouter(const Options &opts) : opts_(opts)
+{
+    const int n_shards = std::max(1, opts_.shards);
+    opts_.shards = n_shards;
+    int per_shard = opts_.shardWorkers;
+    if (per_shard <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        per_shard = std::max(
+            1, static_cast<int>(hw == 0 ? 1 : hw) / n_shards);
+    }
+    BatchEngine::Options engine_opts = opts_.engine;
+    engine_opts.workers = per_shard;
+    shards_.reserve(n_shards);
+    for (int i = 0; i < n_shards; ++i)
+        shards_.push_back(std::make_unique<BatchEngine>(engine_opts));
+
+    missRate_.assign(n_shards, 0.0);
+    lastMisses_.assign(n_shards, 0);
+    lastCompleted_.assign(n_shards, 0);
+    lastMissRefresh_ = std::chrono::steady_clock::now();
+
+    if (opts_.numa) {
+        const std::vector<std::vector<int>> nodes = numaNodeCpus();
+        if (nodes.size() < 2) {
+            EXION_WARN("shard router: --numa requested but the host "
+                       "exposes ",
+                       nodes.size(),
+                       " NUMA node(s); workers stay floating");
+        } else {
+            int pinned = 0;
+            for (int i = 0; i < n_shards; ++i)
+                pinned += shards_[i]->pinWorkers(
+                    {nodes[static_cast<size_t>(i) % nodes.size()]});
+            EXION_INFORM("shard router: pinned ", pinned,
+                         " workers across ", nodes.size(),
+                         " NUMA nodes (", n_shards, " shards)");
+        }
+    }
+}
+
+ShardRouter::~ShardRouter()
+{
+    shutdown();
+}
+
+void
+ShardRouter::addModel(const ModelConfig &cfg)
+{
+    // Build once, share everywhere: the shards borrow one physical
+    // copy of the weights exactly as two processes mapping the same
+    // EXWS file would.
+    registerModel(cfg.benchmark, WeightStore::build(cfg));
+}
+
+void
+ShardRouter::registerModel(Benchmark b,
+                           std::shared_ptr<const WeightStore> store)
+{
+    for (auto &shard : shards_)
+        shard->registerModel(b, store);
+}
+
+void
+ShardRouter::registerModelFromFile(const std::string &path, bool pin)
+{
+    auto store = WeightStore::load(path, pin);
+    const Benchmark b = store->config().benchmark;
+    registerModel(b, std::move(store));
+}
+
+void
+ShardRouter::refreshMissRates() const
+{
+    std::lock_guard<std::mutex> lock(missMutex_);
+    const auto now = std::chrono::steady_clock::now();
+    if (std::chrono::duration<double>(now - lastMissRefresh_).count()
+        < opts_.missWindowSeconds)
+        return;
+    lastMissRefresh_ = now;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+        const EngineMetrics m = shards_[i]->snapshot();
+        const u64 misses = m.deadlineMisses();
+        const u64 completed = m.completed();
+        const u64 d_miss = misses - lastMisses_[i];
+        const u64 d_done = completed - lastCompleted_[i];
+        lastMisses_[i] = misses;
+        lastCompleted_[i] = completed;
+        if (d_done + d_miss > 0)
+            missRate_[i] = static_cast<double>(d_miss)
+                / static_cast<double>(d_done + 1);
+        // No traffic in the window: keep the previous estimate.
+    }
+}
+
+std::vector<int>
+ShardRouter::routeOrder(const ServeRequest &req) const
+{
+    const int n = static_cast<int>(shards_.size());
+    const int cls = classIndex(req.priority);
+
+    // Each shard gets a lexicographic score; stable ascending sort
+    // (ties fall back to shard index) makes placement deterministic
+    // for a given observable state.
+    std::vector<std::pair<std::array<double, 3>, int>> scored;
+    scored.reserve(n);
+
+    switch (opts_.policy) {
+      case RoutePolicy::LeastDepth: {
+        for (int i = 0; i < n; ++i) {
+            const ClassDepths depths = shards_[i]->readyDepths();
+            double total = 0;
+            for (u64 d : depths)
+                total += static_cast<double>(d);
+            scored.push_back(
+                {{static_cast<double>(depths[cls]), total, 0.0}, i});
+        }
+        break;
+      }
+      case RoutePolicy::DeadlineAware: {
+        refreshMissRates();
+        for (int i = 0; i < n; ++i) {
+            const ClassDepths depths = shards_[i]->readyDepths();
+            const double p50 = std::max(
+                1e-4, shards_[i]->classQueueWaitP50(req.priority));
+            double miss;
+            {
+                std::lock_guard<std::mutex> lock(missMutex_);
+                miss = missRate_[i];
+            }
+            const double wait =
+                p50 * (static_cast<double>(depths[cls]) + 1.0);
+            scored.push_back(
+                {{wait * (1.0 + miss),
+                  static_cast<double>(depths[cls]), 0.0},
+                 i});
+        }
+        break;
+      }
+      case RoutePolicy::CohortAffinity: {
+        const u64 max_rows = static_cast<u64>(
+            std::max<Index>(1, opts_.engine.cohortMaxRows));
+        for (int i = 0; i < n; ++i) {
+            const BatchEngine::CohortOccupancy occ =
+                shards_[i]->cohortOccupancy(req);
+            const ClassDepths depths = shards_[i]->readyDepths();
+            double total = 0;
+            for (u64 d : depths)
+                total += static_cast<double>(d);
+            const u64 same = occ.queued + occ.running;
+            // A shard whose same-key backlog already exceeds two full
+            // cohorts is saturated: sticking to it would serialize
+            // behind its queue while other shards idle, so it loses
+            // its affinity preference (but keeps its depth order).
+            const bool affine =
+                same > 0 && occ.queued < 2 * max_rows;
+            scored.push_back(
+                {{affine ? 0.0 : 1.0,
+                  affine ? -static_cast<double>(same)
+                         : static_cast<double>(depths[cls]),
+                  total},
+                 i});
+        }
+        break;
+      }
+    }
+
+    std::sort(scored.begin(), scored.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.first != b.first)
+                      return a.first < b.first;
+                  return a.second < b.second;
+              });
+    std::vector<int> order;
+    order.reserve(n);
+    for (const auto &[score, idx] : scored)
+        order.push_back(idx);
+    return order;
+}
+
+SubmitOutcome
+ShardRouter::trySubmit(const ServeRequest &req)
+{
+    // First accepting shard in preference order wins; a refusal
+    // surfaces only when every shard refused. Each probed shard
+    // counts its own refusal in its metrics, so aggregated reject
+    // counters can exceed caller-observed refusals — accepted counts
+    // still reconcile exactly.
+    std::optional<SubmitOutcome> load_reject;
+    bool saw_unknown = false;
+    for (int i : routeOrder(req)) {
+        SubmitOutcome outcome = shards_[i]->trySubmit(req);
+        if (outcome.accepted())
+            return outcome;
+        switch (*outcome.reason) {
+          case RejectReason::QueueFull:
+          case RejectReason::LoadShedLow:
+            if (!load_reject
+                || outcome.suggestedBackoffSeconds
+                    < load_reject->suggestedBackoffSeconds)
+                load_reject = outcome;
+            break;
+          case RejectReason::UnknownModel:
+            saw_unknown = true;
+            break;
+          case RejectReason::Stopped:
+            break;
+        }
+    }
+    if (load_reject)
+        return *load_reject;
+    SubmitOutcome refused;
+    refused.reason = saw_unknown ? RejectReason::UnknownModel
+                                 : RejectReason::Stopped;
+    return refused;
+}
+
+Ticket
+ShardRouter::submit(const ServeRequest &req)
+{
+    SubmitOutcome outcome = trySubmit(req);
+    if (outcome.accepted())
+        return std::move(outcome.ticket);
+    switch (*outcome.reason) {
+      case RejectReason::UnknownModel:
+        throw UnknownModelError("benchmark "
+                                + benchmarkName(req.benchmark)
+                                + " not registered with any shard");
+      case RejectReason::Stopped:
+        throw ThreadPoolStopped();
+      case RejectReason::QueueFull:
+      case RejectReason::LoadShedLow:
+        break;
+    }
+    throw AdmissionRejected(*outcome.reason,
+                            "request " + std::to_string(req.id)
+                                + " rejected by all "
+                                + std::to_string(shards_.size())
+                                + " shards: "
+                                + rejectReasonName(*outcome.reason),
+                            outcome.suggestedBackoffSeconds);
+}
+
+EngineMetrics
+ShardRouter::snapshot() const
+{
+    std::vector<LabeledMetrics> labeled;
+    labeled.reserve(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i)
+        labeled.push_back(
+            LabeledMetrics{std::to_string(i), shards_[i]->snapshot()});
+    return aggregateMetrics(labeled);
+}
+
+std::string
+ShardRouter::metricsText() const
+{
+    std::vector<LabeledMetrics> labeled;
+    labeled.reserve(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i)
+        labeled.push_back(
+            LabeledMetrics{std::to_string(i), shards_[i]->snapshot()});
+    return renderPrometheusText(aggregateMetrics(labeled), labeled);
+}
+
+void
+ShardRouter::setOnComplete(CompletionCallback cb)
+{
+    for (auto &shard : shards_)
+        shard->setOnComplete(cb);
+}
+
+u64
+ShardRouter::inFlight() const
+{
+    u64 total = 0;
+    for (const auto &shard : shards_)
+        total += shard->inFlight();
+    return total;
+}
+
+void
+ShardRouter::waitIdle() const
+{
+    // A request never migrates between shards, so shard-by-shard
+    // waits compose: after the last wait every request admitted
+    // before the call has completed.
+    for (const auto &shard : shards_)
+        shard->waitIdle();
+}
+
+void
+ShardRouter::pause()
+{
+    for (auto &shard : shards_)
+        shard->pause();
+}
+
+void
+ShardRouter::resume()
+{
+    for (auto &shard : shards_)
+        shard->resume();
+}
+
+void
+ShardRouter::shutdown()
+{
+    for (auto &shard : shards_)
+        shard->shutdown();
+}
+
+int
+ShardRouter::workerCount() const
+{
+    int total = 0;
+    for (const auto &shard : shards_)
+        total += shard->workerCount();
+    return total;
+}
+
+} // namespace exion

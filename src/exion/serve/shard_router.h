@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Replica-sharded serving: N BatchEngine shards behind one
+ * snapshot-routed ServeBackend surface.
+ *
+ * One BatchEngine caps throughput at one scheduler/ready-queue no
+ * matter how many cores the host has. ShardRouter owns N engines
+ * (each with its own ThreadPool and worker budget) and places every
+ * request on one of them using the shards' own cheap observability
+ * signals — ready depths, windowed queue-wait medians, live cohort
+ * occupancy — under a pluggable RoutePolicy. All shards register the
+ * same mmap'd WeightStores, so N shards cost no extra weight memory
+ * (registerModel fans one shared store out; addModel builds once and
+ * shares).
+ *
+ * The router presents the *same* surface as a single engine
+ * (ServeBackend): trySubmit()/submit() with typed outcomes,
+ * snapshot() aggregated across shards, metricsText() with an extra
+ * `shard="i"` label dimension, one completion callback, pause/resume
+ * and a draining shutdown. A request is refused only when every
+ * eligible shard refuses it, with the merged reject preferring
+ * load-driven reasons and the minimum suggestedBackoffSeconds across
+ * shards (the caller should retry where a slot frees first).
+ * Cancellation needs no routing: a Ticket carries its owning engine.
+ *
+ * Determinism: each request runs entirely on one shard, and shard
+ * engines are bit-identical to a solo engine by the BatchEngine
+ * contract, so results are bit-identical to solo serving under every
+ * policy (gate: the sharded-vs-solo differential test).
+ */
+
+#ifndef EXION_SERVE_SHARD_ROUTER_H_
+#define EXION_SERVE_SHARD_ROUTER_H_
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exion/serve/batch_engine.h"
+
+namespace exion
+{
+
+/** How the router places a request on a shard. */
+enum class RoutePolicy
+{
+    /**
+     * Fewest ready requests of the request's class (total depth, then
+     * shard index, break ties). The baseline: balances backlog.
+     */
+    LeastDepth,
+    /**
+     * Cheapest expected wait: class queue-wait median x (class depth
+     * + 1), inflated by the shard's windowed deadline-miss rate — a
+     * shard that has been missing deadlines gets less EDF-sensitive
+     * work routed at it.
+     */
+    DeadlineAware,
+    /**
+     * Same-(benchmark, mode, quantize) requests go to the shard
+     * already running or queueing that cohort key, so cohort leaders
+     * absorb them into tall stacked GEMMs instead of each shard
+     * forming broken mixed-key cohorts. Falls back to least-depth
+     * when no shard has affinity (or the affine shards are
+     * saturated). The throughput policy for cohort workloads — gated
+     * >= least-depth in bench_serve's "shards" section.
+     */
+    CohortAffinity,
+};
+
+/** Short display name, e.g. "least-depth", "cohort-affinity". */
+std::string routePolicyName(RoutePolicy p);
+
+/** Parses a routePolicyName() back; false on an unknown name. */
+bool parseRoutePolicy(const std::string &name, RoutePolicy &out);
+
+/**
+ * N-shard replica router. Register models first (fans out to every
+ * shard, sharing one weight store), then serve through the
+ * ServeBackend surface. Registration is not thread-safe against
+ * submits, like BatchEngine's.
+ */
+class ShardRouter : public ServeBackend
+{
+  public:
+    struct Options
+    {
+        /** Engine replicas (>= 1). */
+        int shards = 2;
+        /**
+         * Worker threads per shard (0 = hardware concurrency split
+         * evenly across shards, at least 1 each).
+         */
+        int shardWorkers = 0;
+        /** Placement policy. */
+        RoutePolicy policy = RoutePolicy::LeastDepth;
+        /**
+         * Template for every shard engine. `workers` is overridden
+         * by shardWorkers; everything else (admission, cohort
+         * batching, kernels) applies to each shard as-is — admission
+         * bounds are therefore per shard, and the fleet-wide bound is
+         * shards x maxQueuedPerClass.
+         */
+        BatchEngine::Options engine;
+        /**
+         * Best-effort NUMA placement: pin shard i's workers to NUMA
+         * node (i % nodes) via pthread_setaffinity_np. Degrades to a
+         * warning when the platform exposes no topology (or only one
+         * node), like --pin-weights.
+         */
+        bool numa = false;
+        /**
+         * How often the deadline-aware policy refreshes its windowed
+         * per-shard deadline-miss rates from snapshots (seconds).
+         */
+        double missWindowSeconds = 0.050;
+    };
+
+    explicit ShardRouter(const Options &opts);
+
+    /** Drains all shards, then stops (see shutdown()). */
+    ~ShardRouter() override;
+
+    ShardRouter(const ShardRouter &) = delete;
+    ShardRouter &operator=(const ShardRouter &) = delete;
+
+    /**
+     * Builds the model's weights once and registers the store with
+     * every shard (one physical copy, mmap-shared semantics as in
+     * BatchEngine::registerModel).
+     */
+    void addModel(const ModelConfig &cfg);
+
+    /** Registers one shared store with every shard. */
+    void registerModel(Benchmark b,
+                       std::shared_ptr<const WeightStore> store);
+
+    /**
+     * Loads a serialized store once (mmap'd, optionally pinned) and
+     * registers it with every shard.
+     */
+    void registerModelFromFile(const std::string &path, bool pin = false);
+
+    // ServeBackend surface -------------------------------------------
+
+    /**
+     * Routes the request to shards in policy preference order and
+     * accepts on the first shard that admits it. Refuses only when
+     * every shard refuses: the merged outcome prefers load-driven
+     * reasons (QueueFull/LoadShedLow — the caller can retry) over
+     * UnknownModel over Stopped, and its suggestedBackoffSeconds is
+     * the minimum hint across load-refusing shards.
+     */
+    SubmitOutcome trySubmit(const ServeRequest &req) override;
+
+    /** trySubmit() with BatchEngine::submit()'s exception mapping. */
+    Ticket submit(const ServeRequest &req) override;
+
+    /** Aggregated metrics across shards (see aggregateMetrics()). */
+    EngineMetrics snapshot() const override;
+
+    /**
+     * Prometheus text: aggregate samples per family plus every
+     * shard's samples labelled shard="0", shard="1", ...
+     */
+    std::string metricsText() const override;
+
+    /** Installs the hook on every shard (results arrive from any). */
+    void setOnComplete(CompletionCallback cb) override;
+
+    u64 inFlight() const override;
+
+    void waitIdle() const override;
+
+    void pause() override;
+
+    void resume() override;
+
+    void shutdown() override;
+
+    /** Total workers across shards. */
+    int workerCount() const override;
+
+    // Introspection ---------------------------------------------------
+
+    int shardCount() const { return static_cast<int>(shards_.size()); }
+
+    /** Direct access to one shard (tests and benches). */
+    BatchEngine &shard(int i) { return *shards_[i]; }
+
+    /** One shard's unaggregated snapshot. */
+    EngineMetrics shardSnapshot(int i) const
+    {
+        return shards_[i]->snapshot();
+    }
+
+    RoutePolicy policy() const { return opts_.policy; }
+
+  private:
+    /** Shard indices in placement preference order for req. */
+    std::vector<int> routeOrder(const ServeRequest &req) const;
+
+    /** Refreshes windowed per-shard deadline-miss rates (lazy). */
+    void refreshMissRates() const;
+
+    Options opts_;
+    std::vector<std::unique_ptr<BatchEngine>> shards_;
+
+    /**
+     * Deadline-aware scoring state: per-shard miss rates over the
+     * last refresh window, refreshed at most every
+     * missWindowSeconds. Mutable: scoring happens in const routing.
+     */
+    mutable std::mutex missMutex_;
+    mutable std::vector<double> missRate_;
+    mutable std::vector<u64> lastMisses_;
+    mutable std::vector<u64> lastCompleted_;
+    mutable std::chrono::steady_clock::time_point lastMissRefresh_;
+};
+
+} // namespace exion
+
+#endif // EXION_SERVE_SHARD_ROUTER_H_

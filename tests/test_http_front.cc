@@ -16,7 +16,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <thread>
 
@@ -569,6 +571,87 @@ TEST(HttpFrontSocket, ClientDisconnectMidStreamCancelsTheJob)
     fx.engine.resume();
     const EngineMetrics m = fx.engine.snapshot();
     EXPECT_EQ(m.cancelled(), 1u);
+}
+
+// ------------------------------------------- Retry-After round-trip
+
+TEST(HttpClientResponseTest, RetryAfterSecondsParsesTheHeader)
+{
+    HttpClientResponse resp;
+    EXPECT_EQ(resp.retryAfterSeconds(), -1); // absent
+
+    resp.headers.emplace_back("retry-after", "7");
+    EXPECT_EQ(resp.retryAfterSeconds(), 7);
+
+    resp.headers.clear();
+    resp.headers.emplace_back("retry-after", "0");
+    EXPECT_EQ(resp.retryAfterSeconds(), 0);
+
+    // HTTP-date form and other non-numeric values are not usable as
+    // a sleep interval: report "no hint" rather than guessing.
+    resp.headers.clear();
+    resp.headers.emplace_back("retry-after",
+                              "Fri, 07 Aug 2026 00:00:00 GMT");
+    EXPECT_EQ(resp.retryAfterSeconds(), -1);
+
+    resp.headers.clear();
+    resp.headers.emplace_back("retry-after", "");
+    EXPECT_EQ(resp.retryAfterSeconds(), -1);
+
+    resp.headers.clear();
+    resp.headers.emplace_back("retry-after", "99999999999999999999");
+    EXPECT_EQ(resp.retryAfterSeconds(),
+              std::numeric_limits<int>::max());
+}
+
+TEST(HttpFrontSocket, RetryAfterHintRoundTripsFromTheEngine)
+{
+    // A full engine whose 429 carries the engine's own backoff hint:
+    // the client-side parse must recover exactly the value the front
+    // derived from SubmitOutcome::suggestedBackoffSeconds.
+    BatchEngine engine(FrontFixture::options(/*maxQueued=*/1,
+                                             /*shedAt=*/0));
+    HttpFront front(engine, FrontFixture::frontOptions());
+    HttpServer server(HttpServer::Options{},
+                      [&front](const HttpRequest &req,
+                               ResponseWriter &w) {
+                          front.handle(req, w);
+                      });
+    engine.addModel(makeTinyConfig());
+    server.start();
+    engine.pause(); // the first job stays queued, filling the class
+
+    HttpConnection conn =
+        HttpConnection::connect("127.0.0.1", server.port());
+    ASSERT_TRUE(conn.connected());
+    HttpClientResponse first;
+    ASSERT_TRUE(conn.request("POST", "/v1/jobs", first,
+                             "{\"benchmark\": \"MLD\"}"));
+    ASSERT_EQ(first.status, 201);
+
+    // What the engine itself would suggest right now.
+    SubmitOutcome probe;
+    {
+        ServeRequest req;
+        req.benchmark = Benchmark::MLD;
+        probe = engine.trySubmit(req);
+    }
+    ASSERT_FALSE(probe.accepted());
+    const double hint = probe.suggestedBackoffSeconds;
+    const int expected = hint <= 0.0 ? 1
+        : static_cast<int>(std::max(1.0, std::ceil(hint)));
+
+    HttpClientResponse refused;
+    ASSERT_TRUE(conn.request("POST", "/v1/jobs", refused,
+                             "{\"benchmark\": \"MLD\"}"));
+    ASSERT_EQ(refused.status, 429);
+    EXPECT_EQ(refused.retryAfterSeconds(), expected);
+    // With no queue-wait samples yet the hint is the 10 ms floor,
+    // which must surface as the minimum whole second.
+    EXPECT_EQ(refused.retryAfterSeconds(), 1);
+
+    engine.resume();
+    engine.waitIdle();
 }
 
 } // namespace

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Tests for the replica-sharded serving router.
+ *
+ * The core gate is the sharded-vs-solo differential: the same mixed
+ * request set must produce bit-identical outputs through a 2-shard
+ * router under *every* routing policy as through one engine's
+ * sequential reference run. Around it sit the router edge cases —
+ * merged typed refusal when all shards are full (minimum backoff
+ * hint), a shard stopped mid-stream being excluded without losing
+ * requests, cancel-by-ticket reaching the owning shard — plus the
+ * per-shard Prometheus label scheme (aggregate sample + shard="i"
+ * samples per family, one HELP/TYPE each, shard sum == aggregate),
+ * policy-name round-trips and the sysfs cpulist parser behind
+ * best-effort NUMA placement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "exion/common/numa.h"
+#include "exion/serve/batch_engine.h"
+#include "exion/serve/shard_router.h"
+
+namespace exion
+{
+namespace
+{
+
+ModelConfig
+tinyConfig()
+{
+    return makeTinyConfig(/*tokens=*/8, /*d_model=*/16, /*n_blocks=*/2,
+                          /*iterations=*/6);
+}
+
+/**
+ * A second model with identical cost but a distinct registry key, so
+ * routing tests exercise multi-model placement without paying for a
+ * second real architecture.
+ */
+ModelConfig
+tinyConfigB()
+{
+    ModelConfig cfg = tinyConfig();
+    cfg.benchmark = Benchmark::MDM;
+    cfg.seed = 77;
+    return cfg;
+}
+
+/** Mixed two-model batch: benchmarks, modes, seeds, quantisation. */
+std::vector<ServeRequest>
+mixedBatch(int n)
+{
+    std::vector<ServeRequest> batch;
+    const ExecMode modes[] = {ExecMode::Dense, ExecMode::FfnReuseOnly,
+                              ExecMode::EpOnly, ExecMode::Exion};
+    for (int i = 0; i < n; ++i) {
+        ServeRequest req;
+        req.id = static_cast<u64>(i);
+        req.benchmark = i % 2 == 0 ? Benchmark::MLD : Benchmark::MDM;
+        req.mode = modes[i % 4];
+        req.quantize = i % 3 == 0;
+        req.noiseSeed = 100 + static_cast<u64>(i);
+        batch.push_back(req);
+    }
+    return batch;
+}
+
+void
+expectBitIdentical(const std::vector<RequestResult> &a,
+                   const std::vector<RequestResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (Index i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        ASSERT_EQ(a[i].output.rows(), b[i].output.rows());
+        ASSERT_EQ(a[i].output.cols(), b[i].output.cols());
+        for (Index e = 0; e < a[i].output.size(); ++e)
+            EXPECT_EQ(a[i].output.data()[e], b[i].output.data()[e])
+                << "request " << i << " element " << e;
+    }
+}
+
+/** Value of the sample whose line starts with `prefix`, or -1. */
+double
+sampleValue(const std::string &text, const std::string &prefix)
+{
+    size_t at = 0;
+    while (at < text.size()) {
+        const size_t end = text.find('\n', at);
+        const std::string line = text.substr(at, end - at);
+        if (line.compare(0, prefix.size(), prefix) == 0)
+            return std::atof(line.c_str() + prefix.size());
+        if (end == std::string::npos)
+            break;
+        at = end + 1;
+    }
+    return -1.0;
+}
+
+size_t
+countOf(const std::string &text, const std::string &needle)
+{
+    size_t n = 0;
+    for (size_t at = text.find(needle); at != std::string::npos;
+         at = text.find(needle, at + needle.size()))
+        ++n;
+    return n;
+}
+
+TEST(ShardRouter, ShardedMatchesSoloBitExactlyUnderEveryPolicy)
+{
+    const auto batch = mixedBatch(12);
+
+    BatchEngine::Options soloOpts;
+    soloOpts.workers = 2;
+    BatchEngine solo(soloOpts);
+    solo.addModel(tinyConfig());
+    solo.addModel(tinyConfigB());
+    const auto reference = solo.runSequential(batch);
+
+    for (RoutePolicy policy :
+         {RoutePolicy::LeastDepth, RoutePolicy::DeadlineAware,
+          RoutePolicy::CohortAffinity}) {
+        ShardRouter::Options opts;
+        opts.shards = 2;
+        opts.shardWorkers = 1;
+        opts.policy = policy;
+        opts.engine.queueResults = false;
+        ShardRouter router(opts);
+        router.addModel(tinyConfig());
+        router.addModel(tinyConfigB());
+
+        std::vector<Ticket> tickets;
+        for (const auto &req : batch)
+            tickets.push_back(router.submit(req));
+        std::vector<RequestResult> routed;
+        for (const auto &t : tickets)
+            routed.push_back(t.get());
+
+        expectBitIdentical(reference, routed);
+        // Tickets settle just before the metrics increment; waitIdle
+        // orders the snapshot after it.
+        router.waitIdle();
+        EXPECT_EQ(router.snapshot().completed(), batch.size())
+            << routePolicyName(policy);
+    }
+}
+
+TEST(ShardRouter, RefusesOnlyWhenAllShardsFullWithMinimumBackoff)
+{
+    ShardRouter::Options opts;
+    opts.shards = 2;
+    opts.shardWorkers = 1;
+    opts.engine.queueResults = false;
+    opts.engine.admission.maxQueuedPerClass = 1;
+    ShardRouter router(opts);
+    router.addModel(tinyConfig());
+    router.pause();
+
+    ServeRequest req;
+    req.benchmark = Benchmark::MLD;
+    req.noiseSeed = 5;
+
+    // Each shard admits one ready request; the third probe finds
+    // every shard at its class bound.
+    EXPECT_TRUE(router.trySubmit(req).accepted());
+    EXPECT_TRUE(router.trySubmit(req).accepted());
+
+    const SubmitOutcome perShard0 = router.shard(0).trySubmit(req);
+    const SubmitOutcome perShard1 = router.shard(1).trySubmit(req);
+    ASSERT_FALSE(perShard0.accepted());
+    ASSERT_FALSE(perShard1.accepted());
+
+    const SubmitOutcome merged = router.trySubmit(req);
+    ASSERT_FALSE(merged.accepted());
+    EXPECT_EQ(*merged.reason, RejectReason::QueueFull);
+    EXPECT_GT(merged.suggestedBackoffSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(merged.suggestedBackoffSeconds,
+                     std::min(perShard0.suggestedBackoffSeconds,
+                              perShard1.suggestedBackoffSeconds));
+
+    router.resume();
+    router.waitIdle();
+    EXPECT_EQ(router.snapshot().completed(), 2u);
+}
+
+TEST(ShardRouter, StoppedShardIsExcludedWithoutLosingRequests)
+{
+    ShardRouter::Options opts;
+    opts.shards = 2;
+    opts.shardWorkers = 1;
+    opts.engine.queueResults = false;
+    ShardRouter router(opts);
+    router.addModel(tinyConfig());
+
+    ServeRequest req;
+    req.benchmark = Benchmark::MLD;
+
+    std::vector<Ticket> tickets;
+    for (int i = 0; i < 4; ++i) {
+        req.id = static_cast<u64>(i);
+        req.noiseSeed = static_cast<u64>(i);
+        tickets.push_back(router.submit(req));
+    }
+    router.waitIdle();
+
+    // One shard dies mid-stream: the router keeps serving on the
+    // survivor and every subsequent submission still lands.
+    router.shard(0).shutdown();
+    ASSERT_TRUE(router.shard(0).stoppedFlag());
+
+    for (int i = 4; i < 10; ++i) {
+        req.id = static_cast<u64>(i);
+        req.noiseSeed = static_cast<u64>(i);
+        SubmitOutcome out = router.trySubmit(req);
+        ASSERT_TRUE(out.accepted()) << "request " << i;
+        tickets.push_back(std::move(out.ticket));
+    }
+    for (const auto &t : tickets) {
+        const RequestResult r = t.get();
+        EXPECT_TRUE(r.ok()) << r.error;
+    }
+    router.waitIdle();
+    EXPECT_EQ(router.snapshot().completed(), 10u);
+    EXPECT_EQ(router.shardSnapshot(1).completed()
+                  + router.shardSnapshot(0).completed(),
+              10u);
+}
+
+TEST(ShardRouter, CancelByTicketReachesTheOwningShard)
+{
+    ShardRouter::Options opts;
+    opts.shards = 2;
+    opts.shardWorkers = 1;
+    opts.engine.queueResults = false;
+    ShardRouter router(opts);
+    router.addModel(tinyConfig());
+    router.pause();
+
+    ServeRequest req;
+    req.benchmark = Benchmark::MLD;
+    req.noiseSeed = 9;
+    Ticket ticket = router.submit(req);
+    ASSERT_TRUE(ticket.valid());
+
+    // The ticket carries its owning engine, so cancellation needs no
+    // router-side routing at all.
+    EXPECT_TRUE(ticket.cancel());
+    const RequestResult r = ticket.get();
+    EXPECT_TRUE(r.cancelled);
+
+    router.resume();
+    router.waitIdle();
+    EXPECT_EQ(router.snapshot().cancelled(), 1u);
+    EXPECT_EQ(router.snapshot().completed(), 0u);
+}
+
+TEST(ShardRouter, MetricsTextLabelsEveryShardAndSumsToAggregate)
+{
+    ShardRouter::Options opts;
+    opts.shards = 2;
+    opts.shardWorkers = 1;
+    opts.engine.queueResults = false;
+    // Pin placement so both shards demonstrably serve work: with the
+    // router paused, least-depth alternates the queued requests.
+    opts.policy = RoutePolicy::LeastDepth;
+    ShardRouter router(opts);
+    router.addModel(tinyConfig());
+
+    router.pause();
+    std::vector<Ticket> tickets;
+    ServeRequest req;
+    req.benchmark = Benchmark::MLD;
+    for (int i = 0; i < 4; ++i) {
+        req.id = static_cast<u64>(i);
+        req.noiseSeed = static_cast<u64>(i);
+        tickets.push_back(router.submit(req));
+    }
+    router.resume();
+    for (const auto &t : tickets)
+        t.wait();
+    router.waitIdle();
+
+    const std::string text = router.metricsText();
+
+    // One HELP/TYPE per family even with three sample sets.
+    EXPECT_EQ(countOf(text, "# HELP exion_serve_completed_total"), 1u);
+    EXPECT_EQ(countOf(text, "# TYPE exion_serve_completed_total"), 1u);
+    EXPECT_EQ(countOf(text, "# HELP exion_serve_queue_wait_seconds "),
+              1u);
+
+    // Aggregate sample plus one sample per shard, and the shard
+    // samples sum to the aggregate.
+    const double total = sampleValue(
+        text, "exion_serve_completed_total{class=\"normal\"} ");
+    const double s0 = sampleValue(
+        text,
+        "exion_serve_completed_total{class=\"normal\",shard=\"0\"} ");
+    const double s1 = sampleValue(
+        text,
+        "exion_serve_completed_total{class=\"normal\",shard=\"1\"} ");
+    EXPECT_EQ(total, 4.0);
+    ASSERT_GE(s0, 0.0);
+    ASSERT_GE(s1, 0.0);
+    EXPECT_EQ(s0 + s1, total);
+    EXPECT_GT(s0, 0.0);
+    EXPECT_GT(s1, 0.0);
+
+    // The summary family carries per-shard quantiles too.
+    EXPECT_NE(text.find("exion_serve_queue_wait_seconds_count{shard"
+                        "=\"0\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("exion_serve_queue_wait_seconds_count{shard"
+                        "=\"1\"}"),
+              std::string::npos);
+}
+
+TEST(ShardRouter, PolicyNamesRoundTrip)
+{
+    for (RoutePolicy policy :
+         {RoutePolicy::LeastDepth, RoutePolicy::DeadlineAware,
+          RoutePolicy::CohortAffinity}) {
+        RoutePolicy parsed = RoutePolicy::LeastDepth;
+        EXPECT_TRUE(
+            parseRoutePolicy(routePolicyName(policy), parsed));
+        EXPECT_EQ(parsed, policy);
+    }
+    RoutePolicy parsed;
+    EXPECT_FALSE(parseRoutePolicy("round-robin", parsed));
+    EXPECT_FALSE(parseRoutePolicy("", parsed));
+}
+
+TEST(NumaTopology, ParseCpuListHandlesRangesAndNoise)
+{
+    EXPECT_EQ(parseCpuList("0-3,8,10-11"),
+              (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+    EXPECT_EQ(parseCpuList("2,1,1"), (std::vector<int>{1, 2}));
+    EXPECT_EQ(parseCpuList("5"), (std::vector<int>{5}));
+    EXPECT_TRUE(parseCpuList("").empty());
+    EXPECT_TRUE(parseCpuList("garbage").empty());
+    // A malformed field is skipped, not fatal.
+    EXPECT_EQ(parseCpuList("0,x,2"), (std::vector<int>{0, 2}));
+}
+
+TEST(NumaTopology, NodeDiscoveryIsWellFormedWhereItExists)
+{
+    const auto nodes = numaNodeCpus();
+    for (const auto &cpus : nodes) {
+        EXPECT_FALSE(cpus.empty());
+        EXPECT_TRUE(std::is_sorted(cpus.begin(), cpus.end()));
+        for (int cpu : cpus)
+            EXPECT_GE(cpu, 0);
+    }
+}
+
+} // namespace
+} // namespace exion

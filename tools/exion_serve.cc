@@ -13,6 +13,8 @@
  *   exion_serve [--port N] [--models DIR] [--builtin NAME[,NAME...]]
  *               [--scale full|reduced] [--iterations N]
  *               [--pin-weights] [--workers N]
+ *               [--shards N] [--shard-workers N] [--route POLICY]
+ *               [--numa]
  *               [--max-queued N] [--shed-threshold N]
  *               [--block-timeout SECONDS] [--sse-heartbeat SECONDS]
  *               [--gemm <backend>] [--simd <tier>]
@@ -27,7 +29,18 @@
  *   --iterations N    denoising-iteration override for --builtin
  *   --pin-weights     mlock() loaded stores (best-effort; a failed
  *                     pin warns and serves unpinned)
- *   --workers N       engine worker threads (default: hardware)
+ *   --workers N       engine worker threads (default: hardware;
+ *                     ignored when --shards > 1 — see --shard-workers)
+ *   --shards N        replica shards: N BatchEngines sharing the
+ *                     same weight stores behind a snapshot-routed
+ *                     ShardRouter (default 1 = solo engine)
+ *   --shard-workers N worker threads per shard (default: hardware
+ *                     split evenly across shards)
+ *   --route POLICY    placement policy: least-depth (default),
+ *                     deadline-aware, cohort-affinity
+ *   --numa            pin shard workers round-robin across NUMA
+ *                     nodes (best-effort; warns and serves unpinned
+ *                     when the host has no topology)
  *   --max-queued N    admission: ready-queue bound per priority
  *                     class (QueueFull -> HTTP 429; default 16)
  *   --shed-threshold N admission: total backlog at which Low-class
@@ -46,6 +59,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -56,6 +70,7 @@
 #include "exion/net/http_server.h"
 #include "exion/serve/batch_engine.h"
 #include "exion/serve/http_front.h"
+#include "exion/serve/shard_router.h"
 #include "exion/tensor/kernel_flags.h"
 
 namespace
@@ -79,7 +94,9 @@ usage(const char *argv0)
         "usage: %s [--port N] [--models DIR] [--builtin NAME[,...]]\n"
         "          [--scale full|reduced] [--iterations N]\n"
         "          [--pin-weights] [--workers N] [--max-queued N]\n"
-        "          [--shed-threshold N] [--block-timeout SECONDS]\n"
+        "          [--shards N] [--shard-workers N] [--route POLICY]\n"
+        "          [--numa] [--shed-threshold N]\n"
+        "          [--block-timeout SECONDS]\n"
         "          [--sse-heartbeat SECONDS] %s\n",
         argv0, kernelFlagsUsage());
     return 2;
@@ -139,6 +156,10 @@ main(int argc, char **argv)
     Scale scale = Scale::Reduced;
     int iterations = 0;
     bool pinWeights = false;
+    int shards = 1;
+    int shardWorkers = 0;
+    RoutePolicy route = RoutePolicy::LeastDepth;
+    bool numa = false;
     KernelFlags kernels;
     BatchEngine::Options engineOpts;
     engineOpts.admission.maxQueuedPerClass = 16;
@@ -182,6 +203,18 @@ main(int argc, char **argv)
             pinWeights = true;
         else if (arg == "--workers" && (v = value()))
             engineOpts.workers = std::atoi(v);
+        else if (arg == "--shards" && (v = value()))
+            shards = std::atoi(v);
+        else if (arg == "--shard-workers" && (v = value()))
+            shardWorkers = std::atoi(v);
+        else if (arg == "--route" && (v = value())) {
+            if (!parseRoutePolicy(v, route)) {
+                std::fprintf(stderr,
+                             "error: unknown route policy '%s'\n", v);
+                return 2;
+            }
+        } else if (arg == "--numa")
+            numa = true;
         else if (arg == "--max-queued" && (v = value()))
             engineOpts.admission.maxQueuedPerClass =
                 static_cast<u64>(std::atoll(v));
@@ -203,10 +236,49 @@ main(int argc, char **argv)
     }
     if (port < 0 || port > 65535)
         return usage(argv[0]);
+    if (shards < 1) {
+        std::fprintf(stderr, "error: --shards must be >= 1\n");
+        return 2;
+    }
     engineOpts.gemmBackend = kernels.gemm;
     engineOpts.simdTier = kernels.simd;
 
-    BatchEngine engine(engineOpts);
+    // One engine when unsharded (no router indirection to pay for),
+    // a snapshot-routed ShardRouter otherwise — both serve the same
+    // ServeBackend surface, so everything downstream is shared.
+    std::unique_ptr<BatchEngine> soloEngine;
+    std::unique_ptr<ShardRouter> router;
+    if (shards > 1) {
+        ShardRouter::Options routerOpts;
+        routerOpts.shards = shards;
+        routerOpts.shardWorkers = shardWorkers;
+        routerOpts.policy = route;
+        routerOpts.engine = engineOpts;
+        routerOpts.numa = numa;
+        router = std::make_unique<ShardRouter>(routerOpts);
+    } else {
+        if (numa)
+            std::fprintf(stderr,
+                         "warning: --numa has no effect without "
+                         "--shards > 1\n");
+        soloEngine = std::make_unique<BatchEngine>(engineOpts);
+    }
+    ServeBackend &backend =
+        router ? static_cast<ServeBackend &>(*router)
+               : static_cast<ServeBackend &>(*soloEngine);
+    const auto registerFromFile = [&](const std::string &path) {
+        if (router)
+            router->registerModelFromFile(path, pinWeights);
+        else
+            soloEngine->registerModelFromFile(path, pinWeights);
+    };
+    const auto registerBuiltin = [&](const ModelConfig &cfg) {
+        if (router)
+            router->addModel(cfg);
+        else
+            soloEngine->addModel(cfg);
+    };
+
     if (!modelDir.empty()) {
         const std::vector<std::string> files = storeFiles(modelDir);
         if (files.empty()) {
@@ -215,7 +287,7 @@ main(int argc, char **argv)
             return 1;
         }
         for (const std::string &path : files) {
-            engine.registerModelFromFile(path, pinWeights);
+            registerFromFile(path);
             std::printf("registered %s%s\n", path.c_str(),
                         pinWeights ? " (pin requested)" : "");
         }
@@ -237,13 +309,13 @@ main(int argc, char **argv)
         ModelConfig cfg = makeConfig(b, scale);
         if (iterations > 0)
             cfg.iterations = iterations;
-        engine.addModel(cfg);
+        registerBuiltin(cfg);
         std::printf("registered built-in %s (%s scale)\n",
                     benchmarkName(b).c_str(),
                     scale == Scale::Full ? "full" : "reduced");
     }
 
-    HttpFront front(engine, frontOpts);
+    HttpFront front(backend, frontOpts);
     HttpServer::Options serverOpts;
     serverOpts.port = static_cast<u16>(port);
     HttpServer server(serverOpts,
@@ -264,11 +336,22 @@ main(int argc, char **argv)
     ::sigaction(SIGINT, &sa, nullptr);
     ::sigaction(SIGTERM, &sa, nullptr);
 
-    std::printf("exion_serve listening on 127.0.0.1:%u "
-                "(%d workers, gemm=%s, simd=%s)\n",
-                server.port(), engine.workerCount(),
-                gemmBackendName(kernels.gemm),
-                simdTierName(kernels.simd));
+    if (router)
+        std::printf("exion_serve listening on 127.0.0.1:%u "
+                    "(%d shards x %d workers, route=%s%s, gemm=%s, "
+                    "simd=%s)\n",
+                    server.port(), router->shardCount(),
+                    router->shard(0).workerCount(),
+                    routePolicyName(route).c_str(),
+                    numa ? ", numa" : "",
+                    gemmBackendName(kernels.gemm),
+                    simdTierName(kernels.simd));
+    else
+        std::printf("exion_serve listening on 127.0.0.1:%u "
+                    "(%d workers, gemm=%s, simd=%s)\n",
+                    server.port(), backend.workerCount(),
+                    gemmBackendName(kernels.gemm),
+                    simdTierName(kernels.simd));
     std::fflush(stdout);
 
     while (g_signal == 0 && server.running())
@@ -280,11 +363,11 @@ main(int argc, char **argv)
     // already accepted to completion.
     std::printf("\nsignal %d: draining (in-flight: %llu)\n",
                 static_cast<int>(g_signal),
-                static_cast<unsigned long long>(engine.inFlight()));
+                static_cast<unsigned long long>(backend.inFlight()));
     std::fflush(stdout);
     server.stop();
-    engine.shutdown();
-    const EngineMetrics m = engine.snapshot();
+    backend.shutdown();
+    const EngineMetrics m = backend.snapshot();
     std::printf("drained: %llu completed, %llu cancelled, "
                 "%llu shed, %llu connections served\n",
                 static_cast<unsigned long long>(m.completed()),
