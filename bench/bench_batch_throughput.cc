@@ -47,15 +47,25 @@
  * forced-Scalar tier whenever a vector table is active — the gate
  * that keeps the kernel layer an actual wall-clock win.
  *
+ * A sixth scenario measures intra-request tensor parallelism under
+ * cohort batching: the same cohort-led stacked load at
+ * tensorParallel = 1 vs 4 (override the slice count with --tp N),
+ * with tp=4 outputs asserted byte-identical to tp=1 on every rep.
+ * On hosts with >= 4 hardware threads the dense row is gated at a
+ * 1.3x floor (see bench/README.md for the rationale); on smaller
+ * hosts only the bit-identity gate applies.
+ *
  *   ./build/bench/bench_batch_throughput [--quick]
  *                                        [--gemm reference|blocked]
  *                                        [--simd scalar|exact|fast]
+ *                                        [--tp N]
  */
 
 #include <algorithm>
 #include <array>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -426,6 +436,132 @@ compareGemmBackends(const ModelConfig &cfg, ExecMode mode, int n,
     return cmp;
 }
 
+/** Tensor-parallel comparison row of the JSON artifact. */
+struct TpComparison
+{
+    std::string mode;
+    int requests = 0;
+    int tp = 1;           //!< slice count of the TP run
+    double tp1Rps = 0.0;  //!< tensorParallel = 1
+    double tpNRps = 0.0;  //!< tensorParallel = tp
+    bool bitIdentical = false;
+    /** Acceptance floor on speedup(); 0 when the gate is skipped. */
+    double minSpeedup = 0.0;
+
+    double speedup() const
+    {
+        return tp1Rps > 0.0 ? tpNRps / tp1Rps : 0.0;
+    }
+};
+
+struct TpRun
+{
+    double seconds = 0.0;
+    std::vector<Matrix> outputs; //!< in submission order
+};
+
+/**
+ * Cohort-on load with the engine's tensorParallel knob: one leader
+ * steps the whole cohort (the tall stacked GEMMs TP exists for) while
+ * the remaining workers serve slice tasks. Returns the makespan plus
+ * every output, so the caller can assert the tp=N bytes equal tp=1.
+ */
+TpRun
+runTpLoad(const ModelConfig &cfg, ExecMode mode, int n, int workers,
+          int tp, Index max_rows)
+{
+    BatchEngine::Options opts;
+    opts.workers = workers;
+    opts.poolSeed = kPoolSeed;
+    opts.queueResults = false;
+    opts.cohortBatching = true;
+    opts.cohortMaxRows = max_rows;
+    opts.tensorParallel = tp;
+    BatchEngine engine(opts);
+    engine.addModel(cfg);
+
+    engine.pause();
+    std::vector<Ticket> tickets;
+    tickets.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        ServeRequest req;
+        req.id = static_cast<u64>(i);
+        req.benchmark = cfg.benchmark;
+        req.mode = mode;
+        req.noiseSeed = kNoiseSeedBase + static_cast<u64>(i);
+        tickets.push_back(engine.submit(req));
+    }
+    const double start = now();
+    engine.resume();
+    for (Ticket &t : tickets)
+        t.wait();
+    TpRun run;
+    run.seconds = now() - start;
+    run.outputs.reserve(n);
+    for (Ticket &t : tickets) {
+        RequestResult r = t.get();
+        if (!r.ok())
+            return TpRun{};
+        run.outputs.push_back(std::move(r.output));
+    }
+    return run;
+}
+
+/** Byte-level equality of two output sets (same submission order). */
+bool
+sameOutputs(const std::vector<Matrix> &a, const std::vector<Matrix> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (Index i = 0; i < a.size(); ++i) {
+        if (a[i].rows() != b[i].rows() || a[i].cols() != b[i].cols())
+            return false;
+        if (std::memcmp(a[i].data().data(), b[i].data().data(),
+                        static_cast<size_t>(a[i].size())
+                            * sizeof(float))
+            != 0)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * tensorParallel = 1 vs N under cohort batching (interleaved
+ * best-of-N). The slices repartition identical work, so the outputs
+ * must match byte for byte on every rep — checked unconditionally,
+ * even when the wall-clock gate is skipped on small hosts.
+ */
+TpComparison
+compareTensorParallel(const ModelConfig &cfg, ExecMode mode, int n,
+                      int tp, Index max_rows, int reps,
+                      bool &bit_identical)
+{
+    TpComparison cmp;
+    cmp.mode = execModeName(mode);
+    cmp.requests = n;
+    cmp.tp = tp;
+    double solo = 0.0;
+    double sliced = 0.0;
+    bit_identical = true;
+    for (int rep = 0; rep < reps; ++rep) {
+        const TpRun solo_run =
+            runTpLoad(cfg, mode, n, /*workers=*/tp, 1, max_rows);
+        const TpRun tp_run =
+            runTpLoad(cfg, mode, n, /*workers=*/tp, tp, max_rows);
+        if (solo_run.seconds > 0.0)
+            solo = solo == 0.0 ? solo_run.seconds
+                               : std::min(solo, solo_run.seconds);
+        if (tp_run.seconds > 0.0)
+            sliced = sliced == 0.0 ? tp_run.seconds
+                                   : std::min(sliced, tp_run.seconds);
+        bit_identical &= sameOutputs(solo_run.outputs, tp_run.outputs);
+    }
+    cmp.tp1Rps = solo > 0.0 ? n / solo : 0.0;
+    cmp.tpNRps = sliced > 0.0 ? n / sliced : 0.0;
+    cmp.bitIdentical = bit_identical;
+    return cmp;
+}
+
 /** Resident-set size from /proc/self/status, in KiB (0 if absent). */
 long
 rssKb()
@@ -545,6 +681,7 @@ writeBenchJson(const std::string &path, const ModelConfig &cfg,
                bool quick, const std::vector<CohortComparison> &rows,
                const std::vector<GemmComparison> &gemm_rows,
                const std::vector<SimdComparison> &simd_rows,
+               const std::vector<TpComparison> &tp_rows, bool tp_gated,
                const WeightsReport &weights)
 {
     std::ofstream out(path);
@@ -593,6 +730,24 @@ writeBenchJson(const std::string &path, const ModelConfig &cfg,
             << ", \"exact_rps\": " << sc.exactRps
             << ", \"speedup\": " << sc.speedup() << "}"
             << (i + 1 < simd_rows.size() ? "," : "") << "\n";
+    }
+    out << "    ]\n";
+    out << "  },\n";
+    out << "  \"tp\": {\n";
+    out << "    \"gated\": " << (tp_gated ? "true" : "false") << ",\n";
+    out << "    \"rows\": [\n";
+    for (Index i = 0; i < tp_rows.size(); ++i) {
+        const TpComparison &t = tp_rows[i];
+        out << "      {\"mode\": \"" << t.mode
+            << "\", \"requests\": " << t.requests
+            << ", \"tp\": " << t.tp << ", \"cohort\": true,\n"
+            << "       \"tp1_rps\": " << t.tp1Rps
+            << ", \"tp" << t.tp << "_rps\": " << t.tpNRps
+            << ", \"speedup\": " << t.speedup()
+            << ", \"min_speedup\": " << t.minSpeedup
+            << ", \"bit_identical\": "
+            << (t.bitIdentical ? "true" : "false") << "}"
+            << (i + 1 < tp_rows.size() ? "," : "") << "\n";
     }
     out << "    ]\n";
     out << "  },\n";
@@ -817,6 +972,70 @@ main(int argc, char **argv)
                      "throughput\n";
         healthy = false;
     }
+    // Tensor parallelism under cohort batching: the same cohort-led
+    // stacked load, tensorParallel=1 vs 4, with the spare workers
+    // serving slice tasks instead of idling behind the leader. The
+    // paper-scale full MLD cohort GEMMs (up to 64 stacked rows x
+    // 256 -> 1024-column projections) are exactly the tall shapes
+    // column slicing exists for. Wall-clock is gated only on hosts
+    // with >= 4 hardware threads — on fewer cores the slices time-
+    // share and the fork overhead is all that is measured — but
+    // bit-identity of tp=4 against tp=1 is asserted unconditionally.
+    const int tp_slices =
+        sweep_kernels.tp > 1 ? sweep_kernels.tp : 4;
+    const bool tp_gated =
+        hw >= static_cast<unsigned>(tp_slices) && tp_slices == 4;
+    const int tp_n = 8;
+    std::cout << "\n== tensor parallelism, cohort-on: " << tp_n
+              << " same-model " << cohort_cfg.name
+              << " (full-scale) requests, " << cohort_cfg.iterations
+              << " iterations, tp=1 vs tp=" << tp_slices << " over "
+              << tp_slices << " workers"
+              << (tp_gated ? "" : " (wall-clock gate skipped: host has "
+                                  "fewer than 4 hardware threads)")
+              << " ==\n";
+    std::vector<TpComparison> tp_rows;
+    for (ExecMode mode : {ExecMode::Dense, ExecMode::Exion}) {
+        const int reps = quick ? 2 : (mode == ExecMode::Dense ? 4 : 3);
+        bool bit_identical = false;
+        TpComparison cmp = compareTensorParallel(
+            cohort_cfg, mode, tp_n, tp_slices, /*max_rows=*/8, reps,
+            bit_identical);
+        // The tall dense projections are where the 1.3x floor lives;
+        // the EXION row is informational (sparse kernels dominate its
+        // wall clock and are forked per-slice only in the FFN).
+        cmp.minSpeedup =
+            tp_gated && mode == ExecMode::Dense ? 1.3 : 0.0;
+        std::cout << std::left << std::setw(8) << cmp.mode
+                  << std::fixed << std::setprecision(2) << "tp=1 "
+                  << std::setw(10) << cmp.tp1Rps << "tp=" << tp_slices
+                  << " " << std::setw(10) << cmp.tpNRps << "speedup "
+                  << cmp.speedup() << "x"
+                  << (cmp.minSpeedup > 0.0
+                          ? " (gate >= " + std::to_string(cmp.minSpeedup)
+                                .substr(0, 3) + "x)"
+                          : "")
+                  << (bit_identical ? "" : "  BIT-MISMATCH") << "\n";
+        healthy &= cmp.tp1Rps > 0.0 && cmp.tpNRps > 0.0;
+        // Correctness gate, never skipped: slices repartition
+        // identical work, so any byte difference is a merge bug.
+        if (!bit_identical) {
+            std::cerr << "error: tensorParallel=" << tp_slices
+                      << " output differs from tensorParallel=1 on "
+                      << cmp.mode << " — the deterministic merge is "
+                         "broken\n";
+            healthy = false;
+        }
+        if (cmp.minSpeedup > 0.0 && cmp.speedup() < cmp.minSpeedup) {
+            std::cerr << "error: tensor parallelism missed the "
+                      << cmp.mode << " cohort-on gate ("
+                      << cmp.speedup() << "x < " << cmp.minSpeedup
+                      << "x)\n";
+            healthy = false;
+        }
+        tp_rows.push_back(std::move(cmp));
+    }
+
     // Weight sharing: the store built once, registered with two
     // engines; the second engine must borrow, not copy.
     const WeightsReport weights = measureWeightSharing(cohort_cfg);
@@ -853,7 +1072,7 @@ main(int argc, char **argv)
     }
 
     writeBenchJson("BENCH_batch.json", cohort_cfg, quick, cohort_rows,
-                   gemm_rows, simd_rows, weights);
+                   gemm_rows, simd_rows, tp_rows, tp_gated, weights);
 
     healthy &= runOverload(cfg, quick);
     return healthy ? 0 : 1;

@@ -105,6 +105,9 @@ namespace
 using namespace exion;
 using Clock = std::chrono::steady_clock;
 
+/** --tp value applied to every engine the fixtures build. */
+int g_tensorParallel = 1;
+
 double
 secondsSince(Clock::time_point t0)
 {
@@ -159,6 +162,7 @@ struct Fixture
         opts.admission.maxQueuedPerClass = 8;
         opts.admission.shedThreshold = 10;
         opts.admission.shedBelow = Priority::Normal;
+        opts.tensorParallel = g_tensorParallel;
         return opts;
     }
 
@@ -1030,6 +1034,7 @@ main(int argc, char **argv)
     const bool quick = bench::quickMode(argc, argv);
     int shards = 1;
     RoutePolicy policy = RoutePolicy::LeastDepth;
+    KernelFlags kernels;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--shards" && i + 1 < argc) {
@@ -1038,14 +1043,24 @@ main(int argc, char **argv)
                 std::cerr << "--shards must be >= 1\n";
                 return 2;
             }
-        } else if (arg == "--route" && i + 1 < argc) {
-            if (!parseRoutePolicy(argv[++i], policy)) {
-                std::cerr << "unknown route policy: " << argv[i]
-                          << "\n";
+        } else {
+            std::string err;
+            const KernelFlagStatus rs =
+                tryConsumeRouteFlag(argc, argv, i, policy, err);
+            if (rs == KernelFlagStatus::Error) {
+                std::cerr << err << "\n";
+                return 2;
+            }
+            if (rs == KernelFlagStatus::Consumed)
+                continue;
+            if (tryConsumeKernelFlag(argc, argv, i, kernels, err)
+                == KernelFlagStatus::Error) {
+                std::cerr << err << "\n";
                 return 2;
             }
         }
     }
+    g_tensorParallel = kernels.tp;
     const double closedSeconds = quick ? 0.4 : 1.5;
     const double openSeconds = quick ? 1.0 : 2.5;
     const std::vector<int> levels =

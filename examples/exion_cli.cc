@@ -152,6 +152,11 @@ main(int argc, char **argv)
     // --simd scalar|exact are bit-identical, fast is tolerance-level.
     setDefaultGemmBackend(kernels.gemm);
     setDefaultSimdTier(kernels.simd);
+    if (kernels.tp > 1)
+        std::cout << "note: --tp " << kernels.tp
+                  << " accepted but inert here — the explorer runs "
+                     "the analytical perf model, not real GEMMs "
+                     "(use exion_serve / serve_batch / bench_serve)\n";
 
     const ExionConfig device = parseDevice(device_name);
     const Ablation ablation = parseAblation(ablation_name);

@@ -74,6 +74,14 @@ main(int argc, char **argv)
         }
         if (ks == KernelFlagStatus::Consumed)
             continue;
+        const KernelFlagStatus rs =
+            tryConsumeRouteFlag(argc, argv, i, route, err);
+        if (rs == KernelFlagStatus::Error) {
+            std::cerr << "error: " << err << "\n";
+            return 1;
+        }
+        if (rs == KernelFlagStatus::Consumed)
+            continue;
         const std::string arg = argv[i];
         if (arg == "--shards" && i + 1 < argc) {
             shards = std::atoi(argv[++i]);
@@ -81,16 +89,10 @@ main(int argc, char **argv)
                 std::cerr << "error: --shards must be >= 1\n";
                 return 1;
             }
-        } else if (arg == "--route" && i + 1 < argc) {
-            if (!parseRoutePolicy(argv[++i], route)) {
-                std::cerr << "error: unknown route policy '"
-                          << argv[i] << "'\n";
-                return 1;
-            }
         } else {
             std::cerr << "error: unknown argument '" << arg
                       << "' (usage: serve_batch [--shards N] "
-                      << "[--route POLICY] " << kernelFlagsUsage()
+                      << routeFlagUsage() << " " << kernelFlagsUsage()
                       << ")\n";
             return 1;
         }
@@ -110,6 +112,7 @@ main(int argc, char **argv)
     opts.workers = 4;
     opts.gemmBackend = kernels.gemm;
     opts.simdTier = kernels.simd;
+    opts.tensorParallel = kernels.tp;
     opts.queueResults = false; // completions arrive via the callback
     opts.admission.maxQueuedPerClass = 16;
     opts.admission.shedThreshold = 12;

@@ -32,26 +32,29 @@ ExecStats::merge(const ExecStats &other)
 
 Matrix
 execMatmul(const Matrix &a, const Matrix &b, bool quantize,
-           GemmBackend backend, SimdTier simd)
+           GemmBackend backend, SimdTier simd, const TpContext &tp)
 {
     if (!quantize)
-        return matmulWith(a, b, backend, simd);
+        return matmulSliced(a, b, tp, backend, simd);
+    // Quantise whole operands once — a slice is a window onto the
+    // full quantisation domain, so tp=N stays bit-identical to solo.
     const QuantMatrix qa = QuantMatrix::fromFloat(a, IntWidth::Int12);
     const QuantMatrix qb = QuantMatrix::fromFloat(b, IntWidth::Int12);
-    return matmulQuantWith(qa, qb, backend, simd);
+    return matmulQuantSliced(qa, qb, tp, backend, simd);
 }
 
 Matrix
 execWeightMatmul(const Matrix &x, const Linear &lin, bool quantize,
-                 GemmBackend backend, SimdTier simd)
+                 GemmBackend backend, SimdTier simd, const TpContext &tp)
 {
     if (!quantize)
-        return matmulWith(x, lin.weight(), backend, simd);
+        return matmulSliced(x, lin.weight(), tp, backend, simd);
     const QuantMatrix qx = QuantMatrix::fromFloat(x, IntWidth::Int12);
     if (lin.hasQuantWeight())
-        return matmulQuantWith(qx, lin.quantWeight(), backend, simd);
-    return matmulQuantWith(
-        qx, QuantMatrix::fromFloat(lin.weight(), IntWidth::Int12),
+        return matmulQuantSliced(qx, lin.quantWeight(), tp, backend,
+                                 simd);
+    return matmulQuantSliced(
+        qx, QuantMatrix::fromFloat(lin.weight(), IntWidth::Int12), tp,
         backend, simd);
 }
 
@@ -91,17 +94,20 @@ Matrix
 denseAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
                    bool quantize, ExecStats &stats,
                    ExecObservers &observers, GemmBackend backend,
-                   SimdTier simd)
+                   SimdTier simd, const TpContext &tp)
 {
     (void)observers;
     const Index t = x_norm.rows();
     const Index d = blk.dModel();
 
-    Matrix q = execWeightMatmul(x_norm, blk.wq(), quantize, backend, simd);
+    Matrix q =
+        execWeightMatmul(x_norm, blk.wq(), quantize, backend, simd, tp);
     addRowVector(q, blk.wq().bias());
-    Matrix k = execWeightMatmul(x_norm, blk.wk(), quantize, backend, simd);
+    Matrix k =
+        execWeightMatmul(x_norm, blk.wk(), quantize, backend, simd, tp);
     addRowVector(k, blk.wk().bias());
-    Matrix v = execWeightMatmul(x_norm, blk.wv(), quantize, backend, simd);
+    Matrix v =
+        execWeightMatmul(x_norm, blk.wv(), quantize, backend, simd, tp);
     addRowVector(v, blk.wv().bias());
 
     stats.qkvOpsDense += 3 * mmulOps(t, d, d);
@@ -115,7 +121,7 @@ denseAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
                            concat, backend, simd);
 
     Matrix out =
-        execWeightMatmul(concat, blk.wo(), quantize, backend, simd);
+        execWeightMatmul(concat, blk.wo(), quantize, backend, simd, tp);
     addRowVector(out, blk.wo().bias());
     stats.attnOpsDense += mmulOps(t, d, d);
     stats.attnOpsExecuted += mmulOps(t, d, d);
@@ -125,14 +131,14 @@ denseAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
 Matrix
 denseFfnImpl(const TransformerBlock &blk, const Matrix &x_norm,
              bool quantize, ExecStats &stats, ExecObservers &observers,
-             GemmBackend backend, SimdTier simd)
+             GemmBackend backend, SimdTier simd, const TpContext &tp)
 {
     const Index t = x_norm.rows();
     const Index d = blk.dModel();
     const Index hid = blk.ffnHidden();
 
     Matrix gate = execWeightMatmul(x_norm, blk.ffn1(), quantize,
-                                   backend, simd);
+                                   backend, simd, tp);
     addRowVector(gate, blk.ffn1().bias());
     stats.ffnOpsDense += mmulOps(t, d, hid);
     stats.ffnOpsExecuted += mmulOps(t, d, hid);
@@ -140,7 +146,7 @@ denseFfnImpl(const TransformerBlock &blk, const Matrix &x_norm,
     Matrix hidden;
     if (blk.geglu()) {
         Matrix value = execWeightMatmul(x_norm, blk.ffn1Value(),
-                                        quantize, backend, simd);
+                                        quantize, backend, simd, tp);
         addRowVector(value, blk.ffn1Value().bias());
         stats.ffnOpsDense += mmulOps(t, d, hid);
         stats.ffnOpsExecuted += mmulOps(t, d, hid);
@@ -155,7 +161,7 @@ denseFfnImpl(const TransformerBlock &blk, const Matrix &x_norm,
         observers.onFfnHidden(blk.id(), hidden);
 
     Matrix out = execWeightMatmul(hidden, blk.ffn2(), quantize,
-                                  backend, simd);
+                                  backend, simd, tp);
     addRowVector(out, blk.ffn2().bias());
     stats.ffnOpsDense += mmulOps(t, hid, d);
     stats.ffnOpsExecuted += mmulOps(t, hid, d);
@@ -166,14 +172,14 @@ Matrix
 DenseExecutor::attention(const TransformerBlock &blk, const Matrix &x_norm)
 {
     return denseAttentionImpl(blk, x_norm, quantize_, stats(), observers,
-                              backend_, simd_);
+                              backend_, simd_, tp_);
 }
 
 Matrix
 DenseExecutor::ffn(const TransformerBlock &blk, const Matrix &x_norm)
 {
     return denseFfnImpl(blk, x_norm, quantize_, stats(), observers,
-                        backend_, simd_);
+                        backend_, simd_, tp_);
 }
 
 } // namespace exion

@@ -18,6 +18,7 @@
 
 #include "exion/tensor/bitmask.h"
 #include "exion/tensor/gemm.h"
+#include "exion/tensor/matmul_slice.h"
 #include "exion/tensor/matrix.h"
 
 namespace exion
@@ -172,6 +173,15 @@ class BlockExecutor
      */
     virtual SimdTier simdTier() const { return defaultSimdTier(); }
 
+    /**
+     * Tensor-parallel slicing for projection GEMMs issued on this
+     * executor's behalf, inside the block and out (network in/out/
+     * time projections). Sliced execution is bit-identical to solo
+     * (see matmul_slice.h), so this too is purely a wall-clock knob;
+     * the base implementation is inactive.
+     */
+    virtual TpContext tpContext() const { return {}; }
+
     /** Multi-head attention sub-layer (QKV, scores, AV, out-proj). */
     virtual Matrix attention(const TransformerBlock &blk,
                              const Matrix &x_norm) = 0;
@@ -227,11 +237,14 @@ class DenseExecutor : public BlockExecutor
      *                 wall-clock knob)
      * @param simd     SIMD tier for the backend's kernels (Scalar and
      *                 Exact bit-identical; Fast tolerance-gated)
+     * @param tp       tensor-parallel slicing for the projection
+     *                 GEMMs (bit-identical at any slice count)
      */
     explicit DenseExecutor(bool quantize = false,
                            GemmBackend backend = defaultGemmBackend(),
-                           SimdTier simd = defaultSimdTier())
-        : quantize_(quantize), backend_(backend), simd_(simd)
+                           SimdTier simd = defaultSimdTier(),
+                           TpContext tp = {})
+        : quantize_(quantize), backend_(backend), simd_(simd), tp_(tp)
     {}
 
     Matrix attention(const TransformerBlock &blk,
@@ -247,10 +260,14 @@ class DenseExecutor : public BlockExecutor
     /** SIMD tier used for kernels. */
     SimdTier simdTier() const override { return simd_; }
 
+    /** Tensor-parallel slicing for projection GEMMs. */
+    TpContext tpContext() const override { return tp_; }
+
   private:
     bool quantize_;
     GemmBackend backend_;
     SimdTier simd_;
+    TpContext tp_;
 };
 
 /**
@@ -279,11 +296,15 @@ class CohortBlockExecutor : public BlockExecutor
 
 /**
  * A*B with optional INT12 operand quantisation, computed with the
- * given GEMM backend (defaults to the process-wide backend).
+ * given GEMM backend (defaults to the process-wide backend). An
+ * active tp slices b's columns across workers — bit-identical to the
+ * unsliced product (quantisation happens once over the whole
+ * operands; slices are views into the quantized image).
  */
 Matrix execMatmul(const Matrix &a, const Matrix &b, bool quantize,
                   GemmBackend backend = defaultGemmBackend(),
-                  SimdTier simd = defaultSimdTier());
+                  SimdTier simd = defaultSimdTier(),
+                  const TpContext &tp = {});
 
 /**
  * x * W for a layer's weight, with optional INT12 operand
@@ -297,7 +318,8 @@ Matrix execMatmul(const Matrix &a, const Matrix &b, bool quantize,
 Matrix execWeightMatmul(const Matrix &x, const Linear &lin,
                         bool quantize,
                         GemmBackend backend = defaultGemmBackend(),
-                        SimdTier simd = defaultSimdTier());
+                        SimdTier simd = defaultSimdTier(),
+                        const TpContext &tp = {});
 
 /**
  * MACs-as-2-ops for an (m x k) * (k x n) MMUL — the paper's TOPS
@@ -321,7 +343,8 @@ Matrix denseAttentionImpl(const TransformerBlock &blk,
                           const Matrix &x_norm, bool quantize,
                           ExecStats &stats, ExecObservers &observers,
                           GemmBackend backend = defaultGemmBackend(),
-                          SimdTier simd = defaultSimdTier());
+                          SimdTier simd = defaultSimdTier(),
+                          const TpContext &tp = {});
 
 /**
  * Per-head score/softmax/AV core of dense attention on rows
@@ -346,7 +369,8 @@ Matrix denseFfnImpl(const TransformerBlock &blk, const Matrix &x_norm,
                     bool quantize, ExecStats &stats,
                     ExecObservers &observers,
                     GemmBackend backend = defaultGemmBackend(),
-                    SimdTier simd = defaultSimdTier());
+                    SimdTier simd = defaultSimdTier(),
+                    const TpContext &tp = {});
 
 } // namespace exion
 

@@ -29,10 +29,10 @@ Linear::fromStore(const WeightStore &ws, const std::string &name)
 }
 
 Matrix
-Linear::forward(const Matrix &x, GemmBackend backend,
-                SimdTier simd) const
+Linear::forward(const Matrix &x, GemmBackend backend, SimdTier simd,
+                const TpContext &tp) const
 {
-    Matrix y = matmulWith(x, weight_, backend, simd);
+    Matrix y = matmulSliced(x, weight_, tp, backend, simd);
     addRowVector(y, bias_);
     return y;
 }

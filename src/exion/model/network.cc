@@ -109,8 +109,9 @@ DenoisingNetwork::forwardImpl(const Matrix &x, const int *timesteps,
     // reaches every dense MMUL of the run, not just the blocks.
     const GemmBackend gemm = exec.gemmBackend();
     const SimdTier simd = exec.simdTier();
+    const TpContext tp = exec.tpContext();
 
-    Matrix h = inProj_.forward(x, gemm, simd);
+    Matrix h = inProj_.forward(x, gemm, simd, tp);
     addRowVector(h, condEmbed_);
 
     // Per-segment timestep embeddings. Cohort members usually step in
@@ -152,7 +153,7 @@ DenoisingNetwork::forwardImpl(const Matrix &x, const int *timesteps,
         cur_tokens = want;
 
         if (stage.channelProj.inDim() != 0)
-            h = stage.channelProj.forward(h, gemm, simd);
+            h = stage.channelProj.forward(h, gemm, simd, tp);
 
         if (unet && upsampling && !skips.empty()) {
             const Matrix &skip = skips.back();
@@ -167,17 +168,18 @@ DenoisingNetwork::forwardImpl(const Matrix &x, const int *timesteps,
         Matrix t_proj;
         for (Index m = 0; m < segments; ++m) {
             if (m == 0 || timesteps[m] != timesteps[m - 1])
-                t_proj = stage.timeProj.forward(t_embs[m], gemm, simd);
+                t_proj =
+                    stage.timeProj.forward(t_embs[m], gemm, simd, tp);
             addRowVectorToRows(h, t_proj, m * cur_tokens, cur_tokens);
         }
 
         for (const auto &res : stage.resBlocks)
-            h = res.forward(h, gemm, simd);
+            h = res.forward(h, gemm, simd, tp);
         for (const auto &blk : stage.blocks)
             h = blk.forward(h, exec);
     }
 
-    return outProj_.forward(h, gemm, simd);
+    return outProj_.forward(h, gemm, simd, tp);
 }
 
 } // namespace exion

@@ -41,7 +41,8 @@ class ResBlock
      */
     Matrix forward(const Matrix &x,
                    GemmBackend backend = defaultGemmBackend(),
-                   SimdTier simd = defaultSimdTier()) const;
+                   SimdTier simd = defaultSimdTier(),
+                   const TpContext &tp = {}) const;
 
     /** Channel width. */
     Index dModel() const { return conv1_.inDim(); }

@@ -79,6 +79,24 @@ BatchEngine::BatchEngine(const Options &opts)
     : opts_(opts), admission_(opts.admission), conmergePipe_(opts.conmerge),
       results_(opts.resultQueueCapacity), pool_(opts.workers, opts.poolSeed)
 {
+    if (opts_.tensorParallel < 1) {
+        EXION_WARN("tensorParallel ", opts_.tensorParallel,
+                   " clamped to 1");
+        opts_.tensorParallel = 1;
+    }
+    if (opts_.tensorParallel > 1) {
+        tpRunner_ = std::make_unique<PoolSliceRunner>(pool_);
+        if (!opts_.tpSliceCpus.empty())
+            tpRunner_->setSliceCpus(opts_.tpSliceCpus);
+    }
+}
+
+TpContext
+BatchEngine::tpContext() const
+{
+    if (opts_.tensorParallel <= 1 || !tpRunner_)
+        return {};
+    return TpContext{opts_.tensorParallel, tpRunner_.get()};
 }
 
 BatchEngine::~BatchEngine()
@@ -569,6 +587,7 @@ BatchEngine::runCohort(CohortMember first)
         cfg, ffnr, ep, first.req.quantize);
     cohort_opts.gemm = opts_.gemmBackend;
     cohort_opts.simd = opts_.simdTier;
+    cohort_opts.tp = tpContext();
     CohortExecutor exec(cohort_opts);
     CohortRun run(pipe, exec);
 
@@ -914,7 +933,8 @@ BatchEngine::runOne(const ServeRequest &req,
     std::unique_ptr<BlockExecutor> exec;
     if (req.mode == ExecMode::Dense) {
         auto dense = std::make_unique<DenseExecutor>(
-            req.quantize, opts_.gemmBackend, opts_.simdTier);
+            req.quantize, opts_.gemmBackend, opts_.simdTier,
+            tpContext());
         dense->bindContext(ctx.exec);
         exec = std::move(dense);
     } else {
@@ -924,6 +944,7 @@ BatchEngine::runOne(const ServeRequest &req,
             SparseExecutor::fromConfig(cfg, ffnr, ep, req.quantize);
         sparse_opts.gemm = opts_.gemmBackend;
         sparse_opts.simd = opts_.simdTier;
+        sparse_opts.tp = tpContext();
         auto sparse = std::make_unique<SparseExecutor>(sparse_opts);
         sparse->bindRequestState(ctx.exec, ctx.ffn);
         if (req.trackConMerge && ffnr) {

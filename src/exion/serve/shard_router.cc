@@ -40,6 +40,39 @@ parseRoutePolicy(const std::string &name, RoutePolicy &out)
     return false;
 }
 
+const char *
+routePolicyValues()
+{
+    return "least-depth|deadline-aware|cohort-affinity";
+}
+
+KernelFlagStatus
+tryConsumeRouteFlag(int argc, const char *const *argv, int &i,
+                    RoutePolicy &policy, std::string &error)
+{
+    const std::string arg = argv[i];
+    if (arg != "--route")
+        return KernelFlagStatus::NotMine;
+    if (i + 1 >= argc) {
+        error = arg + " needs a value ("
+            + std::string(routePolicyValues()) + ")";
+        return KernelFlagStatus::Error;
+    }
+    const std::string value = argv[++i];
+    if (!parseRoutePolicy(value, policy)) {
+        error = "unknown --route policy '" + value + "' (expected "
+            + std::string(routePolicyValues()) + ")";
+        return KernelFlagStatus::Error;
+    }
+    return KernelFlagStatus::Consumed;
+}
+
+const char *
+routeFlagUsage()
+{
+    return "[--route least-depth|deadline-aware|cohort-affinity]";
+}
+
 ShardRouter::ShardRouter(const Options &opts) : opts_(opts)
 {
     const int n_shards = std::max(1, opts_.shards);

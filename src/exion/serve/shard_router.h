@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "exion/serve/batch_engine.h"
+#include "exion/tensor/kernel_flags.h"
 
 namespace exion
 {
@@ -75,6 +76,24 @@ std::string routePolicyName(RoutePolicy p);
 
 /** Parses a routePolicyName() back; false on an unknown name. */
 bool parseRoutePolicy(const std::string &name, RoutePolicy &out);
+
+/** Accepted --route spellings ("least-depth|..."), for messages. */
+const char *routePolicyValues();
+
+/**
+ * Attempts to consume the --route flag at argv[i] — the
+ * kernel_flags-style shared parser (see tensor/kernel_flags.h for
+ * the protocol): Consumed advances i past the value, Error fills a
+ * complete message listing routePolicyValues(), NotMine leaves
+ * everything untouched. Every serving CLI offers its argv positions
+ * here so a bad --route always reports the accepted policies.
+ */
+KernelFlagStatus tryConsumeRouteFlag(int argc, const char *const *argv,
+                                     int &i, RoutePolicy &policy,
+                                     std::string &error);
+
+/** Usage fragment advertising the routing flag. */
+const char *routeFlagUsage();
 
 /**
  * N-shard replica router. Register models first (fans out to every

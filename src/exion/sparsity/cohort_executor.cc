@@ -7,7 +7,7 @@ namespace exion
 
 CohortExecutor::CohortExecutor(const SparseExecutor::Options &opt)
     : opt_(opt),
-      ffnReuse_(opt.ffnReuse, opt.quantize, opt.gemm, opt.simd)
+      ffnReuse_(opt.ffnReuse, opt.quantize, opt.gemm, opt.simd, opt.tp)
 {
 }
 
@@ -94,10 +94,11 @@ CohortExecutor::attention(const TransformerBlock &blk,
             const Matrix seg = opt_.useEp
                 ? epAttentionImpl(blk, x_m, opt_.ep, opt_.lodMode,
                                   opt_.quantize, s.ctx->stats,
-                                  s.observers, opt_.gemm, opt_.simd)
+                                  s.observers, opt_.gemm, opt_.simd,
+                                  opt_.tp)
                 : denseAttentionImpl(blk, x_m, opt_.quantize,
                                      s.ctx->stats, s.observers,
-                                     opt_.gemm, opt_.simd);
+                                     opt_.gemm, opt_.simd, opt_.tp);
             pasteRows(out, seg, m * t_seg);
         }
         return out;
@@ -108,13 +109,13 @@ CohortExecutor::attention(const TransformerBlock &blk,
     // token-mixing core per member segment. The tall stacks are
     // exactly the shape the Blocked backend packs for.
     Matrix q = execMatmul(x_norm, blk.wq().weight(), false, opt_.gemm,
-                          opt_.simd);
+                          opt_.simd, opt_.tp);
     addRowVector(q, blk.wq().bias());
     Matrix k = execMatmul(x_norm, blk.wk().weight(), false, opt_.gemm,
-                          opt_.simd);
+                          opt_.simd, opt_.tp);
     addRowVector(k, blk.wk().bias());
     Matrix v = execMatmul(x_norm, blk.wv().weight(), false, opt_.gemm,
-                          opt_.simd);
+                          opt_.simd, opt_.tp);
     addRowVector(v, blk.wv().bias());
 
     Matrix concat(x_norm.rows(), d);
@@ -131,7 +132,7 @@ CohortExecutor::attention(const TransformerBlock &blk,
     }
 
     Matrix out = execMatmul(concat, blk.wo().weight(), false,
-                            opt_.gemm, opt_.simd);
+                            opt_.gemm, opt_.simd, opt_.tp);
     addRowVector(out, blk.wo().bias());
     for (Index m = 0; m < n; ++m) {
         ExecStats &stats = memberStats(m);
@@ -184,7 +185,8 @@ CohortExecutor::ffn(const TransformerBlock &blk, const Matrix &x_norm)
             const Matrix x_m = sliceRows(x_norm, m * t_seg, t_seg);
             const Matrix seg = denseFfnImpl(blk, x_m, opt_.quantize,
                                             s.ctx->stats, s.observers,
-                                            opt_.gemm, opt_.simd);
+                                            opt_.gemm, opt_.simd,
+                                            opt_.tp);
             pasteRows(out, seg, m * t_seg);
         }
         return out;
@@ -196,7 +198,7 @@ CohortExecutor::ffn(const TransformerBlock &blk, const Matrix &x_norm)
     ExecStats scratch;
     ExecObservers none;
     Matrix out = denseFfnImpl(blk, x_norm, false, scratch, none,
-                              opt_.gemm, opt_.simd);
+                              opt_.gemm, opt_.simd, opt_.tp);
     const OpCount per_member_ops =
         (blk.geglu() ? 2 : 1) * mmulOps(t_seg, d, hid)
         + mmulOps(t_seg, hid, d);

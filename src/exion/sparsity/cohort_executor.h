@@ -76,6 +76,9 @@ class CohortExecutor : public CohortBlockExecutor
     /** SIMD tier used for kernels (Options::simd). */
     SimdTier simdTier() const override { return opt_.simd; }
 
+    /** Slice context for the tall stacked GEMMs (Options::tp). */
+    TpContext tpContext() const override { return opt_.tp; }
+
     /** Cohort members in the current step. */
     Index cohortSize() const { return active_.size(); }
 

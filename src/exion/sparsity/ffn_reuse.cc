@@ -28,8 +28,9 @@ sparsityQuantile(std::span<const float> values, double target_sparsity)
 }
 
 FfnReuse::FfnReuse(const FfnReuseConfig &cfg, bool quantize,
-                   GemmBackend backend, SimdTier simd)
-    : cfg_(cfg), quantize_(quantize), backend_(backend), simd_(simd)
+                   GemmBackend backend, SimdTier simd, TpContext tp)
+    : cfg_(cfg), quantize_(quantize), backend_(backend), simd_(simd),
+      tp_(tp)
 {
     EXION_ASSERT(cfg_.denseInterval >= 0, "dense interval ",
                  cfg_.denseInterval);
@@ -108,15 +109,16 @@ namespace
 /** Computes the non-linear hidden activation densely. */
 Matrix
 denseHidden(const TransformerBlock &blk, const Matrix &x_norm,
-            bool quantize, GemmBackend backend)
+            bool quantize, GemmBackend backend, const TpContext &tp)
 {
     Matrix gate = execWeightMatmul(x_norm, blk.ffn1(), quantize,
-                                   backend);
+                                   backend, defaultSimdTier(), tp);
     addRowVector(gate, blk.ffn1().bias());
     Matrix hidden = gelu(gate);
     if (blk.geglu()) {
         Matrix value = execWeightMatmul(x_norm, blk.ffn1Value(),
-                                        quantize, backend);
+                                        quantize, backend,
+                                        defaultSimdTier(), tp);
         addRowVector(value, blk.ffn1Value().bias());
         for (Index i = 0; i < hidden.size(); ++i)
             hidden.data()[i] *= value.data()[i];
@@ -138,24 +140,64 @@ denseHidden(const TransformerBlock &blk, const Matrix &x_norm,
  * term (ops.h accumulation contract): at the paper's ~80-90% reuse
  * sparsity it does ~nnz*d work instead of t*hid*d, matching the
  * ffnOpsExecuted accounting.
+ *
+ * Under tensor parallelism the output columns are partitioned by the
+ * slice plan: each slice runs the same whole-row mask walk but sweeps
+ * its axpy only across its own column window of W2, into a private
+ * partial buffer, and the partials are pasted back in ascending slice
+ * order. Every output element's accumulation chain lives entirely
+ * inside one slice, so tp=N is bit-identical to the solo sweep.
  */
 Matrix
 addMaskedProduct(const Matrix &psum, const Matrix &h,
                  const Bitmask2D &mask, const Matrix &w2,
-                 SimdTier simd)
+                 SimdTier simd, const TpContext &tp)
 {
     const SimdKernels &kr = simdKernels(simd);
-    Matrix prod(h.rows(), w2.cols());
     const Index n = w2.cols();
+    const SlicePlan plan = SlicePlan::make(n, tp.nSlices);
+    if (!plan.parallel()) {
+        Matrix prod(h.rows(), n);
+        for (Index r = 0; r < h.rows(); ++r) {
+            float *out = prod.rowPtr(r);
+            const float *hrow = h.rowPtr(r);
+            // Word-at-a-time mask walk; each set column contributes
+            // one axpy sweep across the output row — the same
+            // ascending-c term order per output element as the dense
+            // product.
+            mask.forEachSetBitInRow(r, [&](Index c) {
+                kr.axpyF32(out, w2.rowPtr(c), hrow[c], n);
+            });
+        }
+        return add(psum, prod);
+    }
+
+    std::vector<Matrix> parts(plan.slices());
+    runSliced(tp, plan.slices(), [&](int s) {
+        const SliceRange &sr = plan.range(s);
+        Matrix part(h.rows(), sr.n);
+        if (!sr.empty()) {
+            for (Index r = 0; r < h.rows(); ++r) {
+                float *out = part.rowPtr(r);
+                const float *hrow = h.rowPtr(r);
+                mask.forEachSetBitInRow(r, [&](Index c) {
+                    kr.axpyF32(out, w2.rowPtr(c) + sr.c0, hrow[c],
+                               sr.n);
+                });
+            }
+        }
+        parts[s] = std::move(part);
+    });
+
+    Matrix prod(h.rows(), n);
     for (Index r = 0; r < h.rows(); ++r) {
         float *out = prod.rowPtr(r);
-        const float *hrow = h.rowPtr(r);
-        // Word-at-a-time mask walk; each set column contributes one
-        // axpy sweep across the output row — the same ascending-c
-        // term order per output element as the dense product.
-        mask.forEachSetBitInRow(r, [&](Index c) {
-            kr.axpyF32(out, w2.rowPtr(c), hrow[c], n);
-        });
+        for (int s = 0; s < plan.slices(); ++s) {
+            const SliceRange &sr = plan.range(s);
+            if (sr.empty())
+                continue;
+            std::copy_n(parts[s].rowPtr(r), sr.n, out + sr.c0);
+        }
     }
     return add(psum, prod);
 }
@@ -173,7 +215,7 @@ FfnReuse::runDense(const TransformerBlock &blk, const Matrix &x_norm,
     const OpCount ffn1_dense =
         (blk.geglu() ? 2 : 1) * mmulOps(t, d, hid);
 
-    Matrix hidden = denseHidden(blk, x_norm, quantize_, backend_);
+    Matrix hidden = denseHidden(blk, x_norm, quantize_, backend_, tp_);
     stats.ffnOpsDense += ffn1_dense;
     stats.ffnOpsExecuted += ffn1_dense;
 
@@ -211,7 +253,7 @@ FfnReuse::runDense(const TransformerBlock &blk, const Matrix &x_norm,
         h_keep(r, c) = hidden(r, c);
     });
     st.psumSparse = execWeightMatmul(h_reuse, blk.ffn2(), quantize_,
-                                     backend_);
+                                     backend_, defaultSimdTier(), tp_);
     st.hiddenCache = std::move(hidden);
     st.initialized = true;
 
@@ -220,9 +262,9 @@ FfnReuse::runDense(const TransformerBlock &blk, const Matrix &x_norm,
     Matrix out = quantize_
         ? add(st.psumSparse,
               execWeightMatmul(h_keep, blk.ffn2(), quantize_,
-                               backend_))
+                               backend_, defaultSimdTier(), tp_))
         : addMaskedProduct(st.psumSparse, h_keep, st.mask,
-                           blk.ffn2().weight(), simd_);
+                           blk.ffn2().weight(), simd_, tp_);
     addRowVector(out, blk.ffn2().bias());
     stats.ffnOpsDense += mmulOps(t, hid, d);
     stats.ffnOpsExecuted += mmulOps(t, hid, d);
@@ -306,9 +348,9 @@ FfnReuse::runSparse(const TransformerBlock &blk, const Matrix &x_norm,
     Matrix out = quantize_
         ? add(st.psumSparse,
               execWeightMatmul(h_keep, blk.ffn2(), quantize_,
-                               backend_))
+                               backend_, defaultSimdTier(), tp_))
         : addMaskedProduct(st.psumSparse, h_keep, st.mask,
-                           blk.ffn2().weight(), simd_);
+                           blk.ffn2().weight(), simd_, tp_);
     addRowVector(out, blk.ffn2().bias());
     stats.ffnOpsDense += mmulOps(t, hid, d);
     stats.ffnOpsExecuted += 2 * nnz * d;

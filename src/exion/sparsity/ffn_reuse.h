@@ -75,10 +75,15 @@ class FfnReuse
      *                 scans, masked recompute, masked products);
      *                 Scalar/Exact are bit-identical, Fast
      *                 reassociates the recompute dot products
+     * @param tp       tensor-parallel slice context for the tall
+     *                 GEMMs and the masked product. Masks and
+     *                 thresholds are always computed on whole logical
+     *                 outputs; slices only partition output columns,
+     *                 so tp=N stays bit-identical to solo.
      */
     FfnReuse(const FfnReuseConfig &cfg, bool quantize,
              GemmBackend backend = defaultGemmBackend(),
-             SimdTier simd = defaultSimdTier());
+             SimdTier simd = defaultSimdTier(), TpContext tp = {});
 
     FfnReuse(const FfnReuse &) = delete;
     FfnReuse &operator=(const FfnReuse &) = delete;
@@ -143,6 +148,7 @@ class FfnReuse
     bool quantize_;
     GemmBackend backend_;
     SimdTier simd_;
+    TpContext tp_;
     std::unordered_map<int, TransposedFfn1> w1tCache_;
     FfnReuseState ownState_;
     FfnReuseState *state_ = &ownState_;

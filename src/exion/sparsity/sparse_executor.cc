@@ -10,7 +10,7 @@ namespace exion
 
 SparseExecutor::SparseExecutor(const Options &opt)
     : opt_(opt),
-      ffnReuse_(opt.ffnReuse, opt.quantize, opt.gemm, opt.simd)
+      ffnReuse_(opt.ffnReuse, opt.quantize, opt.gemm, opt.simd, opt.tp)
 {
 }
 
@@ -33,7 +33,7 @@ SparseExecutor::ffn(const TransformerBlock &blk, const Matrix &x_norm)
 {
     if (!opt_.useFfnReuse)
         return denseFfnImpl(blk, x_norm, opt_.quantize, stats(),
-                            observers, opt_.gemm, opt_.simd);
+                            observers, opt_.gemm, opt_.simd, opt_.tp);
     return ffnReuse_.run(blk, x_norm, iteration(), stats(), observers);
 }
 
@@ -43,7 +43,8 @@ SparseExecutor::attention(const TransformerBlock &blk,
 {
     if (!opt_.useEp)
         return denseAttentionImpl(blk, x_norm, opt_.quantize, stats(),
-                                  observers, opt_.gemm, opt_.simd);
+                                  observers, opt_.gemm, opt_.simd,
+                                  opt_.tp);
     return epAttention(blk, x_norm);
 }
 
@@ -54,7 +55,8 @@ namespace
 Matrix
 projectNeededRows(const Matrix &x, const Linear &proj,
                   const std::vector<u8> &needed, bool quantize,
-                  GemmBackend backend, SimdTier simd)
+                  GemmBackend backend, SimdTier simd,
+                  const TpContext &tp)
 {
     Matrix out(x.rows(), proj.outDim());
     // Collect needed rows, project densely, scatter back. This keeps
@@ -75,7 +77,7 @@ projectNeededRows(const Matrix &x, const Linear &proj,
         ++w;
     }
     Matrix projected = execWeightMatmul(packed, proj, quantize,
-                                        backend, simd);
+                                        backend, simd, tp);
     addRowVector(projected, proj.bias());
     w = 0;
     for (Index r = 0; r < x.rows(); ++r) {
@@ -96,14 +98,14 @@ SparseExecutor::epAttention(const TransformerBlock &blk,
 {
     return epAttentionImpl(blk, x_norm, opt_.ep, opt_.lodMode,
                            opt_.quantize, stats(), observers,
-                           opt_.gemm, opt_.simd);
+                           opt_.gemm, opt_.simd, opt_.tp);
 }
 
 Matrix
 epAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
                 const EpConfig &ep, LodMode lod_mode, bool quantize,
                 ExecStats &stats, ExecObservers &observers,
-                GemmBackend backend, SimdTier simd)
+                GemmBackend backend, SimdTier simd, const TpContext &tp)
 {
     const SimdKernels &kr = simdKernels(simd);
     // Exact tier keeps the golden serial chain for the kept-position
@@ -155,13 +157,13 @@ epAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
     // --- Real projections, only for needed tokens (SDUE, INT12). ---
     const Matrix q = projectNeededRows(x_norm, blk.wq(),
                                        needs.qRowNeeded, quantize,
-                                       backend, simd);
+                                       backend, simd, tp);
     const Matrix k = projectNeededRows(x_norm, blk.wk(),
                                        needs.kRowNeeded, quantize,
-                                       backend, simd);
+                                       backend, simd, tp);
     const Matrix v = projectNeededRows(x_norm, blk.wv(),
                                        needs.vRowNeeded, quantize,
-                                       backend, simd);
+                                       backend, simd, tp);
     stats.qkvOpsDense += 3 * mmulOps(t, d, d);
     stats.qkvOpsExecuted += mmulOps(nq, d, d) + mmulOps(nk, d, d)
         + mmulOps(nv, d, d);
@@ -228,7 +230,7 @@ epAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
 
     // Output projection stays dense (all rows have outputs).
     Matrix out = execWeightMatmul(concat, blk.wo(), quantize,
-                                  backend, simd);
+                                  backend, simd, tp);
     addRowVector(out, blk.wo().bias());
     stats.attnOpsDense += mmulOps(t, d, d);
     stats.attnOpsExecuted += mmulOps(t, d, d);

@@ -46,6 +46,14 @@ class SparseExecutor : public BlockExecutor
          * bit-identical; Fast reassociates float reductions.
          */
         SimdTier simd = defaultSimdTier();
+        /**
+         * Tensor-parallel slice context for the tall weight GEMMs
+         * (QKV / out-proj / FFN projections). Sparsity decisions —
+         * thresholds, recompute masks, EP keep sets — are always
+         * taken on whole logical outputs; slicing only forks the
+         * projection columns, so tp=N is bit-identical to solo.
+         */
+        TpContext tp{};
     };
 
     explicit SparseExecutor(const Options &opt);
@@ -82,6 +90,9 @@ class SparseExecutor : public BlockExecutor
     /** SIMD tier used for kernels (Options::simd). */
     SimdTier simdTier() const override { return opt_.simd; }
 
+    /** Slice context for tall projection GEMMs (Options::tp). */
+    TpContext tpContext() const override { return opt_.tp; }
+
   private:
     Matrix epAttention(const TransformerBlock &blk, const Matrix &x_norm);
 
@@ -106,7 +117,8 @@ Matrix epAttentionImpl(const TransformerBlock &blk, const Matrix &x_norm,
                        bool quantize, ExecStats &stats,
                        ExecObservers &observers,
                        GemmBackend backend = defaultGemmBackend(),
-                       SimdTier simd = defaultSimdTier());
+                       SimdTier simd = defaultSimdTier(),
+                       const TpContext &tp = {});
 
 } // namespace exion
 

@@ -1,5 +1,7 @@
 #include "exion/tensor/kernel_flags.h"
 
+#include <exception>
+
 namespace exion
 {
 
@@ -8,6 +10,7 @@ namespace
 
 constexpr const char *kGemmValues = "reference|blocked";
 constexpr const char *kSimdValues = "scalar|exact|fast";
+constexpr const char *kTpValues = "a positive integer";
 
 } // namespace
 
@@ -18,15 +21,36 @@ tryConsumeKernelFlag(int argc, const char *const *argv, int &i,
     const std::string arg = argv[i];
     const bool is_gemm = arg == "--gemm";
     const bool is_simd = arg == "--simd";
-    if (!is_gemm && !is_simd)
+    const bool is_tp = arg == "--tp";
+    if (!is_gemm && !is_simd && !is_tp)
         return KernelFlagStatus::NotMine;
 
-    const char *values = is_gemm ? kGemmValues : kSimdValues;
+    const char *values =
+        is_gemm ? kGemmValues : is_simd ? kSimdValues : kTpValues;
     if (i + 1 >= argc) {
         error = arg + " needs a value (" + values + ")";
         return KernelFlagStatus::Error;
     }
     const std::string value = argv[++i];
+
+    if (is_tp) {
+        int parsed = 0;
+        try {
+            size_t pos = 0;
+            parsed = std::stoi(value, &pos);
+            if (pos != value.size())
+                parsed = 0;
+        } catch (const std::exception &) {
+            parsed = 0;
+        }
+        if (parsed < 1) {
+            error = "bad --tp value '" + value + "' (expected "
+                + std::string(kTpValues) + ")";
+            return KernelFlagStatus::Error;
+        }
+        flags.tp = parsed;
+        return KernelFlagStatus::Consumed;
+    }
 
     if (is_gemm) {
         const auto parsed = parseGemmBackend(value);
@@ -52,7 +76,8 @@ tryConsumeKernelFlag(int argc, const char *const *argv, int &i,
 const char *
 kernelFlagsUsage()
 {
-    return "[--gemm reference|blocked] [--simd scalar|exact|fast]";
+    return "[--gemm reference|blocked] [--simd scalar|exact|fast]"
+           " [--tp N]";
 }
 
 } // namespace exion

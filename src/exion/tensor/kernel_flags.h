@@ -21,13 +21,17 @@
 namespace exion
 {
 
-/** Kernel selection shared by every CLI: GEMM backend + SIMD tier. */
+/** Kernel selection shared by every CLI: GEMM backend + SIMD tier +
+    tensor-parallel slice count. */
 struct KernelFlags
 {
     /** --gemm value (backends are bit-identical). */
     GemmBackend gemm = GemmBackend::Blocked;
     /** --simd value (Scalar/Exact bit-identical; Fast reassociates). */
     SimdTier simd = SimdTier::Exact;
+    /** --tp value: column slices per tall projection GEMM (>= 1;
+        1 = off). Bit-identical at every setting. */
+    int tp = 1;
 };
 
 /** Outcome of offering one argv position to the kernel-flag parser. */

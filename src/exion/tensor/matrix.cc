@@ -9,18 +9,28 @@ namespace exion
 {
 
 Matrix::Matrix(Index rows, Index cols, float fill)
-    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+    : rows_(rows), cols_(cols), stride_(cols), data_(rows * cols, fill)
 {
 }
 
 Matrix
 Matrix::borrow(const float *data, Index rows, Index cols)
 {
+    return borrowStrided(data, rows, cols, cols);
+}
+
+Matrix
+Matrix::borrowStrided(const float *data, Index rows, Index cols,
+                      Index rowStride)
+{
     EXION_ASSERT(data != nullptr || rows * cols == 0,
                  "borrowing null storage for ", rows, "x", cols);
+    EXION_ASSERT(rowStride >= cols, "row stride ", rowStride,
+                 " narrower than ", cols, " columns");
     Matrix m;
     m.rows_ = rows;
     m.cols_ = cols;
+    m.stride_ = rowStride;
     m.view_ = data;
     return m;
 }
@@ -52,8 +62,11 @@ float
 Matrix::maxAbs() const
 {
     float out = 0.0f;
-    for (float v : data())
-        out = std::max(out, std::abs(v));
+    for (Index r = 0; r < rows_; ++r) {
+        const float *row = rowPtr(r);
+        for (Index c = 0; c < cols_; ++c)
+            out = std::max(out, std::abs(row[c]));
+    }
     return out;
 }
 
@@ -62,11 +75,13 @@ Matrix::operator==(const Matrix &other) const
 {
     if (rows_ != other.rows_ || cols_ != other.cols_)
         return false;
-    const float *a = cptr();
-    const float *b = other.cptr();
-    for (Index i = 0; i < size(); ++i)
-        if (a[i] != b[i])
-            return false;
+    for (Index r = 0; r < rows_; ++r) {
+        const float *a = rowPtr(r);
+        const float *b = other.rowPtr(r);
+        for (Index c = 0; c < cols_; ++c)
+            if (a[c] != b[c])
+                return false;
+    }
     return true;
 }
 

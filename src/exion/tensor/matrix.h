@@ -12,6 +12,13 @@
  * without copying: reads are identical, mutation is a contract
  * violation (asserted), and copies of a borrowed matrix are shallow —
  * whoever owns the underlying bytes must outlive every view.
+ *
+ * borrowStrided() generalises borrow() to views whose rows are not
+ * adjacent in memory — the zero-copy column slice of a wider tensor
+ * (row r of the view starts rowStride elements after row r-1). Every
+ * per-element and per-row accessor honours the stride; only the flat
+ * data() span requires contiguity (asserted), because a strided
+ * view has no single contiguous element range to hand out.
  */
 
 #ifndef EXION_TENSOR_MATRIX_H_
@@ -47,8 +54,23 @@ class Matrix
      */
     static Matrix borrow(const float *data, Index rows, Index cols);
 
+    /**
+     * Non-owning read-only view whose consecutive rows sit rowStride
+     * elements apart — e.g. the columns [c0, c0+cols) of a wider
+     * row-major tensor, viewed via borrowStrided(base + c0, rows,
+     * cols, fullCols). @pre rowStride >= cols
+     */
+    static Matrix borrowStrided(const float *data, Index rows,
+                                Index cols, Index rowStride);
+
     /** True when this matrix is a non-owning view. */
     bool borrowed() const { return view_ != nullptr; }
+
+    /** True when rows are adjacent in memory (stride == cols). */
+    bool contiguous() const { return stride_ == cols_; }
+
+    /** Elements between consecutive row starts. */
+    Index rowStride() const { return stride_; }
 
     /** Number of rows. */
     Index rows() const { return rows_; }
@@ -77,7 +99,7 @@ class Matrix
         EXION_ASSERT(r < rows_ && c < cols_,
                      "index (", r, ",", c, ") out of (", rows_, ",",
                      cols_, ")");
-        return cptr()[r * cols_ + c];
+        return cptr()[r * stride_ + c];
     }
 
     /** Unchecked element access for hot loops. @pre not borrowed */
@@ -87,7 +109,7 @@ class Matrix
     float
     operator()(Index r, Index c) const
     {
-        return cptr()[r * cols_ + c];
+        return cptr()[r * stride_ + c];
     }
 
     /** Raw pointer to row r. @pre not borrowed */
@@ -99,7 +121,7 @@ class Matrix
     }
 
     /** Raw pointer to row r (const). */
-    const float *rowPtr(Index r) const { return cptr() + r * cols_; }
+    const float *rowPtr(Index r) const { return cptr() + r * stride_; }
 
     /** Underlying storage. @pre not borrowed */
     std::vector<float> &
@@ -109,8 +131,15 @@ class Matrix
         return data_;
     }
 
-    /** Elements in row-major order (works for views too). */
-    std::span<const float> data() const { return {cptr(), size()}; }
+    /** Elements in row-major order (views too). @pre contiguous */
+    std::span<const float>
+    data() const
+    {
+        EXION_ASSERT(contiguous(),
+                     "flat span over a strided view (stride ", stride_,
+                     ", cols ", cols_, ")");
+        return {cptr(), size()};
+    }
 
     /** Sets all elements to v. @pre not borrowed */
     void fill(float v);
@@ -136,6 +165,8 @@ class Matrix
 
     Index rows_ = 0;
     Index cols_ = 0;
+    Index stride_ = 0; //!< elements between row starts (== cols_
+                       //!< except for borrowStrided views)
     std::vector<float> data_;
     const float *view_ = nullptr;
 };

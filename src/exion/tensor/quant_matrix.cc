@@ -4,7 +4,8 @@ namespace exion
 {
 
 QuantMatrix::QuantMatrix(Index rows, Index cols, QuantParams params)
-    : rows_(rows), cols_(cols), params_(params), data_(rows * cols, 0)
+    : rows_(rows), cols_(cols), stride_(cols), params_(params),
+      data_(rows * cols, 0)
 {
 }
 
@@ -29,11 +30,21 @@ QuantMatrix
 QuantMatrix::borrow(const i32 *data, Index rows, Index cols,
                     QuantParams params)
 {
+    return borrowStrided(data, rows, cols, cols, params);
+}
+
+QuantMatrix
+QuantMatrix::borrowStrided(const i32 *data, Index rows, Index cols,
+                           Index rowStride, QuantParams params)
+{
     EXION_ASSERT(data != nullptr || rows * cols == 0,
                  "borrowing null quant storage for ", rows, "x", cols);
+    EXION_ASSERT(rowStride >= cols, "quant row stride ", rowStride,
+                 " narrower than ", cols, " columns");
     QuantMatrix q;
     q.rows_ = rows;
     q.cols_ = cols;
+    q.stride_ = rowStride;
     q.params_ = params;
     q.view_ = data;
     return q;
@@ -43,9 +54,12 @@ Matrix
 QuantMatrix::toFloat() const
 {
     Matrix out(rows_, cols_);
-    const i32 *src = cptr();
-    for (Index i = 0; i < size(); ++i)
-        out.data()[i] = dequantize(src[i], params_);
+    for (Index r = 0; r < rows_; ++r) {
+        const i32 *src = rowPtr(r);
+        float *dst = out.rowPtr(r);
+        for (Index c = 0; c < cols_; ++c)
+            dst[c] = dequantize(src[c], params_);
+    }
     return out;
 }
 

@@ -9,7 +9,10 @@
  *
  * Like Matrix, storage is either owned or borrowed: borrow() wraps a
  * caller-owned read-only integer image (e.g. a quantized-at-rest
- * tensor of an mmap'd WeightStore) without copying.
+ * tensor of an mmap'd WeightStore) without copying, and
+ * borrowStrided() views a column slice of a wider image in place.
+ * A sliced view keeps the whole tensor's QuantParams — slices are
+ * windows onto one quantisation domain, never re-quantised.
  */
 
 #ifndef EXION_TENSOR_QUANT_MATRIX_H_
@@ -52,8 +55,23 @@ class QuantMatrix
     static QuantMatrix borrow(const i32 *data, Index rows, Index cols,
                               QuantParams params);
 
+    /**
+     * Non-owning read-only view whose consecutive rows sit rowStride
+     * elements apart (column slice of a wider row-major image). The
+     * params must be the whole tensor's. @pre rowStride >= cols
+     */
+    static QuantMatrix borrowStrided(const i32 *data, Index rows,
+                                     Index cols, Index rowStride,
+                                     QuantParams params);
+
     /** True when this matrix is a non-owning view. */
     bool borrowed() const { return view_ != nullptr; }
+
+    /** True when rows are adjacent in memory (stride == cols). */
+    bool contiguous() const { return stride_ == cols_; }
+
+    /** Elements between consecutive row starts. */
+    Index rowStride() const { return stride_; }
 
     /** Number of rows. */
     Index rows() const { return rows_; }
@@ -81,11 +99,15 @@ class QuantMatrix
     at(Index r, Index c) const
     {
         EXION_ASSERT(r < rows_ && c < cols_, "quant index out of range");
-        return cptr()[r * cols_ + c];
+        return cptr()[r * stride_ + c];
     }
 
     /** Unchecked access. */
-    i32 operator()(Index r, Index c) const { return cptr()[r * cols_ + c]; }
+    i32
+    operator()(Index r, Index c) const
+    {
+        return cptr()[r * stride_ + c];
+    }
 
     /** Unchecked access (mutable). @pre not borrowed */
     i32 &operator()(Index r, Index c) { return data_[r * cols_ + c]; }
@@ -95,7 +117,7 @@ class QuantMatrix
     rowPtr(Index r) const
     {
         EXION_ASSERT(r < rows_, "quant row out of range");
-        return cptr() + r * cols_;
+        return cptr() + r * stride_;
     }
 
     /** Dequantises back to float. */
@@ -109,6 +131,8 @@ class QuantMatrix
 
     Index rows_ = 0;
     Index cols_ = 0;
+    Index stride_ = 0; //!< elements between row starts (== cols_
+                       //!< except for borrowStrided views)
     QuantParams params_;
     std::vector<i32> data_;
     const i32 *view_ = nullptr;

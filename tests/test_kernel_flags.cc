@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "exion/serve/shard_router.h"
 #include "exion/tensor/kernel_flags.h"
 
 namespace exion
@@ -163,6 +164,140 @@ TEST(KernelFlagsTest, UsageAdvertisesBothFlags)
     const std::string usage = kernelFlagsUsage();
     EXPECT_NE(usage.find("--gemm"), std::string::npos);
     EXPECT_NE(usage.find("--simd"), std::string::npos);
+    EXPECT_NE(usage.find("--tp"), std::string::npos);
+}
+
+TEST(KernelFlagsTest, ParsesTpValues)
+{
+    EXPECT_EQ(parseAll({}).flags.tp, 1);
+
+    ParseRun run = parseAll({"--tp", "1"});
+    EXPECT_TRUE(run.error.empty());
+    EXPECT_EQ(run.flags.tp, 1);
+
+    run = parseAll({"--tp", "4"});
+    EXPECT_TRUE(run.error.empty());
+    EXPECT_EQ(run.flags.tp, 4);
+
+    run = parseAll({"--tp", "2", "--tp", "8"});
+    EXPECT_TRUE(run.error.empty());
+    EXPECT_EQ(run.flags.tp, 8);
+}
+
+TEST(KernelFlagsTest, TpComposesWithOtherFlags)
+{
+    const ParseRun run = parseAll(
+        {"--quick", "--tp", "4", "--gemm", "reference", "--batch", "2"});
+    EXPECT_TRUE(run.error.empty());
+    EXPECT_EQ(run.flags.tp, 4);
+    EXPECT_EQ(run.flags.gemm, GemmBackend::Reference);
+    const std::vector<std::string> want = {"--quick", "--batch", "2"};
+    EXPECT_EQ(run.others, want);
+}
+
+// Regression: --tp must reject zero, negatives, trailing junk and
+// non-numbers with a message naming what it expects — never silently
+// run solo (or worse, with a garbage slice count).
+TEST(KernelFlagsTest, RejectsBadTpValues)
+{
+    for (const char *bad : {"0", "-2", "4x", "four", ""}) {
+        SCOPED_TRACE(std::string("--tp '") + bad + "'");
+        const ParseRun run = parseAll({"--tp", bad});
+        ASSERT_FALSE(run.error.empty());
+        EXPECT_NE(run.error.find("--tp"), std::string::npos);
+        EXPECT_NE(run.error.find("positive integer"),
+                  std::string::npos);
+        EXPECT_EQ(run.flags.tp, 1);
+    }
+}
+
+TEST(KernelFlagsTest, TpMissingValueIsError)
+{
+    const ParseRun run = parseAll({"--tp"});
+    ASSERT_FALSE(run.error.empty());
+    EXPECT_NE(run.error.find("needs a value"), std::string::npos);
+    EXPECT_NE(run.error.find("positive integer"), std::string::npos);
+}
+
+/** Caller-side argv loop for the route flag, mirroring ParseRun. */
+struct RouteRun
+{
+    RoutePolicy policy = RoutePolicy::LeastDepth;
+    std::vector<std::string> others;
+    std::string error;
+};
+
+RouteRun
+parseRoute(const std::vector<const char *> &args)
+{
+    std::vector<const char *> argv = {"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    RouteRun run;
+    for (int i = 1; i < static_cast<int>(argv.size()); ++i) {
+        std::string err;
+        const KernelFlagStatus ks = tryConsumeRouteFlag(
+            static_cast<int>(argv.size()), argv.data(), i, run.policy,
+            err);
+        if (ks == KernelFlagStatus::Error) {
+            run.error = err;
+            break;
+        }
+        if (ks == KernelFlagStatus::NotMine)
+            run.others.push_back(argv[i]);
+    }
+    return run;
+}
+
+TEST(RouteFlagTest, ParsesEveryPolicy)
+{
+    RouteRun run = parseRoute({"--route", "least-depth"});
+    EXPECT_TRUE(run.error.empty());
+    EXPECT_EQ(run.policy, RoutePolicy::LeastDepth);
+
+    run = parseRoute({"--route", "deadline-aware"});
+    EXPECT_TRUE(run.error.empty());
+    EXPECT_EQ(run.policy, RoutePolicy::DeadlineAware);
+
+    run = parseRoute({"--route", "cohort-affinity"});
+    EXPECT_TRUE(run.error.empty());
+    EXPECT_EQ(run.policy, RoutePolicy::CohortAffinity);
+}
+
+TEST(RouteFlagTest, ForeignArgsPassThrough)
+{
+    const RouteRun run =
+        parseRoute({"--shards", "2", "--route", "deadline-aware"});
+    EXPECT_TRUE(run.error.empty());
+    EXPECT_EQ(run.policy, RoutePolicy::DeadlineAware);
+    const std::vector<std::string> want = {"--shards", "2"};
+    EXPECT_EQ(run.others, want);
+}
+
+// Regression: the hand-rolled per-binary --route parses used to fall
+// back silently; the shared helper must list the accepted policies.
+TEST(RouteFlagTest, RejectsUnknownPolicyListingValues)
+{
+    const RouteRun run = parseRoute({"--route", "round-robin"});
+    ASSERT_FALSE(run.error.empty());
+    EXPECT_NE(run.error.find("--route"), std::string::npos);
+    EXPECT_NE(run.error.find("round-robin"), std::string::npos);
+    EXPECT_NE(run.error.find(routePolicyValues()), std::string::npos);
+    EXPECT_EQ(run.policy, RoutePolicy::LeastDepth);
+}
+
+TEST(RouteFlagTest, MissingValueIsError)
+{
+    const RouteRun run = parseRoute({"--route"});
+    ASSERT_FALSE(run.error.empty());
+    EXPECT_NE(run.error.find("needs a value"), std::string::npos);
+    EXPECT_NE(run.error.find(routePolicyValues()), std::string::npos);
+}
+
+TEST(RouteFlagTest, UsageAdvertisesPolicies)
+{
+    const std::string usage = routeFlagUsage();
+    EXPECT_NE(usage.find("--route"), std::string::npos);
+    EXPECT_NE(usage.find(routePolicyValues()), std::string::npos);
 }
 
 } // namespace

@@ -19,6 +19,7 @@
  * existing store and prints its config and tensor index.
  */
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstring>
@@ -110,13 +111,22 @@ inspect(const std::string &path)
                 static_cast<long long>(cfg.latentTokens),
                 static_cast<long long>(cfg.latentDim));
     std::printf("tensors:  %zu\n", store->entries().size());
-    for (const auto &[name, e] : store->entries())
-        std::printf("  %-28s %-4s %6lld x %-6lld @%-10llu %llu bytes\n",
+    for (const auto &[name, e] : store->entries()) {
+        // Largest power-of-two divisor of the section offset, capped
+        // at 4096: the alignment the mmap'd tensor actually starts
+        // at. The format guarantees >= 64 (one cache line / one EXWS
+        // section unit) — what the slice plans in
+        // tensor/matmul_slice.h assume.
+        const unsigned long long off = e.offset;
+        const unsigned long long align =
+            off == 0 ? 4096ULL : std::min(4096ULL, off & ~(off - 1));
+        std::printf("  %-28s %-4s %6lld x %-6lld @%-10llu "
+                    "align%-5llu %llu bytes\n",
                     name.c_str(), kindName(e.kind),
                     static_cast<long long>(e.rows),
-                    static_cast<long long>(e.cols),
-                    static_cast<unsigned long long>(e.offset),
+                    static_cast<long long>(e.cols), off, align,
                     static_cast<unsigned long long>(e.byteLen));
+    }
     return 0;
 }
 

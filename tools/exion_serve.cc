@@ -40,7 +40,16 @@
  *                     deadline-aware, cohort-affinity
  *   --numa            pin shard workers round-robin across NUMA
  *                     nodes (best-effort; warns and serves unpinned
- *                     when the host has no topology)
+ *                     when the host has no topology). With --tp > 1
+ *                     it additionally pins each slice's tasks to one
+ *                     node's CPUs (slice s -> node s % nodes), so a
+ *                     slice's weight-column working set stays local;
+ *                     the chosen map is printed at startup.
+ *   --tp N            intra-request tensor parallelism: column-split
+ *                     every tall projection GEMM into N slices run
+ *                     across the engine's workers and merged in
+ *                     slice order — bit-identical to --tp 1
+ *                     (default 1 = off)
  *   --max-queued N    admission: ready-queue bound per priority
  *                     class (QueueFull -> HTTP 429; default 16)
  *   --shed-threshold N admission: total backlog at which Low-class
@@ -66,6 +75,7 @@
 
 #include <dirent.h>
 
+#include "exion/common/numa.h"
 #include "exion/model/config.h"
 #include "exion/net/http_server.h"
 #include "exion/serve/batch_engine.h"
@@ -180,6 +190,14 @@ main(int argc, char **argv)
         }
         if (ks == KernelFlagStatus::Consumed)
             continue;
+        const KernelFlagStatus rs =
+            tryConsumeRouteFlag(argc, argv, i, route, err);
+        if (rs == KernelFlagStatus::Error) {
+            std::fprintf(stderr, "error: %s\n", err.c_str());
+            return 2;
+        }
+        if (rs == KernelFlagStatus::Consumed)
+            continue;
         const auto value = [&]() -> const char * {
             return i + 1 < argc ? argv[++i] : nullptr;
         };
@@ -207,13 +225,7 @@ main(int argc, char **argv)
             shards = std::atoi(v);
         else if (arg == "--shard-workers" && (v = value()))
             shardWorkers = std::atoi(v);
-        else if (arg == "--route" && (v = value())) {
-            if (!parseRoutePolicy(v, route)) {
-                std::fprintf(stderr,
-                             "error: unknown route policy '%s'\n", v);
-                return 2;
-            }
-        } else if (arg == "--numa")
+        else if (arg == "--numa")
             numa = true;
         else if (arg == "--max-queued" && (v = value()))
             engineOpts.admission.maxQueuedPerClass =
@@ -242,6 +254,31 @@ main(int argc, char **argv)
     }
     engineOpts.gemmBackend = kernels.gemm;
     engineOpts.simdTier = kernels.simd;
+    engineOpts.tensorParallel = kernels.tp;
+
+    // Slice -> NUMA affinity (best-effort): with both --numa and
+    // --tp, slice s's tasks pin to node (s % nodes) so each slice's
+    // weight columns stay on one node. Purely a locality knob — the
+    // merge order, and therefore the output, is unaffected.
+    std::string tpNumaMap;
+    if (kernels.tp > 1 && numa) {
+        const std::vector<std::vector<int>> nodes = numaNodeCpus();
+        if (nodes.size() < 2) {
+            std::fprintf(stderr,
+                         "warning: --numa --tp: host exposes %zu NUMA "
+                         "node(s); slices run unpinned\n",
+                         nodes.size());
+        } else {
+            engineOpts.tpSliceCpus = nodes;
+            for (int s = 0; s < kernels.tp; ++s) {
+                if (s > 0)
+                    tpNumaMap += " ";
+                tpNumaMap += "slice" + std::to_string(s) + "->node"
+                    + std::to_string(
+                        s % static_cast<int>(nodes.size()));
+            }
+        }
+    }
 
     // One engine when unsharded (no router indirection to pay for),
     // a snapshot-routed ShardRouter otherwise — both serve the same
@@ -257,10 +294,10 @@ main(int argc, char **argv)
         routerOpts.numa = numa;
         router = std::make_unique<ShardRouter>(routerOpts);
     } else {
-        if (numa)
+        if (numa && kernels.tp <= 1)
             std::fprintf(stderr,
                          "warning: --numa has no effect without "
-                         "--shards > 1\n");
+                         "--shards > 1 or --tp > 1\n");
         soloEngine = std::make_unique<BatchEngine>(engineOpts);
     }
     ServeBackend &backend =
@@ -339,19 +376,21 @@ main(int argc, char **argv)
     if (router)
         std::printf("exion_serve listening on 127.0.0.1:%u "
                     "(%d shards x %d workers, route=%s%s, gemm=%s, "
-                    "simd=%s)\n",
+                    "simd=%s, tp=%d)\n",
                     server.port(), router->shardCount(),
                     router->shard(0).workerCount(),
                     routePolicyName(route).c_str(),
                     numa ? ", numa" : "",
                     gemmBackendName(kernels.gemm),
-                    simdTierName(kernels.simd));
+                    simdTierName(kernels.simd), kernels.tp);
     else
         std::printf("exion_serve listening on 127.0.0.1:%u "
-                    "(%d workers, gemm=%s, simd=%s)\n",
+                    "(%d workers, gemm=%s, simd=%s, tp=%d)\n",
                     server.port(), backend.workerCount(),
                     gemmBackendName(kernels.gemm),
-                    simdTierName(kernels.simd));
+                    simdTierName(kernels.simd), kernels.tp);
+    if (!tpNumaMap.empty())
+        std::printf("tp slice affinity: %s\n", tpNumaMap.c_str());
     std::fflush(stdout);
 
     while (g_signal == 0 && server.running())
